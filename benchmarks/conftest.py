@@ -1,0 +1,37 @@
+"""Benchmark fixtures: paper-shape-scale campaigns shared per session.
+
+Each benchmark regenerates one paper table/figure.  The heavy scan
+campaign runs once (module-level memoisation inside
+:func:`repro.experiments.get_campaign`); the benchmark timing then
+covers the analysis pipeline, and the rendered artefact is written to
+``benchmarks/output/`` and echoed for inspection.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import get_campaign
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The default-scale (1:1000) week-18 campaign."""
+    return get_campaign(week=18, seed=0)
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def emit(output_dir, result):
+    """Write and print a rendered experiment artefact."""
+    text = result.render()
+    (output_dir / f"{result.experiment_id}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return result

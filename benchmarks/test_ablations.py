@@ -1,0 +1,118 @@
+"""Benchmarks A1-A4: ablations and methodology checks."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.ablations import (
+    ablation_crypto,
+    ablation_fingerprint,
+    ablation_padding,
+    ablation_rollout,
+    ablation_traffic,
+    centralization_analysis,
+    extension_resumption,
+    overlap_analysis,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_padding(benchmark, campaign, output_dir):
+    result = benchmark.pedantic(ablation_padding, args=(campaign,), rounds=1, iterations=1)
+    emit(output_dir, result)
+    values = {row[0]: row[1] for row in result.rows}
+    # Paper §3.1: 11.3 % response rate without padding, 95.4 % in one AS.
+    assert values["unpadded/padded response rate %"] < 30
+    assert values["top AS share of unpadded responders %"] > 90
+    assert values["top AS"] == "Fastly"
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_overlap(benchmark, campaign, output_dir):
+    campaign.altsvc_discovered_v4  # warm
+    result = benchmark.pedantic(overlap_analysis, args=(campaign,), rounds=1, iterations=1)
+    emit(output_dir, result)
+    values = {(row[0], row[1]): row[2] for row in result.rows}
+    # Every source contributes unique addresses (paper §4).
+    assert values[("IPv4", "only:zmap")] > 0
+    assert values[("IPv6", "only:alt-svc")] > 0
+    assert values[("IPv4", "union")] > values[("IPv4", "only:zmap")]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_rollout(benchmark, campaign, output_dir):
+    result = benchmark.pedantic(ablation_rollout, args=(campaign,), rounds=1, iterations=1)
+    emit(output_dir, result)
+    values = {row[0]: row[1] for row in result.rows}
+    week = campaign.config.week
+    mismatches = values[f"week {week}: version mismatches (no-SNI v4)"]
+    assert mismatches > 0
+    # Reproducible within the period, gone by August (§5).
+    assert values["re-scan of mismatched targets: still mismatching"] == mismatches
+    assert values["week 31 (post roll-out): version mismatches"] == 0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_traffic(benchmark, campaign, output_dir):
+    result = benchmark.pedantic(ablation_traffic, args=(campaign,), rounds=1, iterations=1)
+    emit(output_dir, result)
+    values = {row[0]: row[1] for row in result.rows}
+    # §3.1: at least a magnitude more traffic than the SYN sweep.
+    assert values["QUIC/SYN traffic ratio"] >= 10.0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_fingerprint(benchmark, campaign, output_dir):
+    campaign.qscan_sni_v4, campaign.qscan_nosni_v4  # warm
+    result = benchmark.pedantic(ablation_fingerprint, args=(campaign,), rounds=1, iterations=1)
+    emit(output_dir, result)
+    accuracy = {row[0]: row[1] for row in result.rows}
+    # §7: each extra observable layer helps; combined beats any single.
+    combined = accuracy["tparams+alerts+server"]
+    assert combined >= accuracy["tparams"]
+    assert combined >= accuracy["alerts"]
+    assert combined >= accuracy["server"]
+    assert combined > 70
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_centralization(benchmark, campaign, output_dir):
+    campaign.qscan_sni_v4, campaign.qscan_nosni_v4  # warm
+    result = benchmark.pedantic(
+        centralization_analysis, args=(campaign,), rounds=1, iterations=1
+    )
+    emit(output_dir, result)
+    values = {row[0]: row[1] for row in result.rows}
+    # §7: the operator view is substantially more concentrated.
+    assert values["owners (operator view)"] < values["owners (AS view)"]
+    assert values["HHI (operator view)"] > values["HHI (AS view)"]
+    assert values["top-5 share (operator view) %"] > values["top-5 share (AS view) %"] + 10
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_extension_resumption(benchmark, campaign, output_dir):
+    campaign.qscan_sni_v4  # warm
+    result = benchmark.pedantic(
+        extension_resumption, args=(campaign,), kwargs={"sample_size": 120},
+        rounds=1, iterations=1,
+    )
+    emit(output_dir, result)
+    totals = {row[0]: row for row in result.rows}["TOTAL"]
+    probed, resumption, zero_rtt = totals[1], totals[2], totals[3]
+    assert probed > 50
+    # Most of the deployment (CDN-dominated) supports resumption; 0-RTT
+    # is a subset of resumption support.
+    assert resumption > probed * 0.5
+    assert 0 < zero_rtt <= resumption
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_crypto(benchmark, output_dir):
+    result = benchmark.pedantic(
+        ablation_crypto, kwargs={"sample_size": 30}, rounds=1, iterations=1
+    )
+    emit(output_dir, result)
+    timings = {row[0]: row[2] for row in result.rows if row[0] != "speedup (real/fast)"}
+    real = timings["real AES-GCM + X25519"]
+    fast = timings["simulated (fast) crypto"]
+    # The repro_why hint: real crypto is markedly slower at scan scale.
+    assert real > fast

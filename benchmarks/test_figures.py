@@ -1,0 +1,123 @@
+"""Benchmarks F3-F9: regenerate every figure of the paper's evaluation."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import (
+    DEFAULT_TLS_WEEKS,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+)
+from repro.internet.timeline import SCAN_WEEKS_ZMAP
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3(benchmark, campaign, output_dir):
+    result = benchmark.pedantic(fig3, args=(campaign,), rounds=1, iterations=1)
+    emit(output_dir, result)
+    by_week_list = {(row[0], row[1]): row[4] for row in result.rows}
+    weeks = sorted({row[0] for row in result.rows})
+    # Success rate grows over the period for every list (Fig. 3).
+    for list_name in ("comnetorg", "alexa", "czds"):
+        assert by_week_list[(weeks[-1], list_name)] >= by_week_list[(weeks[0], list_name)]
+    # Toplists succeed far more often than zone files; com/net/org ~1 %.
+    final = weeks[-1]
+    assert by_week_list[(final, "alexa")] > 3 * by_week_list[(final, "comnetorg")]
+    assert 0.3 < by_week_list[(final, "comnetorg")] < 4.0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4(benchmark, campaign, output_dir):
+    campaign.zmap_v4, campaign.altsvc_discovered_v4  # warm scans
+    result = benchmark.pedantic(fig4, args=(campaign,), rounds=1, iterations=1)
+    emit(output_dir, result)
+    rows = {row[0]: row for row in result.rows}
+    # v4 ZMap: the top AS covers a large share, top-4 the vast majority.
+    assert 0.15 < rows["[IPv4] ZMap"][2] < 0.6
+    assert rows["[IPv4] ZMap"][3] > 0.6
+    # HTTPS/SVCB discovery is drastically Cloudflare-biased.
+    assert rows["[IPv4] SVCB"][2] > 0.7
+    # IPv6 is more concentrated than IPv4 for ZMap.
+    assert rows["[IPv6] ZMap"][2] > rows["[IPv4] ZMap"][2]
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5(benchmark, campaign, output_dir):
+    result = benchmark.pedantic(
+        fig5, args=(campaign,), kwargs={"weeks": SCAN_WEEKS_ZMAP}, rounds=1, iterations=1
+    )
+    emit(output_dir, result)
+    week18 = {row[1]: row[2] for row in result.rows if row[0] == 18}
+    week5 = {row[1]: row[2] for row in result.rows if row[0] == 5}
+    # Cloudflare's set gains ietf-01 only in week 18.
+    assert any("ietf-01" in label for label in week18)
+    assert not any("ietf-01" in label for label in week5)
+    # The Google and Facebook sets are visible throughout.
+    assert any("T051" in label for label in week18)
+    assert any("mvfst" in label for label in week18)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6(benchmark, campaign, output_dir):
+    result = benchmark.pedantic(
+        fig6, args=(campaign,), kwargs={"weeks": SCAN_WEEKS_ZMAP}, rounds=1, iterations=1
+    )
+    emit(output_dir, result)
+    support = {(row[0], row[1]): row[2] for row in result.rows}
+    # draft-29 grows towards ~96 % (paper: 80 % -> 96 %).
+    assert support[(18, "draft-29")] > support[(5, "draft-29")]
+    assert support[(18, "draft-29")] > 90
+    # About half of the addresses still announce Google QUIC versions.
+    assert 25 < support.get((18, "Q050"), 0) < 75
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7(benchmark, campaign, output_dir):
+    result = benchmark.pedantic(
+        fig7, args=(campaign,), kwargs={"weeks": DEFAULT_TLS_WEEKS}, rounds=1, iterations=1
+    )
+    emit(output_dir, result)
+    def share(week, label):
+        return next((row[2] for row in result.rows if row[0] == week and row[1] == label), 0.0)
+    # The Cloudflare set dominates.
+    assert share(18, "h3-27,h3-28,h3-29") > 30
+    # Bare "quic" declines over the period.
+    assert share(18, "quic") < share(10, "quic")
+    # The new Google set (with h3-34) appears towards the end.
+    week18_labels = {row[1] for row in result.rows if row[0] == 18}
+    assert any("h3-34" in label for label in week18_labels)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig8(benchmark, campaign, output_dir):
+    campaign.qscan_sni_v4, campaign.qscan_nosni_v4  # warm scans
+    result = benchmark.pedantic(fig8, args=(campaign,), rounds=1, iterations=1)
+    emit(output_dir, result)
+    rows = {row[0]: row for row in result.rows}
+    # no-SNI successes cover many ASes (paper: 93 % of all seen ASes).
+    assert rows["[IPv4] no SNI"][2] > 100
+    # SNI successes concentrate (Cloudflare share, paper: 82.3 %).
+    assert rows["[IPv4] SNI"][3] > 0.2
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig9(benchmark, campaign, output_dir):
+    campaign.qscan_sni_v4, campaign.qscan_nosni_v4
+    result = benchmark.pedantic(fig9, args=(campaign,), rounds=1, iterations=1)
+    emit(output_dir, result)
+    # The paper observes 45 configurations; the campaign must surface
+    # (nearly) the whole catalogue.
+    assert len(result.rows) >= 40
+    targets = [row[1] for row in result.rows]
+    ases = [row[2] for row in result.rows]
+    # Rank 0 dominates targets (Cloudflare config).
+    assert targets[0] > 10 * targets[5]
+    # A sizeable set of configurations is single-AS (paper: 20 of 45).
+    assert sum(1 for a in ases if a == 1) >= 10
+    # And a few configurations span many ASes (the edge POPs).
+    assert max(ases) > 50

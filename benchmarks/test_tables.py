@@ -1,0 +1,102 @@
+"""Benchmarks T1-T6: regenerate every table of the paper's evaluation."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.tables import table1, table2, table3, table4, table5, table6
+from repro.scanners.results import QScanOutcome
+
+
+def _warm(campaign):
+    """Force the scan stages once so benchmarks time the analysis."""
+    campaign.qscan_sni_v4
+    campaign.qscan_nosni_v4
+    campaign.qscan_sni_v6
+    campaign.qscan_nosni_v6
+    campaign.goscanner_nosni_v4
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1(benchmark, campaign, output_dir):
+    _warm(campaign)
+    result = benchmark(table1, campaign)
+    emit(output_dir, result)
+    rows = {(r[0], r[1]): r for r in result.rows}
+    # ZMap finds the most IPv4 addresses; HTTPS RRs the fewest (paper).
+    assert rows[("ZMap", "IPv4")][2] > rows[("ALT-SVC", "IPv4")][2]
+    assert rows[("ALT-SVC", "IPv4")][2] > rows[("HTTPS", "IPv4")][2]
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2(benchmark, campaign, output_dir):
+    _warm(campaign)
+    result = benchmark(table2, campaign, 4, "zmap")
+    emit(output_dir, result)
+    names = [row[1] for row in result.rows]
+    # Paper Table 2 (ZMap v4): Cloudflare, Google, Akamai, Fastly, CF London.
+    assert names[0] == "Cloudflare, Inc."
+    assert names[1] == "Google LLC"
+    assert names[2] == "Akamai International B.V."
+    assert names[3] == "Fastly"
+    emit(output_dir, table2(campaign, 6, "zmap"))
+    emit(output_dir, table2(campaign, 4, "https"))
+    emit(output_dir, table2(campaign, 6, "alt-svc"))
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table3(benchmark, campaign, output_dir):
+    _warm(campaign)
+    result = benchmark(table3, campaign)
+    emit(output_dir, result)
+    by_label = {row[0]: row for row in result.rows}
+    # The paper's qualitative shape: SNI success >> no-SNI success; the
+    # no-SNI failure ordering is 0x128 > timeout > VM > other.
+    assert by_label["Success"][2] > 2 * by_label["Success"][1]
+    assert by_label["Crypto Error (0x128)"][1] > by_label["Timeout"][1]
+    assert by_label["Timeout"][1] > by_label["Version Mismatch"][1]
+    assert by_label["Version Mismatch"][1] > by_label["Other"][1]
+    # IPv6 no-SNI: 0x128 dominates, success ~2x the v4 one.
+    assert by_label["Crypto Error (0x128)"][3] > 40
+    assert by_label["Success"][3] > by_label["Success"][1]
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table4(benchmark, campaign, output_dir):
+    _warm(campaign)
+    result = benchmark(table4, campaign)
+    emit(output_dir, result)
+    v4 = {row[0]: row[3] for row in result.rows if row[1] == "IPv4"}
+    # HTTPS-RR targets succeed less often than the other two sources.
+    assert v4["https-rr"] < v4["zmap+dns"]
+    assert v4["https-rr"] < v4["alt-svc"]
+    assert 70 < v4["zmap+dns"] < 95
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table5(benchmark, campaign, output_dir):
+    _warm(campaign)
+    result = benchmark(table5, campaign)
+    emit(output_dir, result)
+    rows = {row[0]: row for row in result.rows}
+    # Certificates: low parity without SNI (Google self-signed quirk),
+    # near-total parity with SNI.  Group/cipher always agree.
+    assert rows["Certificate"][1] < 50
+    assert rows["Certificate"][2] > 95
+    assert rows["Key Exchange Group"][2] == 100.0
+    assert rows["Cipher"][2] == 100.0
+    assert rows["Extensions"][1] < rows["Extensions"][2]
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table6(benchmark, campaign, output_dir):
+    _warm(campaign)
+    result = benchmark(table6, campaign)
+    emit(output_dir, result)
+    values = [row[0] for row in result.rows]
+    assert values[:2] == ["proxygen-bolt", "gvs 1.0"]
+    assert "LiteSpeed" in values and "nginx" in values
+    by_value = {row[0]: row for row in result.rows}
+    assert by_value["proxygen-bolt"][3] == 4  # four Facebook configs
+    assert by_value["gvs 1.0"][3] == 1
+    # nginx pairs with many configurations (paper: 16).
+    assert by_value["nginx"][3] >= 8

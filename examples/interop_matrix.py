@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""The interop matrix (after Seemann & Iyengar's Interop Runner).
+
+The paper validates its QScanner against the public Interop Runner
+(§3.4).  This example runs the reproduction's equivalent: three client
+flavours against all eleven simulated server implementation profiles
+across six test cases (handshake, transport parameters, HTTP/3, Retry
+address validation, version negotiation, ChaCha20-Poly1305).
+
+Run:  python examples/interop_matrix.py
+"""
+
+from repro.interop import InteropRunner
+
+
+def main() -> None:
+    result = InteropRunner(seed=0).run()
+    print(result.render())
+    if result.failures():
+        print("\nfailures:")
+        for client, server, case in result.failures():
+            print(f"  {client} x {server}: {case}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Reproduction of "It's Over 9000: Analyzing Early QUIC Deployments with
+the Standardization on the Horizon" (Zirngibl et al., IMC 2021).
+
+The package provides:
+
+- a from-scratch QUIC (RFC 9000/9001) and TLS 1.3 (RFC 8446) stack in
+  pure Python (:mod:`repro.quic`, :mod:`repro.tls`, :mod:`repro.crypto`),
+- a deterministic simulated Internet substrate (:mod:`repro.netsim`,
+  :mod:`repro.internet`, :mod:`repro.server`, :mod:`repro.dns`,
+  :mod:`repro.http`),
+- the paper's measurement tool set (:mod:`repro.scanners`): the stateless
+  ZMap QUIC module, DNS scans for HTTPS/SVCB resource records, stateful
+  TLS-over-TCP scans harvesting Alt-Svc headers, and the stateful
+  QScanner, and
+- the analysis pipeline regenerating every table and figure of the
+  paper's evaluation (:mod:`repro.analysis`, :mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

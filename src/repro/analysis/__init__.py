@@ -1,0 +1,30 @@
+"""Analysis pipeline: joins, per-AS views, version/ALPN analytics,
+TLS parity comparison and transport-parameter fingerprinting.
+
+Everything in this package works purely on scan-result records — the
+generated ground truth is never consulted, mirroring how the paper's
+authors could only observe the Internet from the outside.
+"""
+
+from repro.analysis.asview import as_distribution, rank_cdf, top_providers
+from repro.analysis.joins import join_dns_addresses, overlap_matrix
+from repro.analysis.tables import render_table
+from repro.analysis.tparams import (
+    config_distribution,
+    server_value_summary,
+)
+from repro.analysis.versions import alpn_set_shares, version_set_shares, version_support
+
+__all__ = [
+    "as_distribution",
+    "rank_cdf",
+    "top_providers",
+    "join_dns_addresses",
+    "overlap_matrix",
+    "render_table",
+    "config_distribution",
+    "server_value_summary",
+    "alpn_set_shares",
+    "version_set_shares",
+    "version_support",
+]

@@ -1,0 +1,76 @@
+"""Per-AS aggregation: provider rankings and rank-CDFs (Tables 2, 7;
+Figures 4 and 8)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.netsim.addresses import Address
+from repro.netsim.asn import AsRegistry
+
+__all__ = ["as_distribution", "rank_cdf", "top_providers", "ProviderRow"]
+
+
+def as_distribution(
+    addresses: Iterable[Address], registry: AsRegistry
+) -> Counter:
+    """Count addresses per originating AS."""
+    counts: Counter = Counter()
+    for address in addresses:
+        counts[registry.origin(address)] += 1
+    return counts
+
+
+def rank_cdf(counts: Mapping[Optional[int], int]) -> List[Tuple[int, float]]:
+    """(rank, cumulative share) points, ASes ranked by address count.
+
+    This is the CDF of Figures 4 and 8 — e.g. the first point gives the
+    share of addresses covered by the top AS.
+    """
+    ordered = sorted(counts.values(), reverse=True)
+    total = sum(ordered)
+    points: List[Tuple[int, float]] = []
+    cumulative = 0
+    for rank, value in enumerate(ordered, start=1):
+        cumulative += value
+        points.append((rank, cumulative / total if total else 0.0))
+    return points
+
+
+@dataclass
+class ProviderRow:
+    rank: int
+    asn: Optional[int]
+    name: str
+    addresses: int
+    domains: int
+
+
+def top_providers(
+    addresses: Iterable[Address],
+    registry: AsRegistry,
+    domains_of: Optional[Mapping[Address, Sequence[str]]] = None,
+    limit: int = 5,
+) -> List[ProviderRow]:
+    """The Table 2 rows: top ASes by address count with domain joins."""
+    address_counts: Counter = Counter()
+    domain_sets: Dict[Optional[int], set] = defaultdict(set)
+    for address in addresses:
+        asn = registry.origin(address)
+        address_counts[asn] += 1
+        if domains_of is not None:
+            domain_sets[asn].update(domains_of.get(address, ()))
+    rows = []
+    for rank, (asn, count) in enumerate(address_counts.most_common(limit), start=1):
+        rows.append(
+            ProviderRow(
+                rank=rank,
+                asn=asn,
+                name=registry.name_of(asn),
+                addresses=count,
+                domains=len(domain_sets.get(asn, ())),
+            )
+        )
+    return rows

@@ -1,0 +1,141 @@
+"""Implementation fingerprinting from scan observables (paper §7).
+
+The paper's discussion argues that QUIC's combination of
+transport, TLS and HTTP functionality in one user-space stack makes
+deployments unusually fingerprintable: transport-parameter
+configurations, TLS alert wording and HTTP ``Server`` values each leak
+implementation identity, and combining them identifies even unlabelled
+edge deployments.
+
+:class:`QuicFingerprinter` operationalises that observation as a
+rule-learning classifier:
+
+- it is *trained* on labelled scan records (in the simulation, labels
+  come from the generated ground truth — the one analysis step allowed
+  to touch it, because it evaluates the classifier, not the paper's
+  results),
+- each feature class can be switched off, so the ablation experiment
+  can quantify how much each layer (transport parameters / TLS alert
+  wording / HTTP Server header) contributes to accuracy — the paper's
+  "more layers, more fingerprintable" claim.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.scanners.results import QScanRecord
+
+__all__ = ["FingerprintFeatures", "QuicFingerprinter", "evaluate_fingerprinter"]
+
+
+@dataclass(frozen=True)
+class FingerprintFeatures:
+    """Which observable layers the classifier may use."""
+
+    transport_params: bool = True
+    alert_text: bool = True
+    server_header: bool = True
+
+    def describe(self) -> str:
+        enabled = [
+            name
+            for name, on in (
+                ("tparams", self.transport_params),
+                ("alerts", self.alert_text),
+                ("server", self.server_header),
+            )
+            if on
+        ]
+        return "+".join(enabled) if enabled else "(none)"
+
+
+def _features_of(record: QScanRecord, which: FingerprintFeatures) -> Tuple:
+    """The feature tuple a record exposes to the classifier."""
+    parts: List = []
+    if which.transport_params:
+        parts.append(("tparams", record.transport_params_fingerprint))
+    if which.alert_text:
+        parts.append(("alert", record.error_reason))
+    if which.server_header:
+        parts.append(("server", record.server_header))
+    return tuple(parts)
+
+
+class QuicFingerprinter:
+    """A majority-vote lookup classifier over observable feature tuples.
+
+    Deliberately simple: the paper's point is that the *observables*
+    are discriminative, not that sophisticated learning is needed.  A
+    record whose exact feature tuple was never seen falls back to
+    progressively coarser sub-tuples (dropping features right to left)
+    and finally to the globally most common label.
+    """
+
+    def __init__(self, features: Optional[FingerprintFeatures] = None):
+        self.features = features or FingerprintFeatures()
+        self._tables: List[Dict[Tuple, Counter]] = []
+        self._fallback: Counter = Counter()
+        self._trained = False
+
+    def train(self, records: Iterable[QScanRecord], labels: Sequence[str]) -> None:
+        records = list(records)
+        if len(records) != len(labels):
+            raise ValueError("records and labels must align")
+        depth = len(_features_of(records[0], self.features)) if records else 0
+        self._tables = [defaultdict(Counter) for _ in range(depth)]
+        for record, label in zip(records, labels):
+            feature_tuple = _features_of(record, self.features)
+            self._fallback[label] += 1
+            for level in range(depth):
+                prefix = feature_tuple[: level + 1]
+                self._tables[level][prefix][label] += 1
+        self._trained = True
+
+    def classify(self, record: QScanRecord) -> Optional[str]:
+        """Most likely implementation label, or None if untrained/empty."""
+        if not self._trained:
+            raise RuntimeError("classifier not trained")
+        feature_tuple = _features_of(record, self.features)
+        # Longest matching prefix wins.
+        for level in range(len(self._tables) - 1, -1, -1):
+            votes = self._tables[level].get(feature_tuple[: level + 1])
+            if votes:
+                return votes.most_common(1)[0][0]
+        if self._fallback:
+            return self._fallback.most_common(1)[0][0]
+        return None
+
+    def distinct_signatures(self) -> int:
+        """How many distinct full feature tuples the training set had."""
+        if not self._tables:
+            return 0
+        return len(self._tables[-1])
+
+
+def evaluate_fingerprinter(
+    train_records: Sequence[QScanRecord],
+    train_labels: Sequence[str],
+    test_records: Sequence[QScanRecord],
+    test_labels: Sequence[str],
+    features: Optional[FingerprintFeatures] = None,
+) -> Dict[str, float]:
+    """Train/evaluate; returns accuracy plus per-label recall."""
+    classifier = QuicFingerprinter(features)
+    classifier.train(train_records, train_labels)
+    correct = 0
+    per_label_total: Counter = Counter()
+    per_label_correct: Counter = Counter()
+    for record, label in zip(test_records, test_labels):
+        prediction = classifier.classify(record)
+        per_label_total[label] += 1
+        if prediction == label:
+            correct += 1
+            per_label_correct[label] += 1
+    total = len(test_records) or 1
+    result = {"accuracy": correct / total, "signatures": float(classifier.distinct_signatures())}
+    for label in per_label_total:
+        result[f"recall:{label}"] = per_label_correct[label] / per_label_total[label]
+    return result

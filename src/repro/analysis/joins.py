@@ -1,0 +1,77 @@
+"""Joining scan sources (§4): DNS resolutions x addresses, and the
+overlap analysis between ZMap, Alt-Svc and HTTPS-RR discoveries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.netsim.addresses import Address
+from repro.scanners.results import DnsScanRecord
+
+__all__ = ["join_dns_addresses", "DnsJoin", "overlap_matrix"]
+
+
+class DnsJoin:
+    """Bidirectional domain <-> address maps built from DNS scans."""
+
+    def __init__(self):
+        self.domains_of: Dict[Address, List[str]] = defaultdict(list)
+        self.v4_of: Dict[str, List[Address]] = defaultdict(list)
+        self.v6_of: Dict[str, List[Address]] = defaultdict(list)
+
+    def domains_for(self, address: Address) -> List[str]:
+        return self.domains_of.get(address, [])
+
+    @property
+    def domain_count(self) -> int:
+        return len(set(self.v4_of) | set(self.v6_of))
+
+
+def join_dns_addresses(records: Iterable[DnsScanRecord]) -> DnsJoin:
+    """Build the A/AAAA join used to attach SNIs to scanned addresses."""
+    join = DnsJoin()
+    seen: Set[Tuple[str, Address]] = set()
+    for record in records:
+        for address in record.a:
+            if (record.domain, address) not in seen:
+                seen.add((record.domain, address))
+                join.domains_of[address].append(record.domain)
+                join.v4_of[record.domain].append(address)
+        for address in record.aaaa:
+            if (record.domain, address) not in seen:
+                seen.add((record.domain, address))
+                join.domains_of[address].append(record.domain)
+                join.v6_of[record.domain].append(address)
+    return join
+
+
+def overlap_matrix(
+    sources: Mapping[str, Iterable[Address]]
+) -> Dict[str, int]:
+    """Unique/overlap counts between discovery sources (§4).
+
+    Returns a dict with one entry per source named ``only:<name>``
+    (addresses seen by that source exclusively), every pairwise
+    ``both:<a>+<b>`` intersection count and ``all`` for the
+    intersection of all sources.
+    """
+    sets = {name: set(addresses) for name, addresses in sources.items()}
+    result: Dict[str, int] = {}
+    names = sorted(sets)
+    for name in names:
+        others: Set[Address] = set()
+        for other_name in names:
+            if other_name != name:
+                others |= sets[other_name]
+        result[f"only:{name}"] = len(sets[name] - others)
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            result[f"both:{first}+{second}"] = len(sets[first] & sets[second])
+    intersection = None
+    for name in names:
+        intersection = sets[name] if intersection is None else intersection & sets[name]
+    result["all"] = len(intersection or set())
+    result["union"] = len(set().union(*sets.values())) if sets else 0
+    return result

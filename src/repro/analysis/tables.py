@@ -1,0 +1,40 @@
+"""Plain-text table rendering for the experiment harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table (monospace, paper-style)."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, points: Iterable[Sequence[object]]) -> str:
+    """Render a figure's data series as aligned columns."""
+    lines = [title]
+    for point in points:
+        lines.append("  " + "  ".join(_fmt(value) for value in point))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

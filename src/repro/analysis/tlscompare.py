@@ -1,0 +1,106 @@
+"""TLS parity between QUIC and TLS-over-TCP (Table 5, §5.1).
+
+For the same target (address, or address+SNI), compares the TLS
+properties collected by the QScanner and by the Goscanner:
+certificate, TLS version, key-exchange group, cipher and the set of
+extensions the server returned.  Rows after the TLS version are
+conditioned on the TCP side also having negotiated TLS 1.3, exactly as
+the paper's table footnote states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.scanners.results import GoscannerRecord, QScanRecord
+
+__all__ = ["TlsParity", "compare_tls", "cross_protocol_failures"]
+
+
+@dataclass
+class TlsParity:
+    """Share of targets (%) with identical properties on both stacks."""
+
+    pairs_compared: int = 0
+    certificate: float = 0.0
+    tls_version: float = 0.0
+    key_exchange_group: float = 0.0
+    cipher: float = 0.0
+    extensions: float = 0.0
+
+    def as_rows(self) -> List[Tuple[str, float]]:
+        return [
+            ("Certificate", self.certificate),
+            ("TLS Version", self.tls_version),
+            ("Key Exchange Group", self.key_exchange_group),
+            ("Cipher", self.cipher),
+            ("Extensions", self.extensions),
+        ]
+
+
+def _key(record) -> Tuple:
+    return (record.address, record.sni)
+
+
+def compare_tls(
+    quic_records: Iterable[QScanRecord],
+    tcp_records: Iterable[GoscannerRecord],
+) -> TlsParity:
+    tcp_by_key: Dict[Tuple, GoscannerRecord] = {
+        _key(record): record for record in tcp_records if record.success
+    }
+    parity = TlsParity()
+    cert_match = version_match = group_match = cipher_match = ext_match = 0
+    tls13_pairs = 0
+    for quic in quic_records:
+        if not quic.is_success:
+            continue
+        tcp = tcp_by_key.get(_key(quic))
+        if tcp is None:
+            continue
+        parity.pairs_compared += 1
+        if quic.certificate_fingerprint == tcp.certificate_fingerprint:
+            cert_match += 1
+        if quic.tls_version == tcp.tls_version:
+            version_match += 1
+        # Remaining rows only where TCP also spoke TLS 1.3.
+        if tcp.tls_version != "TLS1.3":
+            continue
+        tls13_pairs += 1
+        if quic.key_exchange_group == tcp.key_exchange_group:
+            group_match += 1
+        if quic.cipher_suite == tcp.cipher_suite:
+            cipher_match += 1
+        if set(quic.server_extensions) == set(tcp.server_extensions):
+            ext_match += 1
+    if parity.pairs_compared:
+        parity.certificate = 100.0 * cert_match / parity.pairs_compared
+        parity.tls_version = 100.0 * version_match / parity.pairs_compared
+    if tls13_pairs:
+        parity.key_exchange_group = 100.0 * group_match / tls13_pairs
+        parity.cipher = 100.0 * cipher_match / tls13_pairs
+        parity.extensions = 100.0 * ext_match / tls13_pairs
+    return parity
+
+
+def cross_protocol_failures(
+    quic_records: Iterable[QScanRecord],
+    tcp_records: Iterable[GoscannerRecord],
+) -> Dict[str, int]:
+    """§5.1 counts: targets where one stack succeeds and the other fails."""
+    tcp_by_key = {_key(record): record for record in tcp_records}
+    counts = {"tcp_ok_quic_fail": 0, "quic_ok_tcp_fail": 0, "both_ok": 0, "both_fail": 0}
+    for quic in quic_records:
+        tcp = tcp_by_key.get(_key(quic))
+        if tcp is None:
+            continue
+        if quic.is_success and tcp.success:
+            counts["both_ok"] += 1
+        elif quic.is_success:
+            counts["quic_ok_tcp_fail"] += 1
+        elif tcp.success:
+            counts["tcp_ok_quic_fail"] += 1
+        else:
+            counts["both_fail"] += 1
+    return counts

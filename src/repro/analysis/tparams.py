@@ -1,0 +1,142 @@
+"""Transport-parameter fingerprinting and edge-POP detection (§5.2,
+Table 6, Figure 9)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.netsim.asn import AsRegistry
+from repro.scanners.results import QScanRecord
+
+__all__ = [
+    "config_distribution",
+    "server_value_summary",
+    "edge_pop_candidates",
+    "as_diversity",
+    "ConfigStats",
+    "ServerValueRow",
+]
+
+
+@dataclass
+class ConfigStats:
+    """One transport-parameter configuration's footprint (Fig. 9)."""
+
+    rank: int
+    fingerprint: Tuple
+    targets: int
+    ases: int
+
+
+def config_distribution(
+    records: Iterable[QScanRecord], registry: AsRegistry
+) -> List[ConfigStats]:
+    """Configurations ranked by target count, with AS spread (Fig. 9)."""
+    targets: Counter = Counter()
+    ases: Dict[Tuple, set] = defaultdict(set)
+    for record in records:
+        if not record.is_success or record.transport_params_fingerprint is None:
+            continue
+        fingerprint = record.transport_params_fingerprint
+        targets[fingerprint] += 1
+        ases[fingerprint].add(registry.origin(record.address))
+    stats = []
+    for rank, (fingerprint, count) in enumerate(targets.most_common()):
+        stats.append(
+            ConfigStats(
+                rank=rank,
+                fingerprint=fingerprint,
+                targets=count,
+                ases=len(ases[fingerprint]),
+            )
+        )
+    return stats
+
+
+@dataclass
+class ServerValueRow:
+    """One Table 6 row."""
+
+    server_value: str
+    ases: int
+    targets: int
+    parameter_configs: int
+
+
+def server_value_summary(
+    records: Iterable[QScanRecord], registry: AsRegistry, limit: int = 5
+) -> List[ServerValueRow]:
+    """Top HTTP Server values by AS spread (Table 6)."""
+    targets: Counter = Counter()
+    ases: Dict[str, set] = defaultdict(set)
+    configs: Dict[str, set] = defaultdict(set)
+    for record in records:
+        if not record.is_success or record.server_header is None:
+            continue
+        value = record.server_header
+        targets[value] += 1
+        ases[value].add(registry.origin(record.address))
+        if record.transport_params_fingerprint is not None:
+            configs[value].add(record.transport_params_fingerprint)
+    rows = [
+        ServerValueRow(
+            server_value=value,
+            ases=len(as_set),
+            targets=targets[value],
+            parameter_configs=len(configs[value]),
+        )
+        for value, as_set in ases.items()
+    ]
+    rows.sort(key=lambda row: row.ases, reverse=True)
+    return rows[:limit]
+
+
+def edge_pop_candidates(
+    records: Iterable[QScanRecord],
+    registry: AsRegistry,
+    min_ases: int = 10,
+) -> List[Tuple[str, Tuple, int]]:
+    """(server value, config fingerprint) pairs spread across many ASes.
+
+    The paper identifies Facebook and Google edge POPs by exactly this
+    signature: a fixed Server header + transport-parameter
+    configuration appearing in a large number of ASes outside the
+    provider's own network.
+    """
+    spread: Dict[Tuple[str, Tuple], set] = defaultdict(set)
+    for record in records:
+        if not record.is_success or record.server_header is None:
+            continue
+        if record.transport_params_fingerprint is None:
+            continue
+        key = (record.server_header, record.transport_params_fingerprint)
+        spread[key].add(registry.origin(record.address))
+    candidates = [
+        (server_value, fingerprint, len(as_set))
+        for (server_value, fingerprint), as_set in spread.items()
+        if len(as_set) >= min_ases
+    ]
+    candidates.sort(key=lambda item: item[2], reverse=True)
+    return candidates
+
+
+def as_diversity(
+    records: Iterable[QScanRecord], registry: AsRegistry
+) -> Dict[Optional[int], Dict[str, int]]:
+    """Per-AS diversity: distinct configurations and Server values (§5.2)."""
+    configs: Dict[Optional[int], set] = defaultdict(set)
+    servers: Dict[Optional[int], set] = defaultdict(set)
+    for record in records:
+        if not record.is_success:
+            continue
+        asn = registry.origin(record.address)
+        if record.transport_params_fingerprint is not None:
+            configs[asn].add(record.transport_params_fingerprint)
+        if record.server_header is not None:
+            servers[asn].add(record.server_header)
+    return {
+        asn: {"configs": len(configs[asn]), "server_values": len(servers[asn])}
+        for asn in set(configs) | set(servers)
+    }

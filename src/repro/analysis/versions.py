@@ -1,0 +1,80 @@
+"""Version and ALPN set analytics (Figures 5, 6 and 7)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.quic.versions import VersionRegistry, version_label
+from repro.scanners.results import GoscannerRecord, ZmapQuicRecord
+
+__all__ = [
+    "version_set_shares",
+    "version_support",
+    "alpn_set_shares",
+    "fold_rare",
+]
+
+
+def fold_rare(shares: Mapping[str, float], threshold: float = 0.01) -> Dict[str, float]:
+    """Fold entries below ``threshold`` into 'Other' (figure legends)."""
+    folded: Dict[str, float] = {}
+    other = 0.0
+    for key, value in shares.items():
+        if value < threshold:
+            other += value
+        else:
+            folded[key] = value
+    if other:
+        folded["Other"] = other
+    return folded
+
+
+def version_set_shares(
+    records: Iterable[ZmapQuicRecord], fold_threshold: float = 0.01
+) -> Dict[str, float]:
+    """Share of addresses per announced version *set* (Figure 5)."""
+    counts: Counter = Counter()
+    for record in records:
+        counts[VersionRegistry.set_label(record.versions)] += 1
+    total = sum(counts.values())
+    shares = {label: count / total for label, count in counts.items()} if total else {}
+    return fold_rare(shares, fold_threshold)
+
+
+def version_support(records: Iterable[ZmapQuicRecord]) -> Dict[str, float]:
+    """Share of addresses announcing each individual version (Figure 6)."""
+    counts: Counter = Counter()
+    total = 0
+    for record in records:
+        total += 1
+        for version in set(record.versions):
+            counts[version_label(version)] += 1
+    if not total:
+        return {}
+    return {label: count / total for label, count in counts.items()}
+
+
+def alpn_set_shares(
+    records: Iterable[GoscannerRecord],
+    domains_required: bool = True,
+    fold_threshold: float = 0.01,
+) -> Dict[str, float]:
+    """Share of (domain, address) targets per Alt-Svc ALPN set (Figure 7).
+
+    Only QUIC-indicating tokens are considered, and the set label joins
+    them sorted, comma separated, as in the paper's legend.
+    """
+    counts: Counter = Counter()
+    for record in records:
+        if domains_required and record.sni is None:
+            continue
+        tokens = sorted(
+            {entry.alpn for entry in record.alt_svc if entry.indicates_http3}
+        )
+        if not tokens:
+            continue
+        counts[",".join(tokens)] += 1
+    total = sum(counts.values())
+    shares = {label: count / total for label, count in counts.items()} if total else {}
+    return fold_rare(shares, fold_threshold)

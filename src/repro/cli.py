@@ -1,0 +1,202 @@
+"""Command line interface: ``quicrepro`` / ``python -m repro``.
+
+Subcommands:
+
+- ``world``       — build a simulated Internet and print its summary,
+- ``scan``        — run a full weekly campaign and print Tables 1/3/4,
+- ``experiment``  — regenerate one paper artefact (T1-T6, F3-F9, A1-A7, E1),
+- ``interop``     — run the client x server x case interop matrix,
+- ``report``      — regenerate everything (the EXPERIMENTS.md content).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import get_campaign
+from repro.experiments.ablations import (
+    ablation_crypto,
+    ablation_fingerprint,
+    ablation_padding,
+    ablation_rollout,
+    ablation_traffic,
+    centralization_analysis,
+    extension_resumption,
+    overlap_analysis,
+)
+from repro.experiments.figures import fig3, fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments.tables import table1, table2, table3, table4, table5, table6
+from repro.internet.providers import Scale
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "T1": table1,
+    "T2": table2,
+    "T3": table3,
+    "T4": table4,
+    "T5": table5,
+    "T6": table6,
+    "F3": fig3,
+    "F4": fig4,
+    "F5": fig5,
+    "F6": fig6,
+    "F7": fig7,
+    "F8": fig8,
+    "F9": fig9,
+    "A1": ablation_padding,
+    "A2": overlap_analysis,
+    "A3": ablation_rollout,
+    "A5": ablation_traffic,
+    "A6": ablation_fingerprint,
+    "A7": centralization_analysis,
+    "E1": extension_resumption,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--week", type=int, default=18, help="calendar week (default 18)")
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--scale", type=int, default=1000, help="address scale divisor (default 1000)"
+    )
+    parser.add_argument(
+        "--real-crypto",
+        action="store_true",
+        help="use real AES-GCM/X25519 everywhere (slower)",
+    )
+
+
+def _campaign(args):
+    return get_campaign(
+        week=args.week,
+        scale=Scale(addresses=args.scale, ases=max(1, args.scale // 50), domains=args.scale),
+        seed=args.seed,
+        fast_crypto=not args.real_crypto,
+    )
+
+
+def _cmd_world(args) -> int:
+    campaign = _campaign(args)
+    world = campaign.world
+    from collections import Counter
+
+    pools = Counter((d.pool, d.address.version) for d in world.deployments)
+    print(f"simulated Internet, week {world.week} (scale 1:{args.scale})")
+    print(f"  deployments: {len(world.deployments)}")
+    for (pool, version), count in sorted(pools.items()):
+        print(f"    IPv{version} {pool:>7}: {count}")
+    print(f"  autonomous systems: {len(world.as_registry)}")
+    print(f"  hosted domains: {len(world.zones)}")
+    print(f"  scan input lists: " + ", ".join(
+        f"{name} ({len(domains)})" for name, domains in world.input_lists.lists.items()
+    ))
+    print(f"  IPv6 hitlist: {len(world.ipv6_hitlist)} addresses")
+    print(f"  blocklist: {len(world.blocklist)} prefixes")
+    return 0
+
+
+def _cmd_scan(args) -> int:
+    campaign = _campaign(args)
+    for experiment in (table1, table3, table4):
+        print(experiment(campaign).render())
+        print()
+    if args.output:
+        from pathlib import Path
+
+        from repro.scanners.io import write_jsonl
+
+        directory = Path(args.output)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = {
+            "zmap-v4.jsonl": write_jsonl(campaign.zmap_v4, directory / "zmap-v4.jsonl"),
+            "zmap-v6.jsonl": write_jsonl(campaign.zmap_v6, directory / "zmap-v6.jsonl"),
+            "dns.jsonl": write_jsonl(campaign.all_dns_records, directory / "dns.jsonl"),
+            "tls-sni-v4.jsonl": write_jsonl(
+                campaign.goscanner_sni_v4, directory / "tls-sni-v4.jsonl"
+            ),
+            "qscan-nosni-v4.jsonl": write_jsonl(
+                campaign.qscan_nosni_v4, directory / "qscan-nosni-v4.jsonl"
+            ),
+            "qscan-sni-v4.jsonl": write_jsonl(
+                campaign.qscan_sni_v4, directory / "qscan-sni-v4.jsonl"
+            ),
+        }
+        for name, count in written.items():
+            print(f"wrote {count:>7} records to {directory / name}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    experiment_id = args.id.upper()
+    if experiment_id == "A4":
+        print(ablation_crypto(seed=args.seed).render())
+        return 0
+    runner = EXPERIMENTS.get(experiment_id)
+    if runner is None:
+        print(f"unknown experiment {args.id!r}; choose from {sorted(EXPERIMENTS)} or A4",
+              file=sys.stderr)
+        return 2
+    campaign = _campaign(args)
+    print(runner(campaign).render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    campaign = _campaign(args)
+    for experiment_id, runner in EXPERIMENTS.items():
+        print(runner(campaign).render())
+        print()
+    print(ablation_crypto(seed=args.seed).render())
+    return 0
+
+
+def _cmd_interop(args) -> int:
+    from repro.interop import InteropRunner
+
+    result = InteropRunner(seed=args.seed).run()
+    print(result.render())
+    return 0 if result.pass_rate() == 1.0 else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="quicrepro",
+        description="Reproduction of 'It's Over 9000' (IMC 2021): QUIC deployment scans over a simulated Internet",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    world_parser = subparsers.add_parser("world", help="build and summarise a simulated Internet")
+    _add_common(world_parser)
+    world_parser.set_defaults(func=_cmd_world)
+
+    scan_parser = subparsers.add_parser("scan", help="run a weekly campaign, print core tables")
+    _add_common(scan_parser)
+    scan_parser.add_argument(
+        "--output", default=None, help="directory for raw JSONL scan data"
+    )
+    scan_parser.set_defaults(func=_cmd_scan)
+
+    experiment_parser = subparsers.add_parser("experiment", help="regenerate one paper artefact")
+    experiment_parser.add_argument("id", help="experiment id: T1-T6, F3-F9, A1-A7, E1")
+    _add_common(experiment_parser)
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
+    report_parser = subparsers.add_parser("report", help="regenerate every table and figure")
+    _add_common(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
+
+    interop_parser = subparsers.add_parser(
+        "interop", help="run the client x server x case interop matrix"
+    )
+    interop_parser.add_argument("--seed", type=int, default=0)
+    interop_parser.set_defaults(func=_cmd_interop)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

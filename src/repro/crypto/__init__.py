@@ -1,0 +1,41 @@
+"""Cryptographic primitives implemented from scratch.
+
+The QUIC and TLS stacks in this repository depend only on the Python
+standard library.  Everything that is not in ``hashlib``/``hmac`` is
+implemented here:
+
+- :mod:`repro.crypto.aes` — the AES block cipher (128/192/256 bit keys),
+- :mod:`repro.crypto.gcm` — GHASH and AES-GCM authenticated encryption,
+- :mod:`repro.crypto.hkdf` — HKDF (RFC 5869) and the TLS 1.3
+  ``HKDF-Expand-Label`` construction (RFC 8446),
+- :mod:`repro.crypto.x25519` — the X25519 Diffie-Hellman function
+  (RFC 7748),
+- :mod:`repro.crypto.rsa` — RSA key generation and PKCS#1 v1.5
+  signatures used by the simulated certificate authority,
+- :mod:`repro.crypto.aead` — the pluggable AEAD interface used by the
+  QUIC/TLS record protection (real AES-GCM plus a documented fast
+  simulation mode for campaign-scale scans),
+- :mod:`repro.crypto.rand` — a deterministic DRBG so whole measurement
+  campaigns are reproducible from a single seed.
+"""
+
+from repro.crypto.aead import AeadAes128Gcm, AeadSim, aead_for_suite
+from repro.crypto.aes import AES
+from repro.crypto.gcm import AesGcm
+from repro.crypto.hkdf import hkdf_expand, hkdf_expand_label, hkdf_extract
+from repro.crypto.rand import DeterministicRandom
+from repro.crypto.x25519 import x25519, x25519_base
+
+__all__ = [
+    "AES",
+    "AesGcm",
+    "AeadAes128Gcm",
+    "AeadSim",
+    "aead_for_suite",
+    "DeterministicRandom",
+    "hkdf_extract",
+    "hkdf_expand",
+    "hkdf_expand_label",
+    "x25519",
+    "x25519_base",
+]

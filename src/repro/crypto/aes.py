@@ -1,0 +1,316 @@
+"""The AES block cipher (FIPS 197), implemented from scratch.
+
+Only encryption is required by this repository: AES-GCM uses the
+forward cipher for both directions (CTR mode), and QUIC header
+protection (RFC 9001 §5.4.3) applies the forward cipher to a sample of
+ciphertext.  Decryption of single blocks is provided for completeness
+and for tests.
+
+The implementation is table based (T-tables folded into the S-box and
+the MixColumns matrix) which keeps pure-Python performance acceptable
+for handshake-scale workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["AES"]
+
+# ---------------------------------------------------------------------------
+# S-box generation.  We derive the S-box from first principles (inverse in
+# GF(2^8) followed by the affine transform) rather than embedding a table of
+# magic numbers, and verify a couple of well-known entries at import time.
+# ---------------------------------------------------------------------------
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial."""
+    p = 0
+    for _ in range(8):
+        if b & 1:
+            p ^= a
+        carry = a & 0x80
+        a = (a << 1) & 0xFF
+        if carry:
+            a ^= 0x1B
+        b >>= 1
+    return p
+
+
+def _gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); inverse of 0 is defined as 0."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) == a^254 is the inverse (Fermat).
+    result = 1
+    base = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, base)
+        base = _gf_mul(base, base)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> Tuple[List[int], List[int]]:
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        x = _gf_inv(value)
+        # Affine transform: bitwise rotations of x XORed together plus 0x63.
+        y = x
+        for shift in (1, 2, 3, 4):
+            y ^= ((x << shift) | (x >> (8 - shift))) & 0xFF
+        y ^= 0x63
+        sbox[value] = y
+        inv_sbox[y] = value
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+assert _SBOX[0x00] == 0x63 and _SBOX[0x53] == 0xED, "AES S-box self-check failed"
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_gf_mul(_RCON[-1], 0x02))
+
+
+def _build_tables() -> Tuple[List[int], List[int], List[int], List[int]]:
+    """Build the four encryption T-tables (S-box + MixColumns combined)."""
+    t0, t1, t2, t3 = [], [], [], []
+    for value in range(256):
+        s = _SBOX[value]
+        s2 = _gf_mul(s, 2)
+        s3 = _gf_mul(s, 3)
+        word = (s2 << 24) | (s << 16) | (s << 8) | s3
+        t0.append(word)
+        t1.append(((word >> 8) | (word << 24)) & 0xFFFFFFFF)
+        t2.append(((word >> 16) | (word << 16)) & 0xFFFFFFFF)
+        t3.append(((word >> 24) | (word << 8)) & 0xFFFFFFFF)
+    return t0, t1, t2, t3
+
+
+_T0, _T1, _T2, _T3 = _build_tables()
+
+
+def _build_inverse_tables() -> Tuple[List[int], List[int], List[int], List[int]]:
+    """Build the four decryption T-tables (InvS-box + InvMixColumns)."""
+    d0, d1, d2, d3 = [], [], [], []
+    for value in range(256):
+        s = _INV_SBOX[value]
+        s9 = _gf_mul(s, 9)
+        sb = _gf_mul(s, 11)
+        sd = _gf_mul(s, 13)
+        se = _gf_mul(s, 14)
+        word = (se << 24) | (s9 << 16) | (sd << 8) | sb
+        d0.append(word)
+        d1.append(((word >> 8) | (word << 24)) & 0xFFFFFFFF)
+        d2.append(((word >> 16) | (word << 16)) & 0xFFFFFFFF)
+        d3.append(((word >> 24) | (word << 8)) & 0xFFFFFFFF)
+    return d0, d1, d2, d3
+
+
+_D0, _D1, _D2, _D3 = _build_inverse_tables()
+
+
+class AES:
+    """AES block cipher with a 128, 192 or 256 bit key.
+
+    >>> cipher = AES(bytes(16))
+    >>> cipher.encrypt_block(bytes(16)).hex()
+    '66e94bd4ef8a2c3b884cfa59ca342b2e'
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"invalid AES key length: {len(key)}")
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+        self._dec_round_keys = self._expand_decryption_key()
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[int]:
+        nk = len(key) // 4
+        rounds = {4: 10, 6: 12, 8: 14}[nk]
+        words = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(nk)]
+        for i in range(nk, 4 * (rounds + 1)):
+            temp = words[i - 1]
+            if i % nk == 0:
+                temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF  # RotWord
+                temp = (
+                    (_SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (_SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (_SBOX[(temp >> 8) & 0xFF] << 8)
+                    | _SBOX[temp & 0xFF]
+                )
+                temp ^= _RCON[i // nk - 1] << 24
+            elif nk > 6 and i % nk == 4:
+                temp = (
+                    (_SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (_SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (_SBOX[(temp >> 8) & 0xFF] << 8)
+                    | _SBOX[temp & 0xFF]
+                )
+            words.append(words[i - nk] ^ temp)
+        return words
+
+    def _expand_decryption_key(self) -> List[int]:
+        """Round keys for the equivalent inverse cipher (InvMixColumns applied)."""
+        rounds = self._rounds
+        rk = self._round_keys
+        dec: List[int] = [0] * len(rk)
+        for i in range(4):
+            dec[i] = rk[4 * rounds + i]
+            dec[4 * rounds + i] = rk[i]
+        for rnd in range(1, rounds):
+            for i in range(4):
+                word = rk[4 * (rounds - rnd) + i]
+                # Apply InvMixColumns to the word via the decryption tables
+                # composed with the forward S-box.
+                dec[4 * rnd + i] = (
+                    _D0[_SBOX[(word >> 24) & 0xFF]]
+                    ^ _D1[_SBOX[(word >> 16) & 0xFF]]
+                    ^ _D2[_SBOX[(word >> 8) & 0xFF]]
+                    ^ _D3[_SBOX[word & 0xFF]]
+                )
+        return dec
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES operates on 16-byte blocks")
+        rk = self._round_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        for rnd in range(1, self._rounds):
+            k = 4 * rnd
+            u0 = (
+                t0[(s0 >> 24) & 0xFF]
+                ^ t1[(s1 >> 16) & 0xFF]
+                ^ t2[(s2 >> 8) & 0xFF]
+                ^ t3[s3 & 0xFF]
+                ^ rk[k]
+            )
+            u1 = (
+                t0[(s1 >> 24) & 0xFF]
+                ^ t1[(s2 >> 16) & 0xFF]
+                ^ t2[(s3 >> 8) & 0xFF]
+                ^ t3[s0 & 0xFF]
+                ^ rk[k + 1]
+            )
+            u2 = (
+                t0[(s2 >> 24) & 0xFF]
+                ^ t1[(s3 >> 16) & 0xFF]
+                ^ t2[(s0 >> 8) & 0xFF]
+                ^ t3[s1 & 0xFF]
+                ^ rk[k + 2]
+            )
+            u3 = (
+                t0[(s3 >> 24) & 0xFF]
+                ^ t1[(s0 >> 16) & 0xFF]
+                ^ t2[(s1 >> 8) & 0xFF]
+                ^ t3[s2 & 0xFF]
+                ^ rk[k + 3]
+            )
+            s0, s1, s2, s3 = u0, u1, u2, u3
+        k = 4 * self._rounds
+        sbox = _SBOX
+        out0 = (
+            (sbox[(s0 >> 24) & 0xFF] << 24)
+            | (sbox[(s1 >> 16) & 0xFF] << 16)
+            | (sbox[(s2 >> 8) & 0xFF] << 8)
+            | sbox[s3 & 0xFF]
+        ) ^ rk[k]
+        out1 = (
+            (sbox[(s1 >> 24) & 0xFF] << 24)
+            | (sbox[(s2 >> 16) & 0xFF] << 16)
+            | (sbox[(s3 >> 8) & 0xFF] << 8)
+            | sbox[s0 & 0xFF]
+        ) ^ rk[k + 1]
+        out2 = (
+            (sbox[(s2 >> 24) & 0xFF] << 24)
+            | (sbox[(s3 >> 16) & 0xFF] << 16)
+            | (sbox[(s0 >> 8) & 0xFF] << 8)
+            | sbox[s1 & 0xFF]
+        ) ^ rk[k + 2]
+        out3 = (
+            (sbox[(s3 >> 24) & 0xFF] << 24)
+            | (sbox[(s0 >> 16) & 0xFF] << 16)
+            | (sbox[(s1 >> 8) & 0xFF] << 8)
+            | sbox[s2 & 0xFF]
+        ) ^ rk[k + 3]
+        return b"".join(x.to_bytes(4, "big") for x in (out0, out1, out2, out3))
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES operates on 16-byte blocks")
+        rk = self._dec_round_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        d0, d1, d2, d3 = _D0, _D1, _D2, _D3
+        for rnd in range(1, self._rounds):
+            k = 4 * rnd
+            u0 = (
+                d0[(s0 >> 24) & 0xFF]
+                ^ d1[(s3 >> 16) & 0xFF]
+                ^ d2[(s2 >> 8) & 0xFF]
+                ^ d3[s1 & 0xFF]
+                ^ rk[k]
+            )
+            u1 = (
+                d0[(s1 >> 24) & 0xFF]
+                ^ d1[(s0 >> 16) & 0xFF]
+                ^ d2[(s3 >> 8) & 0xFF]
+                ^ d3[s2 & 0xFF]
+                ^ rk[k + 1]
+            )
+            u2 = (
+                d0[(s2 >> 24) & 0xFF]
+                ^ d1[(s1 >> 16) & 0xFF]
+                ^ d2[(s0 >> 8) & 0xFF]
+                ^ d3[s3 & 0xFF]
+                ^ rk[k + 2]
+            )
+            u3 = (
+                d0[(s3 >> 24) & 0xFF]
+                ^ d1[(s2 >> 16) & 0xFF]
+                ^ d2[(s1 >> 8) & 0xFF]
+                ^ d3[s0 & 0xFF]
+                ^ rk[k + 3]
+            )
+            s0, s1, s2, s3 = u0, u1, u2, u3
+        k = 4 * self._rounds
+        inv = _INV_SBOX
+        out0 = (
+            (inv[(s0 >> 24) & 0xFF] << 24)
+            | (inv[(s3 >> 16) & 0xFF] << 16)
+            | (inv[(s2 >> 8) & 0xFF] << 8)
+            | inv[s1 & 0xFF]
+        ) ^ rk[k]
+        out1 = (
+            (inv[(s1 >> 24) & 0xFF] << 24)
+            | (inv[(s0 >> 16) & 0xFF] << 16)
+            | (inv[(s3 >> 8) & 0xFF] << 8)
+            | inv[s2 & 0xFF]
+        ) ^ rk[k + 1]
+        out2 = (
+            (inv[(s2 >> 24) & 0xFF] << 24)
+            | (inv[(s1 >> 16) & 0xFF] << 16)
+            | (inv[(s0 >> 8) & 0xFF] << 8)
+            | inv[s3 & 0xFF]
+        ) ^ rk[k + 2]
+        out3 = (
+            (inv[(s3 >> 24) & 0xFF] << 24)
+            | (inv[(s2 >> 16) & 0xFF] << 16)
+            | (inv[(s1 >> 8) & 0xFF] << 8)
+            | inv[s0 & 0xFF]
+        ) ^ rk[k + 3]
+        return b"".join(x.to_bytes(4, "big") for x in (out0, out1, out2, out3))

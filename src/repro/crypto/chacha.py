@@ -1,0 +1,129 @@
+"""ChaCha20 and Poly1305 (RFC 8439), from scratch.
+
+TLS 1.3 mandates support for ``TLS_CHACHA20_POLY1305_SHA256`` as a
+SHOULD; QUIC implementations commonly offer it alongside the AES-GCM
+suites, so the repository's TLS stack exposes it as a third real
+cipher suite.  Validated against the RFC 8439 test vectors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["chacha20_block", "chacha20_xor", "poly1305_mac", "ChaCha20Poly1305"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(value: int, count: int) -> int:
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _quarter_round(state: List[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """One 64-byte ChaCha20 keystream block (RFC 8439 §2.3)."""
+    if len(key) != 32:
+        raise ValueError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha20 nonce must be 12 bytes")
+    state = list(_CONSTANTS)
+    state += [int.from_bytes(key[i : i + 4], "little") for i in range(0, 32, 4)]
+    state.append(counter & _MASK32)
+    state += [int.from_bytes(nonce[i : i + 4], "little") for i in range(0, 12, 4)]
+    working = state[:]
+    for _ in range(10):
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    output = bytearray()
+    for original, mixed in zip(state, working):
+        output += ((original + mixed) & _MASK32).to_bytes(4, "little")
+    return bytes(output)
+
+
+def chacha20_xor(key: bytes, counter: int, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt by XOR with the ChaCha20 keystream."""
+    output = bytearray()
+    for block_index in range((len(data) + 63) // 64):
+        keystream = chacha20_block(key, counter + block_index, nonce)
+        chunk = data[block_index * 64 : block_index * 64 + 64]
+        output += bytes(a ^ b for a, b in zip(chunk, keystream))
+    return bytes(output)
+
+
+_P1305 = (1 << 130) - 5
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Poly1305 one-time authenticator (RFC 8439 §2.5)."""
+    if len(key) != 32:
+        raise ValueError("Poly1305 key must be 32 bytes")
+    r = int.from_bytes(key[:16], "little") & 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+    s = int.from_bytes(key[16:], "little")
+    accumulator = 0
+    for offset in range(0, len(message), 16):
+        chunk = message[offset : offset + 16]
+        block = int.from_bytes(chunk + b"\x01", "little")
+        accumulator = ((accumulator + block) * r) % _P1305
+    return ((accumulator + s) & ((1 << 128) - 1)).to_bytes(16, "little")
+
+
+def _pad16(data: bytes) -> bytes:
+    remainder = len(data) % 16
+    return data + bytes(16 - remainder) if remainder else data
+
+
+class ChaCha20Poly1305:
+    """The ChaCha20-Poly1305 AEAD (RFC 8439 §2.8)."""
+
+    tag_length = 16
+
+    def __init__(self, key: bytes):
+        if len(key) != 32:
+            raise ValueError("ChaCha20-Poly1305 key must be 32 bytes")
+        self._key = key
+
+    def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        otk = chacha20_block(self._key, 0, nonce)[:32]
+        mac_data = (
+            _pad16(aad)
+            + _pad16(ciphertext)
+            + len(aad).to_bytes(8, "little")
+            + len(ciphertext).to_bytes(8, "little")
+        )
+        return poly1305_mac(otk, mac_data)
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
+        ciphertext = chacha20_xor(self._key, 1, nonce, plaintext)
+        return ciphertext + self._tag(nonce, aad, ciphertext)
+
+    def open(self, nonce: bytes, data: bytes, aad: bytes) -> bytes:
+        from repro.crypto.aead import AeadError
+
+        if len(data) < self.tag_length:
+            raise AeadError("ciphertext shorter than tag")
+        ciphertext, tag = data[: -self.tag_length], data[-self.tag_length :]
+        expected = self._tag(nonce, aad, ciphertext)
+        import hmac as _hmac
+
+        if not _hmac.compare_digest(tag, expected):
+            raise AeadError("ChaCha20-Poly1305 tag mismatch")
+        return chacha20_xor(self._key, 1, nonce, ciphertext)

@@ -1,0 +1,60 @@
+"""HKDF (RFC 5869) and the TLS 1.3 HKDF-Expand-Label construction.
+
+These functions sit under both the TLS 1.3 key schedule (RFC 8446 §7.1)
+and QUIC packet protection key derivation (RFC 9001 §5.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf_expand_label"]
+
+
+def hkdf_extract(salt: bytes, ikm: bytes, hash_name: str = "sha256") -> bytes:
+    """HKDF-Extract: PRK = HMAC-Hash(salt, IKM)."""
+    if not salt:
+        salt = bytes(hashlib.new(hash_name).digest_size)
+    return hmac.new(salt, ikm, hash_name).digest()
+
+
+def hkdf_expand(
+    prk: bytes, info: bytes, length: int, hash_name: str = "sha256"
+) -> bytes:
+    """HKDF-Expand: derive ``length`` bytes of output keying material."""
+    hash_len = hashlib.new(hash_name).digest_size
+    if length > 255 * hash_len:
+        raise ValueError("HKDF-Expand output too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(prk, previous + info + bytes([counter]), hash_name).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf_expand_label(
+    secret: bytes,
+    label: bytes,
+    context: bytes,
+    length: int,
+    hash_name: str = "sha256",
+) -> bytes:
+    """TLS 1.3 HKDF-Expand-Label (RFC 8446 §7.1).
+
+    The label is prefixed with ``"tls13 "`` per the RFC; QUIC passes
+    labels such as ``b"quic key"`` through this same construction
+    (RFC 9001 §5.1).
+    """
+    full_label = b"tls13 " + label
+    hkdf_label = (
+        length.to_bytes(2, "big")
+        + bytes([len(full_label)])
+        + full_label
+        + bytes([len(context)])
+        + context
+    )
+    return hkdf_expand(secret, hkdf_label, length, hash_name)

@@ -1,0 +1,99 @@
+"""Minimal RSA with PKCS#1 v1.5 signatures, for the simulated PKI.
+
+The simulated certificate authority (:mod:`repro.tls.certificates`)
+signs leaf certificates with RSA.  Key sizes default to 1024 bits —
+small enough that pure-Python key generation stays fast at
+campaign scale, while exercising exactly the sign/verify code paths a
+real scanner validates.  Sizes are configurable for tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.primes import generate_prime
+
+__all__ = ["RsaPublicKey", "RsaPrivateKey", "generate_rsa_key", "SignatureError"]
+
+# DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
+_SHA256_DIGEST_INFO = bytes.fromhex("3031300d060960864801650304020105000420")
+
+
+class SignatureError(Exception):
+    """Raised when an RSA signature fails verification."""
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Verify a PKCS#1 v1.5 SHA-256 signature; raise on failure."""
+        if len(signature) != self.size_bytes:
+            raise SignatureError("signature length mismatch")
+        s = int.from_bytes(signature, "big")
+        if s >= self.n:
+            raise SignatureError("signature out of range")
+        em = pow(s, self.e, self.n).to_bytes(self.size_bytes, "big")
+        expected = _pkcs1_v15_encode(message, self.size_bytes)
+        if em != expected:
+            raise SignatureError("signature mismatch")
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return RsaPublicKey(self.n, self.e)
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def sign(self, message: bytes) -> bytes:
+        em = _pkcs1_v15_encode(message, self.size_bytes)
+        m = int.from_bytes(em, "big")
+        return pow(m, self.d, self.n).to_bytes(self.size_bytes, "big")
+
+
+def _pkcs1_v15_encode(message: bytes, em_len: int) -> bytes:
+    digest = hashlib.sha256(message).digest()
+    t = _SHA256_DIGEST_INFO + digest
+    if em_len < len(t) + 11:
+        raise ValueError("RSA modulus too small for PKCS#1 v1.5 SHA-256")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def generate_rsa_key(
+    bits: int = 1024, rng: Optional[random.Random] = None, e: int = 65537
+) -> RsaPrivateKey:
+    """Generate an RSA key pair with an exactly ``bits``-bit modulus."""
+    rng = rng or random.Random()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue
+        return RsaPrivateKey(n=n, e=e, d=d)

@@ -1,0 +1,27 @@
+"""DNS substrate: records, zones, authoritative data and resolution.
+
+The paper's DNS scans (§3.2) resolve toplists and CZDS zone files for
+the newly drafted ``HTTPS``/``SVCB`` resource records
+(draft-ietf-dnsop-svcb-https) plus ``A``/``AAAA`` used to join with the
+ZMap results and to seed IPv6 scans.  This package models:
+
+- :mod:`repro.dns.records` — record types with the SVCB/HTTPS SvcParams
+  (alpn, port, ipv4hint, ipv6hint) including their wire encoding,
+- :mod:`repro.dns.zones` — zone data and the authoritative store,
+- :mod:`repro.dns.resolver` — a resolver with qps accounting, the
+  MassDNS/Unbound stand-in used by the bulk scanner.
+"""
+
+from repro.dns.records import AaaaRecord, ARecord, HttpsRecord, SvcbRecord, SvcParams
+from repro.dns.resolver import Resolver
+from repro.dns.zones import ZoneStore
+
+__all__ = [
+    "ARecord",
+    "AaaaRecord",
+    "HttpsRecord",
+    "SvcbRecord",
+    "SvcParams",
+    "ZoneStore",
+    "Resolver",
+]

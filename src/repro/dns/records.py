@@ -1,0 +1,183 @@
+"""DNS resource records, including SVCB and HTTPS (draft-ietf-dnsop-svcb-https).
+
+The SVCB/HTTPS RDATA wire format is implemented faithfully (priority,
+target name, SvcParams in ascending key order) because the paper's
+lightweight-discovery argument rests on these records: a single
+recursive query yields ALPN values plus ``ipv4hint``/``ipv6hint``
+addresses, identifying QUIC endpoints without any transport probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netsim.addresses import IPv4Address, IPv6Address
+
+__all__ = [
+    "ARecord",
+    "AaaaRecord",
+    "SvcParams",
+    "SvcbRecord",
+    "HttpsRecord",
+    "encode_dns_name",
+    "decode_dns_name",
+]
+
+# SvcParamKey registry values from the draft.
+_KEY_ALPN = 1
+_KEY_PORT = 3
+_KEY_IPV4HINT = 4
+_KEY_IPV6HINT = 6
+
+
+def encode_dns_name(name: str) -> bytes:
+    if name in (".", ""):
+        return b"\x00"
+    out = b""
+    for label in name.rstrip(".").split("."):
+        raw = label.encode("idna") if any(ord(c) > 127 for c in label) else label.encode()
+        if not 0 < len(raw) < 64:
+            raise ValueError(f"bad DNS label: {label!r}")
+        out += bytes([len(raw)]) + raw
+    return out + b"\x00"
+
+
+def decode_dns_name(data: bytes, offset: int = 0) -> Tuple[str, int]:
+    labels = []
+    while True:
+        length = data[offset]
+        offset += 1
+        if length == 0:
+            break
+        labels.append(data[offset : offset + length].decode())
+        offset += length
+    return ".".join(labels) or ".", offset
+
+
+@dataclass(frozen=True)
+class ARecord:
+    name: str
+    address: IPv4Address
+    ttl: int = 300
+
+
+@dataclass(frozen=True)
+class AaaaRecord:
+    name: str
+    address: IPv6Address
+    ttl: int = 300
+
+
+@dataclass(frozen=True)
+class SvcParams:
+    """SvcParams of an SVCB/HTTPS record (alpn, port, address hints)."""
+
+    alpn: Tuple[str, ...] = ()
+    port: Optional[int] = None
+    ipv4hint: Tuple[IPv4Address, ...] = ()
+    ipv6hint: Tuple[IPv6Address, ...] = ()
+
+    def encode(self) -> bytes:
+        parts: List[Tuple[int, bytes]] = []
+        if self.alpn:
+            value = b"".join(
+                bytes([len(a.encode())]) + a.encode() for a in self.alpn
+            )
+            parts.append((_KEY_ALPN, value))
+        if self.port is not None:
+            parts.append((_KEY_PORT, self.port.to_bytes(2, "big")))
+        if self.ipv4hint:
+            parts.append(
+                (_KEY_IPV4HINT, b"".join(a.value.to_bytes(4, "big") for a in self.ipv4hint))
+            )
+        if self.ipv6hint:
+            parts.append(
+                (_KEY_IPV6HINT, b"".join(a.value.to_bytes(16, "big") for a in self.ipv6hint))
+            )
+        # SvcParams MUST appear in ascending key order.
+        out = b""
+        for key, value in sorted(parts):
+            out += key.to_bytes(2, "big") + len(value).to_bytes(2, "big") + value
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SvcParams":
+        offset = 0
+        alpn: List[str] = []
+        port = None
+        v4: List[IPv4Address] = []
+        v6: List[IPv6Address] = []
+        previous_key = -1
+        while offset < len(data):
+            key = int.from_bytes(data[offset : offset + 2], "big")
+            if key <= previous_key:
+                raise ValueError("SvcParams not in ascending key order")
+            previous_key = key
+            length = int.from_bytes(data[offset + 2 : offset + 4], "big")
+            value = data[offset + 4 : offset + 4 + length]
+            offset += 4 + length
+            if key == _KEY_ALPN:
+                pos = 0
+                while pos < len(value):
+                    alen = value[pos]
+                    alpn.append(value[pos + 1 : pos + 1 + alen].decode())
+                    pos += 1 + alen
+            elif key == _KEY_PORT:
+                port = int.from_bytes(value, "big")
+            elif key == _KEY_IPV4HINT:
+                v4.extend(
+                    IPv4Address(int.from_bytes(value[i : i + 4], "big"))
+                    for i in range(0, len(value), 4)
+                )
+            elif key == _KEY_IPV6HINT:
+                v6.extend(
+                    IPv6Address(int.from_bytes(value[i : i + 16], "big"))
+                    for i in range(0, len(value), 16)
+                )
+        return cls(alpn=tuple(alpn), port=port, ipv4hint=tuple(v4), ipv6hint=tuple(v6))
+
+
+@dataclass(frozen=True)
+class SvcbRecord:
+    """A generic SVCB record (ServiceMode when priority > 0)."""
+
+    name: str
+    priority: int
+    target: str
+    params: SvcParams = field(default_factory=SvcParams)
+    ttl: int = 300
+
+    rr_type = "SVCB"
+
+    def encode_rdata(self) -> bytes:
+        return (
+            self.priority.to_bytes(2, "big")
+            + encode_dns_name(self.target)
+            + self.params.encode()
+        )
+
+    @classmethod
+    def decode_rdata(cls, name: str, data: bytes) -> "SvcbRecord":
+        priority = int.from_bytes(data[0:2], "big")
+        target, offset = decode_dns_name(data, 2)
+        params = SvcParams.decode(data[offset:])
+        return cls(name=name, priority=priority, target=target, params=params)
+
+    @property
+    def is_alias(self) -> bool:
+        return self.priority == 0
+
+
+@dataclass(frozen=True)
+class HttpsRecord(SvcbRecord):
+    """The HTTPS variant of SVCB, the record the paper scans for."""
+
+    rr_type = "HTTPS"
+
+    @classmethod
+    def decode_rdata(cls, name: str, data: bytes) -> "HttpsRecord":
+        base = SvcbRecord.decode_rdata(name, data)
+        return cls(
+            name=base.name, priority=base.priority, target=base.target, params=base.params
+        )

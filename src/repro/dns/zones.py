@@ -1,0 +1,61 @@
+"""Zone data: the authoritative DNS content of the simulated Internet.
+
+The generator (:mod:`repro.internet.generator`) fills a
+:class:`ZoneStore` with A/AAAA records for every hosted domain and —
+for deployments that have adopted the draft — HTTPS records carrying
+ALPN values and address hints.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.dns.records import AaaaRecord, ARecord, HttpsRecord, SvcbRecord
+
+__all__ = ["ZoneStore"]
+
+
+class ZoneStore:
+    """All authoritative records, keyed by owner name and type."""
+
+    def __init__(self):
+        self._a: Dict[str, List[ARecord]] = defaultdict(list)
+        self._aaaa: Dict[str, List[AaaaRecord]] = defaultdict(list)
+        self._https: Dict[str, List[HttpsRecord]] = defaultdict(list)
+        self._svcb: Dict[str, List[SvcbRecord]] = defaultdict(list)
+
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.rstrip(".").lower()
+
+    def add_a(self, record: ARecord) -> None:
+        self._a[self._key(record.name)].append(record)
+
+    def add_aaaa(self, record: AaaaRecord) -> None:
+        self._aaaa[self._key(record.name)].append(record)
+
+    def add_https(self, record: HttpsRecord) -> None:
+        self._https[self._key(record.name)].append(record)
+
+    def add_svcb(self, record: SvcbRecord) -> None:
+        self._svcb[self._key(record.name)].append(record)
+
+    def lookup_a(self, name: str) -> List[ARecord]:
+        return list(self._a.get(self._key(name), ()))
+
+    def lookup_aaaa(self, name: str) -> List[AaaaRecord]:
+        return list(self._aaaa.get(self._key(name), ()))
+
+    def lookup_https(self, name: str) -> List[HttpsRecord]:
+        return list(self._https.get(self._key(name), ()))
+
+    def lookup_svcb(self, name: str) -> List[SvcbRecord]:
+        return list(self._svcb.get(self._key(name), ()))
+
+    def domains(self) -> List[str]:
+        names = set(self._a) | set(self._aaaa) | set(self._https) | set(self._svcb)
+        return sorted(names)
+
+    def __len__(self) -> int:
+        return len(set(self._a) | set(self._aaaa) | set(self._https) | set(self._svcb))

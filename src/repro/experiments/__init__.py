@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper table/figure, driven by a
+cached weekly scan campaign (:mod:`repro.experiments.campaign`).
+
+Each experiment exposes ``run(campaign) -> ExperimentResult`` where the
+result carries the regenerated rows/series plus the paper's reference
+values for EXPERIMENTS.md.
+"""
+
+from repro.experiments.campaign import Campaign, CampaignConfig, get_campaign
+
+__all__ = ["Campaign", "CampaignConfig", "get_campaign"]

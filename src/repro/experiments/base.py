@@ -1,0 +1,30 @@
+"""Shared experiment result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated artefact for one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    paper_reference: str = ""
+    notes: str = ""
+
+    def render(self) -> str:
+        from repro.analysis.tables import render_table
+
+        parts = [render_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}")]
+        if self.paper_reference:
+            parts.append(f"paper: {self.paper_reference}")
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)

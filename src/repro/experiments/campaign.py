@@ -1,0 +1,372 @@
+"""A weekly measurement campaign over the simulated Internet.
+
+Orchestrates the paper's §3 scan pipeline for one calendar week:
+
+1. DNS scans of all input lists (A/AAAA/HTTPS/SVCB),
+2. ZMap QUIC scans — IPv4 full-space sweep, IPv6 from AAAA + hitlist,
+3. ZMap TCP SYN scans on :443,
+4. stateful TLS-over-TCP scans (no-SNI and SNI) harvesting Alt-Svc,
+5. stateful QUIC scans with the QScanner — no-SNI over ZMap
+   responders, SNI over the union of all three target sources.
+
+All stages are lazy cached properties, so an experiment touching only
+Figure 5 never pays for stateful scans.  Campaigns themselves are
+memoised per (week, scale, seed, crypto mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.joins import DnsJoin, join_dns_addresses
+from repro.internet.generator import World, build_world
+from repro.internet.providers import Scale
+from repro.netsim.addresses import Address, IPv6Address
+from repro.quic.versions import DRAFT_29, DRAFT_32, DRAFT_34, QSCANNER_SUPPORTED, QUIC_V1
+from repro.scanners.dnsscan import DnsScanner
+from repro.scanners.goscanner import Goscanner, GoscannerConfig
+from repro.scanners.qscanner import QScanner, QScannerConfig
+from repro.scanners.results import (
+    DnsScanRecord,
+    GoscannerRecord,
+    QScanRecord,
+    SynRecord,
+    TargetSource,
+    ZmapQuicRecord,
+)
+from repro.scanners.zmapquic import ZmapQuicScanner
+from repro.scanners.zmaptcp import ZmapTcpScanner
+from repro.dns.resolver import Resolver
+from repro.tls.ciphersuites import SUITE_AES_128_GCM_SHA256, SUITE_SIM_SHA256
+from repro.tls.extensions import GROUP_SIM, GROUP_X25519
+
+__all__ = ["CampaignConfig", "Campaign", "get_campaign", "COMPATIBLE_ALPN_TOKENS"]
+
+# ALPN tokens compatible with the QScanner's supported versions.
+COMPATIBLE_ALPN_TOKENS = frozenset({"h3", "h3-29", "h3-32", "h3-34"})
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    week: int = 18
+    scale: Scale = field(default_factory=Scale)
+    seed: int = 0
+    fast_crypto: bool = True
+    # The paper caps at 100 domains per address per source; the default
+    # here is lower to keep simulated campaigns quick (configurable).
+    max_domains_per_address: int = 25
+    qscanner_versions: Tuple[int, ...] = (DRAFT_29, DRAFT_32, DRAFT_34, QUIC_V1)
+    scan_timeout: float = 3.0
+
+    def cache_key(self) -> Tuple:
+        return (
+            self.week,
+            self.scale.addresses,
+            self.scale.ases,
+            self.scale.domains,
+            self.seed,
+            self.fast_crypto,
+            self.max_domains_per_address,
+            self.qscanner_versions,
+        )
+
+
+class Campaign:
+    """Lazily executed scan campaign for one week."""
+
+    def __init__(self, config: CampaignConfig, world: Optional[World] = None):
+        self.config = config
+        self.world = world or build_world(
+            week=config.week,
+            scale=config.scale,
+            seed=config.seed,
+            fast_crypto=config.fast_crypto,
+        )
+
+    # -- shared scanner configs ------------------------------------------------
+    def _crypto_kwargs(self) -> Dict:
+        if self.config.fast_crypto:
+            return {
+                "cipher_suites": (SUITE_SIM_SHA256, SUITE_AES_128_GCM_SHA256),
+                "groups": (GROUP_SIM, GROUP_X25519),
+            }
+        return {
+            "cipher_suites": (SUITE_AES_128_GCM_SHA256,),
+            "groups": (GROUP_X25519,),
+        }
+
+    # -- stage 1: DNS ------------------------------------------------------------
+    @cached_property
+    def dns_records(self) -> Dict[str, List[DnsScanRecord]]:
+        scanner = DnsScanner(Resolver(self.world.zones))
+        return scanner.scan_lists(self.world.input_lists.lists)
+
+    @cached_property
+    def all_dns_records(self) -> List[DnsScanRecord]:
+        return [record for records in self.dns_records.values() for record in records]
+
+    @cached_property
+    def dns_join(self) -> DnsJoin:
+        return join_dns_addresses(self.all_dns_records)
+
+    # -- stage 2: ZMap QUIC ---------------------------------------------------
+    @cached_property
+    def zmap_v4(self) -> List[ZmapQuicRecord]:
+        scanner = ZmapQuicScanner(
+            self.world.network,
+            self.world.scanner_v4,
+            blocklist=self.world.blocklist,
+            seed=("zmapquic", self.config.seed, self.config.week),
+        )
+        return scanner.scan_ipv4_space(self.world.ipv4_space)
+
+    @cached_property
+    def ipv6_scan_input(self) -> List[IPv6Address]:
+        """AAAA resolutions joined with the IPv6 hitlist (§3.1)."""
+        addresses: Set[IPv6Address] = set(self.world.ipv6_hitlist)
+        for record in self.all_dns_records:
+            addresses.update(record.aaaa)
+        return sorted(addresses)
+
+    @cached_property
+    def zmap_v6(self) -> List[ZmapQuicRecord]:
+        scanner = ZmapQuicScanner(
+            self.world.network,
+            self.world.scanner_v6,
+            blocklist=self.world.blocklist,
+            seed=("zmapquic6", self.config.seed, self.config.week),
+        )
+        return scanner.scan_targets(self.ipv6_scan_input)
+
+    # -- stage 3: TCP SYN ---------------------------------------------------------
+    @cached_property
+    def syn_v4(self) -> List[SynRecord]:
+        scanner = ZmapTcpScanner(self.world.network, blocklist=self.world.blocklist)
+        return scanner.scan_ipv4_space(self.world.ipv4_space)
+
+    @cached_property
+    def syn_v6(self) -> List[SynRecord]:
+        scanner = ZmapTcpScanner(self.world.network, blocklist=self.world.blocklist)
+        return scanner.scan_targets(self.ipv6_scan_input)
+
+    # -- stage 4: stateful TLS over TCP -----------------------------------------
+    def _goscanner(self, label: str) -> Goscanner:
+        return Goscanner(
+            self.world.network,
+            self.world.scanner_v4,
+            GoscannerConfig(
+                timeout=self.config.scan_timeout,
+                seed=("goscanner", label, self.config.seed, self.config.week),
+                **self._crypto_kwargs(),
+            ),
+        )
+
+    @cached_property
+    def goscanner_nosni_v4(self) -> List[GoscannerRecord]:
+        scanner = self._goscanner("nosni4")
+        return [scanner.scan(record.address, None) for record in self.syn_v4]
+
+    @cached_property
+    def goscanner_sni_v4(self) -> List[GoscannerRecord]:
+        scanner = self._goscanner("sni4")
+        cap = self.config.max_domains_per_address
+        records = []
+        for syn in self.syn_v4:
+            for domain in self.dns_join.domains_for(syn.address)[:cap]:
+                records.append(scanner.scan(syn.address, domain))
+        return records
+
+    @cached_property
+    def goscanner_nosni_v6(self) -> List[GoscannerRecord]:
+        scanner = self._goscanner("nosni6")
+        return [scanner.scan(record.address, None) for record in self.syn_v6]
+
+    @cached_property
+    def goscanner_sni_v6(self) -> List[GoscannerRecord]:
+        scanner = self._goscanner("sni6")
+        cap = self.config.max_domains_per_address
+        records = []
+        for syn in self.syn_v6:
+            for domain in self.dns_join.domains_for(syn.address)[:cap]:
+                records.append(scanner.scan(syn.address, domain))
+        return records
+
+    # -- target assembly --------------------------------------------------------
+    @staticmethod
+    def _zmap_compatible(records: Sequence[ZmapQuicRecord]) -> List[ZmapQuicRecord]:
+        return [r for r in records if set(r.versions) & QSCANNER_SUPPORTED]
+
+    @cached_property
+    def altsvc_targets_v4(self) -> List[Tuple[Address, str]]:
+        """(address, domain) pairs advertising HTTP/3 via Alt-Svc."""
+        targets = []
+        for record in self.goscanner_sni_v4:
+            tokens = {e.alpn for e in record.alt_svc if e.indicates_http3}
+            if tokens:
+                targets.append((record.address, record.sni, tokens))
+        return [(a, d) for a, d, t in targets if t & COMPATIBLE_ALPN_TOKENS]
+
+    @cached_property
+    def altsvc_discovered_v4(self) -> List[Tuple[Address, str, frozenset]]:
+        """All Alt-Svc discoveries (including incompatible tokens)."""
+        discovered = []
+        for record in self.goscanner_sni_v4 + self.goscanner_nosni_v4:
+            tokens = frozenset(e.alpn for e in record.alt_svc if e.indicates_http3)
+            if tokens:
+                discovered.append((record.address, record.sni, tokens))
+        return discovered
+
+    @cached_property
+    def altsvc_discovered_v6(self) -> List[Tuple[Address, str, frozenset]]:
+        discovered = []
+        for record in self.goscanner_sni_v6 + self.goscanner_nosni_v6:
+            tokens = frozenset(e.alpn for e in record.alt_svc if e.indicates_http3)
+            if tokens:
+                discovered.append((record.address, record.sni, tokens))
+        return discovered
+
+    @cached_property
+    def altsvc_targets_v6(self) -> List[Tuple[Address, str]]:
+        targets = []
+        for record in self.goscanner_sni_v6:
+            tokens = {e.alpn for e in record.alt_svc if e.indicates_http3}
+            if tokens & COMPATIBLE_ALPN_TOKENS:
+                targets.append((record.address, record.sni))
+        return targets
+
+    @cached_property
+    def https_rr_targets(self) -> Dict[int, List[Tuple[Address, str]]]:
+        """HTTPS-RR derived targets per address family."""
+        targets: Dict[int, List[Tuple[Address, str]]] = {4: [], 6: []}
+        seen = set()
+        for record in self.all_dns_records:
+            if not record.has_https_rr:
+                continue
+            if not set(record.https_alpn) & COMPATIBLE_ALPN_TOKENS:
+                continue
+            for address in record.https_ipv4hints:
+                key = (address, record.domain)
+                if key not in seen:
+                    seen.add(key)
+                    targets[4].append(key)
+            for address in record.https_ipv6hints:
+                key = (address, record.domain)
+                if key not in seen:
+                    seen.add(key)
+                    targets[6].append(key)
+        return targets
+
+    def _sni_targets(self, family: int) -> Dict[Tuple[Address, str], Set[TargetSource]]:
+        """Union of SNI targets with their source memberships."""
+        cap = self.config.max_domains_per_address
+        targets: Dict[Tuple[Address, str], Set[TargetSource]] = {}
+        zmap = self.zmap_v4 if family == 4 else self.zmap_v6
+        for record in self._zmap_compatible(zmap):
+            for domain in self.dns_join.domains_for(record.address)[:cap]:
+                targets.setdefault((record.address, domain), set()).add(
+                    TargetSource.ZMAP_DNS
+                )
+        altsvc = self.altsvc_targets_v4 if family == 4 else self.altsvc_targets_v6
+        for address, domain in altsvc:
+            targets.setdefault((address, domain), set()).add(TargetSource.ALT_SVC)
+        for address, domain in self.https_rr_targets[family]:
+            targets.setdefault((address, domain), set()).add(TargetSource.HTTPS_RR)
+        return targets
+
+    @cached_property
+    def sni_targets_v4(self) -> Dict[Tuple[Address, str], Set[TargetSource]]:
+        return self._sni_targets(4)
+
+    @cached_property
+    def sni_targets_v6(self) -> Dict[Tuple[Address, str], Set[TargetSource]]:
+        return self._sni_targets(6)
+
+    # -- stage 5: QScanner ---------------------------------------------------------
+    def _qscanner(self, label: str, source_v6: bool = False) -> QScanner:
+        return QScanner(
+            self.world.network,
+            self.world.scanner_v6 if source_v6 else self.world.scanner_v4,
+            QScannerConfig(
+                versions=self.config.qscanner_versions,
+                trusted_roots=(self.world.ca.root,),
+                timeout=self.config.scan_timeout,
+                fast_initial_protection=self.config.fast_crypto,
+                seed=("qscanner", label, self.config.seed, self.config.week),
+                **self._crypto_kwargs(),
+            ),
+        )
+
+    @cached_property
+    def qscan_nosni_v4(self) -> List[QScanRecord]:
+        scanner = self._qscanner("nosni4")
+        return [
+            scanner.scan(record.address, None, TargetSource.ZMAP_DNS)
+            for record in self._zmap_compatible(self.zmap_v4)
+        ]
+
+    @cached_property
+    def qscan_nosni_v6(self) -> List[QScanRecord]:
+        scanner = self._qscanner("nosni6", source_v6=True)
+        return [
+            scanner.scan(record.address, None, TargetSource.ZMAP_DNS)
+            for record in self._zmap_compatible(self.zmap_v6)
+        ]
+
+    def _scan_sni(self, family: int) -> List[QScanRecord]:
+        scanner = self._qscanner(f"sni{family}", source_v6=family == 6)
+        targets = self.sni_targets_v4 if family == 4 else self.sni_targets_v6
+        records = []
+        for (address, domain), sources in sorted(
+            targets.items(), key=lambda item: (str(item[0][0]), item[0][1])
+        ):
+            source = sorted(sources, key=lambda s: s.value)[0]
+            record = scanner.scan(address, domain, source)
+            records.append(record)
+        return records
+
+    @cached_property
+    def qscan_sni_v4(self) -> List[QScanRecord]:
+        return self._scan_sni(4)
+
+    @cached_property
+    def qscan_sni_v6(self) -> List[QScanRecord]:
+        return self._scan_sni(6)
+
+    def sni_records_for_source(
+        self, family: int, source: TargetSource
+    ) -> List[QScanRecord]:
+        """Scan records restricted to one discovery source (Table 4)."""
+        targets = self.sni_targets_v4 if family == 4 else self.sni_targets_v6
+        records = self.qscan_sni_v4 if family == 4 else self.qscan_sni_v6
+        wanted = {
+            (address, domain)
+            for (address, domain), sources in targets.items()
+            if source in sources
+        }
+        return [r for r in records if (r.address, r.sni) in wanted]
+
+
+_CAMPAIGNS: Dict[Tuple, Campaign] = {}
+
+
+def get_campaign(
+    week: int = 18,
+    scale: Optional[Scale] = None,
+    seed: int = 0,
+    fast_crypto: bool = True,
+    max_domains_per_address: int = 25,
+) -> Campaign:
+    """Memoised campaign accessor shared by tests and benchmarks."""
+    config = CampaignConfig(
+        week=week,
+        scale=scale or Scale(),
+        seed=seed,
+        fast_crypto=fast_crypto,
+        max_domains_per_address=max_domains_per_address,
+    )
+    key = config.cache_key()
+    if key not in _CAMPAIGNS:
+        _CAMPAIGNS[key] = Campaign(config)
+    return _CAMPAIGNS[key]

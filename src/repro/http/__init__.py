@@ -1,0 +1,21 @@
+"""HTTP substrates: HTTP/1.1 over TLS/TCP and HTTP/3 over QUIC.
+
+- :mod:`repro.http.h1` — request/response formatting used by the
+  TLS-over-TCP scans that harvest ``Alt-Svc`` headers,
+- :mod:`repro.http.altsvc` — the Alt-Svc header syntax (RFC 7838),
+- :mod:`repro.http.qpack` — a static-table QPACK subset,
+- :mod:`repro.http.h3` — HTTP/3 frames and a HEAD exchange on a QUIC
+  request stream, producing the HTTP Server headers the paper's §5.2
+  edge-POP analysis is built on.
+"""
+
+from repro.http.altsvc import AltSvcEntry, format_alt_svc, parse_alt_svc
+from repro.http.h1 import HttpRequest, HttpResponse
+
+__all__ = [
+    "AltSvcEntry",
+    "parse_alt_svc",
+    "format_alt_svc",
+    "HttpRequest",
+    "HttpResponse",
+]

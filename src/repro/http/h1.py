@@ -1,0 +1,100 @@
+"""HTTP/1.1 message formatting and parsing.
+
+Used by the Goscanner-style TLS-over-TCP scans: after the TLS
+handshake the scanner issues a request and reads the response headers,
+including ``Alt-Svc`` and ``Server``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["HttpRequest", "HttpResponse", "HttpParseError"]
+
+
+class HttpParseError(ValueError):
+    """Raised on malformed HTTP/1.1 messages."""
+
+
+def _encode_headers(headers: List[Tuple[str, str]]) -> bytes:
+    return b"".join(f"{name}: {value}\r\n".encode() for name, value in headers)
+
+
+def _decode_headers(lines: List[bytes]) -> List[Tuple[str, str]]:
+    headers = []
+    for line in lines:
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise HttpParseError(f"malformed header line: {line!r}")
+        headers.append((name.decode().strip(), value.decode().strip()))
+    return headers
+
+
+@dataclass
+class HttpRequest:
+    method: str = "HEAD"
+    target: str = "/"
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+
+    def encode(self) -> bytes:
+        head = f"{self.method} {self.target} HTTP/1.1\r\n".encode()
+        return head + _encode_headers(self.headers) + b"\r\n" + self.body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HttpRequest":
+        head, sep, body = data.partition(b"\r\n\r\n")
+        if not sep:
+            raise HttpParseError("missing header terminator")
+        lines = head.split(b"\r\n")
+        try:
+            method, target, version = lines[0].decode().split(" ", 2)
+        except ValueError as exc:
+            raise HttpParseError(f"bad request line: {lines[0]!r}") from exc
+        if not version.startswith("HTTP/1."):
+            raise HttpParseError(f"unsupported version {version}")
+        return cls(
+            method=method, target=target, headers=_decode_headers(lines[1:]), body=body
+        )
+
+    def header(self, name: str) -> Optional[str]:
+        lowered = name.lower()
+        for header_name, value in self.headers:
+            if header_name.lower() == lowered:
+                return value
+        return None
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    reason: str = "OK"
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+
+    def encode(self) -> bytes:
+        head = f"HTTP/1.1 {self.status} {self.reason}\r\n".encode()
+        return head + _encode_headers(self.headers) + b"\r\n" + self.body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HttpResponse":
+        head, sep, body = data.partition(b"\r\n\r\n")
+        if not sep:
+            raise HttpParseError("missing header terminator")
+        lines = head.split(b"\r\n")
+        parts = lines[0].decode().split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise HttpParseError(f"bad status line: {lines[0]!r}")
+        status = int(parts[1])
+        reason = parts[2] if len(parts) > 2 else ""
+        return cls(
+            status=status, reason=reason, headers=_decode_headers(lines[1:]), body=body
+        )
+
+    def header(self, name: str) -> Optional[str]:
+        lowered = name.lower()
+        for header_name, value in self.headers:
+            if header_name.lower() == lowered:
+                return value
+        return None

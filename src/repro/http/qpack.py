@@ -1,0 +1,161 @@
+"""A QPACK subset (RFC 9204): static table + literal field lines.
+
+HTTP/3 header blocks in this repository use only the static table and
+literal representations — no dynamic table, which keeps the encoder and
+decoder stateless.  This matches how scanners typically operate (a
+single request per connection cannot profit from a dynamic table).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = ["encode_header_block", "decode_header_block", "QpackError", "STATIC_TABLE"]
+
+
+class QpackError(ValueError):
+    """Raised on malformed QPACK header blocks."""
+
+
+# An excerpt of the RFC 9204 Appendix A static table: the entries the
+# scanner and the simulated servers actually use.
+STATIC_TABLE: List[Tuple[str, str]] = [
+    (":authority", ""),           # 0
+    (":path", "/"),               # 1
+    ("age", "0"),                 # 2
+    ("content-disposition", ""),  # 3
+    ("content-length", "0"),      # 4
+    ("cookie", ""),               # 5
+    ("date", ""),                 # 6
+    ("etag", ""),                 # 7
+    ("if-modified-since", ""),    # 8
+    ("if-none-match", ""),        # 9
+    ("last-modified", ""),        # 10
+    ("link", ""),                 # 11
+    ("location", ""),             # 12
+    ("referer", ""),              # 13
+    ("set-cookie", ""),           # 14
+    (":method", "CONNECT"),       # 15
+    (":method", "DELETE"),        # 16
+    (":method", "GET"),           # 17
+    (":method", "HEAD"),          # 18
+    (":method", "OPTIONS"),       # 19
+    (":method", "POST"),          # 20
+    (":method", "PUT"),           # 21
+    (":scheme", "http"),          # 22
+    (":scheme", "https"),         # 23
+    (":status", "103"),           # 24
+    (":status", "200"),           # 25
+    (":status", "304"),           # 26
+    (":status", "404"),           # 27
+    (":status", "503"),           # 28
+]
+
+_STATIC_LOOKUP = {entry: index for index, entry in enumerate(STATIC_TABLE)}
+_STATIC_NAME_LOOKUP = {}
+for _index, (_name, _value) in enumerate(STATIC_TABLE):
+    _STATIC_NAME_LOOKUP.setdefault(_name, _index)
+
+
+def _encode_prefixed_int(value: int, prefix_bits: int, first_byte_flags: int) -> bytes:
+    limit = (1 << prefix_bits) - 1
+    if value < limit:
+        return bytes([first_byte_flags | value])
+    out = bytearray([first_byte_flags | limit])
+    value -= limit
+    while value >= 128:
+        out.append((value % 128) + 128)
+        value //= 128
+    out.append(value)
+    return bytes(out)
+
+
+def _decode_prefixed_int(data: bytes, offset: int, prefix_bits: int) -> Tuple[int, int]:
+    limit = (1 << prefix_bits) - 1
+    value = data[offset] & limit
+    offset += 1
+    if value < limit:
+        return value, offset
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise QpackError("truncated prefixed integer")
+        byte = data[offset]
+        offset += 1
+        value += (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            return value, offset
+
+
+def _encode_string(text: str) -> bytes:
+    raw = text.encode()
+    return _encode_prefixed_int(len(raw), 7, 0x00) + raw  # no Huffman
+
+
+def _decode_string(data: bytes, offset: int, prefix_bits: int) -> Tuple[str, int]:
+    huffman = bool(data[offset] & (1 << prefix_bits))
+    length, offset = _decode_prefixed_int(data, offset, prefix_bits)
+    if huffman:
+        raise QpackError("Huffman-coded strings not supported")
+    raw = data[offset : offset + length]
+    if len(raw) < length:
+        raise QpackError("truncated string literal")
+    return raw.decode(), offset + length
+
+
+def encode_header_block(headers: List[Tuple[str, str]]) -> bytes:
+    """Encode headers using static-table references where possible."""
+    # Required Insert Count = 0, Delta Base = 0 (no dynamic table).
+    out = bytearray(b"\x00\x00")
+    for name, value in headers:
+        index = _STATIC_LOOKUP.get((name, value))
+        if index is not None:
+            # Indexed Field Line, static table: 1 1 T=1 index(6).
+            out += _encode_prefixed_int(index, 6, 0xC0)
+            continue
+        name_index = _STATIC_NAME_LOOKUP.get(name)
+        if name_index is not None:
+            # Literal With Name Reference, static: 0101 + index(4).
+            out += _encode_prefixed_int(name_index, 4, 0x50)
+            out += _encode_string(value)
+        else:
+            # Literal With Literal Name: 001 N=0 H=0 + name(3-bit prefix).
+            raw = name.encode()
+            out += _encode_prefixed_int(len(raw), 3, 0x20)
+            out += raw
+            out += _encode_string(value)
+    return bytes(out)
+
+
+def decode_header_block(data: bytes) -> List[Tuple[str, str]]:
+    if len(data) < 2:
+        raise QpackError("header block shorter than prefix")
+    offset = 2  # static-only prefix
+    headers: List[Tuple[str, str]] = []
+    while offset < len(data):
+        first = data[offset]
+        if first & 0x80:  # Indexed Field Line
+            if not first & 0x40:
+                raise QpackError("dynamic table reference in static-only decoder")
+            index, offset = _decode_prefixed_int(data, offset, 6)
+            if index >= len(STATIC_TABLE):
+                raise QpackError(f"static index {index} out of range")
+            headers.append(STATIC_TABLE[index])
+        elif first & 0x40:  # Literal With Name Reference
+            if not first & 0x10:
+                raise QpackError("dynamic name reference in static-only decoder")
+            index, offset = _decode_prefixed_int(data, offset, 4)
+            if index >= len(STATIC_TABLE):
+                raise QpackError(f"static name index {index} out of range")
+            value, offset = _decode_string(data, offset, 7)
+            headers.append((STATIC_TABLE[index][0], value))
+        elif first & 0x20:  # Literal With Literal Name
+            name_length, offset = _decode_prefixed_int(data, offset, 3)
+            name = data[offset : offset + name_length].decode()
+            offset += name_length
+            value, offset = _decode_string(data, offset, 7)
+            headers.append((name, value))
+        else:
+            raise QpackError(f"unsupported field line 0x{first:02x}")
+    return headers

@@ -1,0 +1,21 @@
+"""The synthetic Internet generator.
+
+Builds a simulated Internet whose *measured* properties reproduce the
+shape of the paper's findings: provider populations and AS spread
+(Tables 1-2), stateful handshake outcome mix (Tables 3-4), TLS parity
+(Table 5), HTTP Server values and transport-parameter fingerprints
+(Table 6, Fig. 9), version timelines (Figs. 5-7) and HTTPS-RR adoption
+(Fig. 3).
+
+- :mod:`repro.internet.providers` — the calibrated deployment spec,
+- :mod:`repro.internet.tparams` — the transport-parameter configuration
+  catalogue (45 configurations at week 18),
+- :mod:`repro.internet.timeline` — week-dependent evolution,
+- :mod:`repro.internet.domains` — domain name and input list synthesis,
+- :mod:`repro.internet.generator` — assembles the world.
+"""
+
+from repro.internet.generator import World, build_world
+from repro.internet.providers import DeploymentGroup, GROUPS, Scale
+
+__all__ = ["World", "build_world", "DeploymentGroup", "GROUPS", "Scale"]

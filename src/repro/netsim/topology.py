@@ -1,0 +1,280 @@
+"""The simulated network: endpoints, delivery, virtual time.
+
+The model is synchronous and deterministic.  A client socket sends a
+datagram; the network looks up the destination endpoint, applies the
+destination's :class:`NetworkConditions` (loss and round-trip time,
+driven by a seeded RNG), synchronously invokes the endpoint handler
+and schedules any replies into the client's inbox at ``now + rtt``.
+``receive(timeout)`` advances the virtual clock — timeouts cost no
+wall-clock time, which is what makes campaign-scale scans with the
+paper's 34.5 % timeout rate tractable.
+
+TCP is modelled at the session level (connect / ordered byte stream /
+close); there is no segment-level simulation because nothing in the
+paper's analysis depends on TCP internals beyond the SYN scan and an
+ordered stream for TLS.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.rand import DeterministicRandom
+from repro.netsim.addresses import Address
+
+__all__ = [
+    "NetworkConditions",
+    "Network",
+    "UdpEndpoint",
+    "TcpListener",
+    "ClientUdpSocket",
+    "TcpSession",
+    "TrafficStats",
+]
+
+
+@dataclass
+class NetworkConditions:
+    """Per-host path behaviour."""
+
+    rtt: float = 0.05  # seconds
+    loss: float = 0.0  # probability a datagram (either direction) is lost
+    silent: bool = False  # host drops everything (scan timeout)
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate counters, used by the traffic-overhead ablation."""
+
+    datagrams_sent: int = 0
+    bytes_sent: int = 0
+    datagrams_delivered: int = 0
+    syn_sent: int = 0
+
+    def record_send(self, size: int) -> None:
+        self.datagrams_sent += 1
+        self.bytes_sent += size
+
+
+class UdpEndpoint:
+    """Base class for simulated UDP services.
+
+    Subclasses override :meth:`datagram_received` and call ``reply`` —
+    possibly multiple times — for each response datagram.
+    """
+
+    def datagram_received(
+        self,
+        network: "Network",
+        source: Tuple[Address, int],
+        data: bytes,
+        reply: Callable[[bytes], None],
+    ) -> None:
+        raise NotImplementedError
+
+
+class TcpListener:
+    """Base class for simulated TCP services (session-level)."""
+
+    def session_opened(self, session: "TcpSession") -> None:
+        """Called when a client connects; may already send data."""
+
+    def data_received(self, session: "TcpSession", data: bytes) -> None:
+        raise NotImplementedError
+
+    def session_closed(self, session: "TcpSession") -> None:
+        """Called when the peer closes."""
+
+
+class ClientUdpSocket:
+    """Client-side UDP socket bound to an ephemeral port."""
+
+    def __init__(self, network: "Network", address: Address, port: int):
+        self._network = network
+        self.address = address
+        self.port = port
+        self._inbox: List[Tuple[float, int, Tuple[Address, int], bytes]] = []
+
+    def send(self, destination: Address, port: int, data: bytes) -> None:
+        self._network.deliver_datagram(
+            (self.address, self.port), (destination, port), data
+        )
+
+    def receive(
+        self, timeout: float
+    ) -> Optional[Tuple[Tuple[Address, int], bytes]]:
+        """Next datagram within ``timeout`` virtual seconds, else None."""
+        deadline = self._network.now + timeout
+        if self._inbox and self._inbox[0][0] <= deadline:
+            arrival, _seq, source, data = heapq.heappop(self._inbox)
+            self._network.advance_to(arrival)
+            return source, data
+        self._network.advance_to(deadline)
+        return None
+
+    def pending(self) -> int:
+        return len(self._inbox)
+
+    def _enqueue(self, arrival: float, source: Tuple[Address, int], data: bytes) -> None:
+        heapq.heappush(self._inbox, (arrival, self._network.next_seq(), source, data))
+
+
+class TcpSession:
+    """An established TCP connection, client side synchronous."""
+
+    def __init__(
+        self,
+        network: "Network",
+        listener: TcpListener,
+        client: Tuple[Address, int],
+        server: Tuple[Address, int],
+        conditions: NetworkConditions,
+    ):
+        self._network = network
+        self._listener = listener
+        self.client_address = client
+        self.server_address = server
+        self._conditions = conditions
+        self._to_client: List[Tuple[float, int, bytes]] = []
+        self.closed = False
+        self.context: Dict[str, object] = {}  # server-side connection state
+
+    # -- client side ---------------------------------------------------------
+    def send(self, data: bytes) -> None:
+        if self.closed:
+            raise ConnectionError("session closed")
+        self._network.stats.record_send(len(data))
+        self._listener.data_received(self, data)
+
+    def receive(self, timeout: float) -> Optional[bytes]:
+        deadline = self._network.now + timeout
+        if self._to_client and self._to_client[0][0] <= deadline:
+            arrival, _seq, data = self._to_client.pop(0)
+            self._network.advance_to(arrival)
+            return data
+        self._network.advance_to(deadline)
+        if self.closed and not self._to_client:
+            return None
+        return None
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._listener.session_closed(self)
+
+    # -- server side ----------------------------------------------------------
+    def reply(self, data: bytes) -> None:
+        arrival = self._network.now + self._conditions.rtt / 2
+        self._to_client.append((arrival, self._network.next_seq(), data))
+
+    def server_close(self) -> None:
+        self.closed = True
+
+
+class Network:
+    """The simulated Internet fabric."""
+
+    def __init__(self, seed: int = 0):
+        self.now = 0.0
+        self.stats = TrafficStats()
+        self._rng = DeterministicRandom(seed).child("network")
+        self._udp: Dict[Tuple[Address, int], UdpEndpoint] = {}
+        self._tcp: Dict[Tuple[Address, int], TcpListener] = {}
+        self._conditions: Dict[Address, NetworkConditions] = {}
+        self._default_conditions = NetworkConditions()
+        self._ephemeral = itertools.count(49152)
+        self._seq = itertools.count()
+        self._client_sockets: Dict[Tuple[Address, int], ClientUdpSocket] = {}
+
+    # -- registration ----------------------------------------------------------
+    def bind_udp(self, address: Address, port: int, endpoint: UdpEndpoint) -> None:
+        self._udp[(address, port)] = endpoint
+
+    def bind_tcp(self, address: Address, port: int, listener: TcpListener) -> None:
+        self._tcp[(address, port)] = listener
+
+    def set_conditions(self, address: Address, conditions: NetworkConditions) -> None:
+        self._conditions[address] = conditions
+
+    def conditions_for(self, address: Address) -> NetworkConditions:
+        return self._conditions.get(address, self._default_conditions)
+
+    def udp_bound(self, address: Address, port: int) -> bool:
+        return (address, port) in self._udp
+
+    def tcp_bound(self, address: Address, port: int) -> bool:
+        return (address, port) in self._tcp
+
+    # -- clock -----------------------------------------------------------------
+    def advance_to(self, time: float) -> None:
+        if time > self.now:
+            self.now = time
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    # -- UDP ---------------------------------------------------------------------
+    def client_socket(self, address: Address) -> ClientUdpSocket:
+        socket = ClientUdpSocket(self, address, next(self._ephemeral))
+        self._client_sockets[(address, socket.port)] = socket
+        return socket
+
+    def deliver_datagram(
+        self,
+        source: Tuple[Address, int],
+        destination: Tuple[Address, int],
+        data: bytes,
+    ) -> None:
+        self.stats.record_send(len(data))
+        endpoint = self._udp.get(destination)
+        if endpoint is None:
+            return  # no listener: silently dropped, like the Internet
+        conditions = self.conditions_for(destination[0])
+        if conditions.silent:
+            return
+        if conditions.loss and self._rng.random() < conditions.loss:
+            return
+        self.stats.datagrams_delivered += 1
+        send_time = self.now
+
+        def reply(response: bytes) -> None:
+            if conditions.loss and self._rng.random() < conditions.loss:
+                return
+            client = self._client_sockets.get(source)
+            if client is not None:
+                client._enqueue(send_time + conditions.rtt, destination, response)
+
+        endpoint.datagram_received(self, source, data, reply)
+
+    # -- TCP ------------------------------------------------------------------
+    def syn_probe(self, destination: Address, port: int) -> bool:
+        """ZMap-style TCP SYN probe: is the port open?"""
+        self.stats.syn_sent += 1
+        self.stats.record_send(40)
+        conditions = self.conditions_for(destination)
+        if conditions.silent:
+            return False
+        if conditions.loss and self._rng.random() < conditions.loss:
+            return False
+        return (destination, port) in self._tcp
+
+    def connect_tcp(
+        self, client_address: Address, destination: Address, port: int
+    ) -> Optional[TcpSession]:
+        listener = self._tcp.get((destination, port))
+        conditions = self.conditions_for(destination)
+        if listener is None or conditions.silent:
+            return None
+        session = TcpSession(
+            self,
+            listener,
+            (client_address, next(self._ephemeral)),
+            (destination, port),
+            conditions,
+        )
+        self.advance_to(self.now + conditions.rtt)  # three-way handshake
+        listener.session_opened(session)
+        return session

@@ -1,0 +1,45 @@
+"""A from-scratch QUIC implementation (RFC 9000/9001 subset).
+
+The modules in this package implement the QUIC wire image the paper's
+tools manipulate:
+
+- :mod:`repro.quic.varint` — variable-length integers (RFC 9000 §16),
+- :mod:`repro.quic.versions` — the version registry covering every
+  version string the paper reports (Google QUIC ``Q043``…``T051``, IETF
+  drafts 27/28/29, ``ietf-01`` a.k.a. QUIC v1, Facebook ``mvfst``
+  variants) and the reserved ``0x?a?a?a?a`` pattern that forces a
+  Version Negotiation,
+- :mod:`repro.quic.packet` — long/short header packets, Version
+  Negotiation and Retry encoding/decoding (RFC 9000 §17),
+- :mod:`repro.quic.frames` — the frame types needed for handshakes and
+  small request/response exchanges (RFC 9000 §19),
+- :mod:`repro.quic.transport_params` — all RFC 9000 §18 transport
+  parameters, carried in the TLS ``quic_transport_parameters``
+  extension,
+- :mod:`repro.quic.initial_aead` — Initial packet protection
+  (RFC 9001 §5), validated against the Appendix A test vectors,
+- :mod:`repro.quic.errors` — transport error codes, including the
+  ``0x128`` crypto error (TLS alert 0x28) prominent in the paper,
+- :mod:`repro.quic.connection` — client/server connection machines
+  driving a complete handshake plus an HTTP/3 HEAD exchange.
+"""
+
+from repro.quic.errors import CRYPTO_ERROR_HANDSHAKE_FAILURE, QuicError, TransportErrorCode
+from repro.quic.transport_params import TransportParameters
+from repro.quic.versions import (
+    QUIC_V1,
+    VersionRegistry,
+    force_negotiation_version,
+    is_forcing_negotiation,
+)
+
+__all__ = [
+    "QUIC_V1",
+    "VersionRegistry",
+    "force_negotiation_version",
+    "is_forcing_negotiation",
+    "TransportParameters",
+    "QuicError",
+    "TransportErrorCode",
+    "CRYPTO_ERROR_HANDSHAKE_FAILURE",
+]

@@ -1,0 +1,77 @@
+"""QUIC transport error codes (RFC 9000 §20).
+
+The range ``0x0100``-``0x01ff`` carries TLS alerts: code ``0x100 +
+alert``.  The paper's most frequent stateful-scan failure is
+``0x128`` — the generic TLS ``handshake_failure`` alert (0x28) carried
+as a QUIC crypto error.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+__all__ = [
+    "TransportErrorCode",
+    "QuicError",
+    "crypto_error",
+    "is_crypto_error",
+    "tls_alert_of",
+    "CRYPTO_ERROR_HANDSHAKE_FAILURE",
+]
+
+
+class TransportErrorCode(IntEnum):
+    NO_ERROR = 0x00
+    INTERNAL_ERROR = 0x01
+    CONNECTION_REFUSED = 0x02
+    FLOW_CONTROL_ERROR = 0x03
+    STREAM_LIMIT_ERROR = 0x04
+    STREAM_STATE_ERROR = 0x05
+    FINAL_SIZE_ERROR = 0x06
+    FRAME_ENCODING_ERROR = 0x07
+    TRANSPORT_PARAMETER_ERROR = 0x08
+    CONNECTION_ID_LIMIT_ERROR = 0x09
+    PROTOCOL_VIOLATION = 0x0A
+    INVALID_TOKEN = 0x0B
+    APPLICATION_ERROR = 0x0C
+    CRYPTO_BUFFER_EXCEEDED = 0x0D
+    KEY_UPDATE_ERROR = 0x0E
+    AEAD_LIMIT_REACHED = 0x0F
+    NO_VIABLE_PATH = 0x10
+    VERSION_NEGOTIATION_ERROR = 0x11
+
+
+def crypto_error(tls_alert: int) -> int:
+    """Transport error code for a TLS alert (RFC 9001 §4.8)."""
+    if not 0 <= tls_alert <= 0xFF:
+        raise ValueError("TLS alert must fit one byte")
+    return 0x100 + tls_alert
+
+def is_crypto_error(code: int) -> bool:
+    return 0x100 <= code <= 0x1FF
+
+
+def tls_alert_of(code: int) -> Optional[int]:
+    """The TLS alert a crypto error carries, or None."""
+    if is_crypto_error(code):
+        return code - 0x100
+    return None
+
+
+# TLS alert 0x28 (handshake_failure) as QUIC error — "QUIC Alert 0x128".
+CRYPTO_ERROR_HANDSHAKE_FAILURE = crypto_error(0x28)
+
+
+class QuicError(Exception):
+    """A terminal QUIC error (sent or received as CONNECTION_CLOSE)."""
+
+    def __init__(self, error_code: int, reason: str = "", frame_type: Optional[int] = 0):
+        super().__init__(f"QUIC error 0x{error_code:x}: {reason}")
+        self.error_code = error_code
+        self.reason = reason
+        self.frame_type = frame_type
+
+    @property
+    def is_crypto_error(self) -> bool:
+        return is_crypto_error(self.error_code)

@@ -1,0 +1,363 @@
+"""QUIC frame encoding/decoding (RFC 9000 §19).
+
+Implements the frames required for complete handshakes and small
+request/response exchanges: PADDING, PING, ACK, CRYPTO, STREAM (all
+variants), CONNECTION_CLOSE (transport and application),
+HANDSHAKE_DONE, NEW_CONNECTION_ID, MAX_DATA / MAX_STREAM_DATA /
+MAX_STREAMS and RESET_STREAM / STOP_SENDING.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.quic.varint import Buffer
+
+__all__ = [
+    "PaddingFrame",
+    "PingFrame",
+    "AckFrame",
+    "CryptoFrame",
+    "StreamFrame",
+    "ConnectionCloseFrame",
+    "HandshakeDoneFrame",
+    "NewConnectionIdFrame",
+    "MaxDataFrame",
+    "MaxStreamDataFrame",
+    "MaxStreamsFrame",
+    "ResetStreamFrame",
+    "StopSendingFrame",
+    "Frame",
+    "encode_frames",
+    "decode_frames",
+    "FrameDecodeError",
+]
+
+
+class FrameDecodeError(ValueError):
+    """Raised when a payload cannot be parsed into frames."""
+
+
+@dataclass
+class PaddingFrame:
+    length: int = 1
+
+
+@dataclass
+class PingFrame:
+    pass
+
+
+@dataclass
+class AckFrame:
+    largest_acknowledged: int = 0
+    ack_delay: int = 0
+    # Ranges as (start, end) inclusive, descending; first range must
+    # end at largest_acknowledged.
+    ranges: List[Tuple[int, int]] = field(default_factory=list)
+
+    def acknowledged(self) -> List[int]:
+        numbers: List[int] = []
+        for start, end in self.ranges:
+            numbers.extend(range(start, end + 1))
+        return sorted(numbers)
+
+
+@dataclass
+class CryptoFrame:
+    offset: int
+    data: bytes
+
+
+@dataclass
+class StreamFrame:
+    stream_id: int
+    offset: int = 0
+    data: bytes = b""
+    fin: bool = False
+
+
+@dataclass
+class ConnectionCloseFrame:
+    error_code: int
+    frame_type: Optional[int] = 0  # None => application close (0x1d)
+    reason: str = ""
+
+    @property
+    def is_application(self) -> bool:
+        return self.frame_type is None
+
+
+@dataclass
+class HandshakeDoneFrame:
+    pass
+
+
+@dataclass
+class NewConnectionIdFrame:
+    sequence_number: int
+    retire_prior_to: int
+    connection_id: bytes
+    stateless_reset_token: bytes
+
+
+@dataclass
+class MaxDataFrame:
+    maximum: int
+
+
+@dataclass
+class MaxStreamDataFrame:
+    stream_id: int
+    maximum: int
+
+
+@dataclass
+class MaxStreamsFrame:
+    maximum: int
+    bidirectional: bool = True
+
+
+@dataclass
+class ResetStreamFrame:
+    stream_id: int
+    error_code: int
+    final_size: int
+
+
+@dataclass
+class StopSendingFrame:
+    stream_id: int
+    error_code: int
+
+
+Frame = Union[
+    PaddingFrame,
+    PingFrame,
+    AckFrame,
+    CryptoFrame,
+    StreamFrame,
+    ConnectionCloseFrame,
+    HandshakeDoneFrame,
+    NewConnectionIdFrame,
+    MaxDataFrame,
+    MaxStreamDataFrame,
+    MaxStreamsFrame,
+    ResetStreamFrame,
+    StopSendingFrame,
+]
+
+
+def _encode_ack(buf: Buffer, frame: AckFrame) -> None:
+    ranges = frame.ranges or [(frame.largest_acknowledged, frame.largest_acknowledged)]
+    first_start, first_end = ranges[0]
+    if first_end != frame.largest_acknowledged:
+        raise ValueError("first ACK range must end at largest_acknowledged")
+    buf.push_varint(0x02)
+    buf.push_varint(frame.largest_acknowledged)
+    buf.push_varint(frame.ack_delay)
+    buf.push_varint(len(ranges) - 1)
+    buf.push_varint(first_end - first_start)
+    previous_start = first_start
+    for start, end in ranges[1:]:
+        gap = previous_start - end - 2
+        if gap < 0:
+            raise ValueError("ACK ranges must be descending and disjoint")
+        buf.push_varint(gap)
+        buf.push_varint(end - start)
+        previous_start = start
+
+
+def _decode_ack(buf: Buffer) -> AckFrame:
+    largest = buf.pull_varint()
+    delay = buf.pull_varint()
+    range_count = buf.pull_varint()
+    first_range = buf.pull_varint()
+    end = largest
+    start = end - first_range
+    ranges = [(start, end)]
+    for _ in range(range_count):
+        gap = buf.pull_varint()
+        length = buf.pull_varint()
+        end = start - gap - 2
+        start = end - length
+        ranges.append((start, end))
+    if start < 0:
+        raise FrameDecodeError("ACK range below zero")
+    return AckFrame(largest_acknowledged=largest, ack_delay=delay, ranges=ranges)
+
+
+def encode_frames(frames: List[Frame]) -> bytes:
+    buf = Buffer()
+    for frame in frames:
+        if isinstance(frame, PaddingFrame):
+            buf.push_bytes(bytes(frame.length))
+        elif isinstance(frame, PingFrame):
+            buf.push_varint(0x01)
+        elif isinstance(frame, AckFrame):
+            _encode_ack(buf, frame)
+        elif isinstance(frame, CryptoFrame):
+            buf.push_varint(0x06)
+            buf.push_varint(frame.offset)
+            buf.push_varint(len(frame.data))
+            buf.push_bytes(frame.data)
+        elif isinstance(frame, StreamFrame):
+            frame_type = 0x08 | 0x02 | 0x04  # OFF and LEN bits always set
+            if frame.fin:
+                frame_type |= 0x01
+            buf.push_varint(frame_type)
+            buf.push_varint(frame.stream_id)
+            buf.push_varint(frame.offset)
+            buf.push_varint(len(frame.data))
+            buf.push_bytes(frame.data)
+        elif isinstance(frame, ConnectionCloseFrame):
+            if frame.is_application:
+                buf.push_varint(0x1D)
+                buf.push_varint(frame.error_code)
+            else:
+                buf.push_varint(0x1C)
+                buf.push_varint(frame.error_code)
+                buf.push_varint(frame.frame_type or 0)
+            reason = frame.reason.encode()
+            buf.push_varint(len(reason))
+            buf.push_bytes(reason)
+        elif isinstance(frame, HandshakeDoneFrame):
+            buf.push_varint(0x1E)
+        elif isinstance(frame, NewConnectionIdFrame):
+            buf.push_varint(0x18)
+            buf.push_varint(frame.sequence_number)
+            buf.push_varint(frame.retire_prior_to)
+            buf.push_uint8(len(frame.connection_id))
+            buf.push_bytes(frame.connection_id)
+            buf.push_bytes(frame.stateless_reset_token)
+        elif isinstance(frame, MaxDataFrame):
+            buf.push_varint(0x10)
+            buf.push_varint(frame.maximum)
+        elif isinstance(frame, MaxStreamDataFrame):
+            buf.push_varint(0x11)
+            buf.push_varint(frame.stream_id)
+            buf.push_varint(frame.maximum)
+        elif isinstance(frame, MaxStreamsFrame):
+            buf.push_varint(0x12 if frame.bidirectional else 0x13)
+            buf.push_varint(frame.maximum)
+        elif isinstance(frame, ResetStreamFrame):
+            buf.push_varint(0x04)
+            buf.push_varint(frame.stream_id)
+            buf.push_varint(frame.error_code)
+            buf.push_varint(frame.final_size)
+        elif isinstance(frame, StopSendingFrame):
+            buf.push_varint(0x05)
+            buf.push_varint(frame.stream_id)
+            buf.push_varint(frame.error_code)
+        else:
+            raise TypeError(f"cannot encode frame {frame!r}")
+    return buf.data()
+
+
+def decode_frames(payload: bytes) -> List[Frame]:
+    buf = Buffer(payload)
+    frames: List[Frame] = []
+    try:
+        while not buf.eof():
+            frame_type = buf.pull_varint()
+            if frame_type == 0x00:
+                length = 1
+                while not buf.eof() and payload[buf.position] == 0:
+                    buf.pull_uint8()
+                    length += 1
+                frames.append(PaddingFrame(length=length))
+            elif frame_type == 0x01:
+                frames.append(PingFrame())
+            elif frame_type in (0x02, 0x03):
+                ack = _decode_ack(buf)
+                if frame_type == 0x03:  # ECN counts, parsed and discarded
+                    buf.pull_varint()
+                    buf.pull_varint()
+                    buf.pull_varint()
+                frames.append(ack)
+            elif frame_type == 0x04:
+                frames.append(
+                    ResetStreamFrame(
+                        stream_id=buf.pull_varint(),
+                        error_code=buf.pull_varint(),
+                        final_size=buf.pull_varint(),
+                    )
+                )
+            elif frame_type == 0x05:
+                frames.append(
+                    StopSendingFrame(
+                        stream_id=buf.pull_varint(), error_code=buf.pull_varint()
+                    )
+                )
+            elif frame_type == 0x06:
+                offset = buf.pull_varint()
+                length = buf.pull_varint()
+                frames.append(CryptoFrame(offset=offset, data=buf.pull_bytes(length)))
+            elif 0x08 <= frame_type <= 0x0F:
+                stream_id = buf.pull_varint()
+                offset = buf.pull_varint() if frame_type & 0x04 else 0
+                if frame_type & 0x02:
+                    length = buf.pull_varint()
+                    data = buf.pull_bytes(length)
+                else:
+                    data = buf.pull_bytes(buf.remaining)
+                frames.append(
+                    StreamFrame(
+                        stream_id=stream_id,
+                        offset=offset,
+                        data=data,
+                        fin=bool(frame_type & 0x01),
+                    )
+                )
+            elif frame_type == 0x10:
+                frames.append(MaxDataFrame(maximum=buf.pull_varint()))
+            elif frame_type == 0x11:
+                frames.append(
+                    MaxStreamDataFrame(
+                        stream_id=buf.pull_varint(), maximum=buf.pull_varint()
+                    )
+                )
+            elif frame_type in (0x12, 0x13):
+                frames.append(
+                    MaxStreamsFrame(
+                        maximum=buf.pull_varint(), bidirectional=frame_type == 0x12
+                    )
+                )
+            elif frame_type == 0x18:
+                sequence = buf.pull_varint()
+                retire = buf.pull_varint()
+                cid = buf.pull_bytes(buf.pull_uint8())
+                token = buf.pull_bytes(16)
+                frames.append(
+                    NewConnectionIdFrame(
+                        sequence_number=sequence,
+                        retire_prior_to=retire,
+                        connection_id=cid,
+                        stateless_reset_token=token,
+                    )
+                )
+            elif frame_type == 0x1C:
+                error_code = buf.pull_varint()
+                offending = buf.pull_varint()
+                reason = buf.pull_bytes(buf.pull_varint()).decode(errors="replace")
+                frames.append(
+                    ConnectionCloseFrame(
+                        error_code=error_code, frame_type=offending, reason=reason
+                    )
+                )
+            elif frame_type == 0x1D:
+                error_code = buf.pull_varint()
+                reason = buf.pull_bytes(buf.pull_varint()).decode(errors="replace")
+                frames.append(
+                    ConnectionCloseFrame(
+                        error_code=error_code, frame_type=None, reason=reason
+                    )
+                )
+            elif frame_type == 0x1E:
+                frames.append(HandshakeDoneFrame())
+            else:
+                raise FrameDecodeError(f"unsupported frame type 0x{frame_type:x}")
+    except ValueError as exc:
+        raise FrameDecodeError(str(exc)) from exc
+    return frames

@@ -1,0 +1,234 @@
+"""QUIC packet headers (RFC 9000 §17).
+
+Implements encoding and decoding of long-header packets (Initial,
+0-RTT, Handshake, Retry), Version Negotiation packets, and 1-RTT
+short-header packets.  Packet *protection* (AEAD + header protection)
+lives in :mod:`repro.quic.protection`; this module deals in plaintext
+structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from repro.quic.varint import Buffer
+
+__all__ = [
+    "PacketType",
+    "LongHeader",
+    "ShortHeader",
+    "VersionNegotiationPacket",
+    "encode_version_negotiation",
+    "decode_version_negotiation",
+    "is_long_header",
+    "encode_long_header",
+    "decode_long_header",
+    "PacketDecodeError",
+    "encode_packet_number",
+    "decode_packet_number",
+]
+
+
+class PacketDecodeError(ValueError):
+    """Raised when a datagram cannot be parsed as a QUIC packet."""
+
+
+class PacketType(IntEnum):
+    INITIAL = 0x0
+    ZERO_RTT = 0x1
+    HANDSHAKE = 0x2
+    RETRY = 0x3
+
+
+def is_long_header(datagram: bytes) -> bool:
+    return bool(datagram) and bool(datagram[0] & 0x80)
+
+
+@dataclass
+class LongHeader:
+    """A parsed long header (up to, not including, the packet number)."""
+
+    packet_type: PacketType
+    version: int
+    dcid: bytes
+    scid: bytes
+    token: bytes = b""
+    packet_number_length: int = 1
+    payload_length: int = 0  # length field: packet number + payload bytes
+    header_offset: int = 0  # offset where the packet number starts
+
+
+@dataclass
+class ShortHeader:
+    dcid: bytes
+    packet_number_length: int = 1
+    header_offset: int = 0
+    key_phase: int = 0
+
+
+@dataclass
+class VersionNegotiationPacket:
+    dcid: bytes
+    scid: bytes
+    supported_versions: List[int] = field(default_factory=list)
+
+
+def encode_packet_number(packet_number: int, length: int) -> bytes:
+    return (packet_number & ((1 << (8 * length)) - 1)).to_bytes(length, "big")
+
+
+def decode_packet_number(truncated: int, length: int, largest_acked: int) -> int:
+    """Recover a full packet number (RFC 9000 §A.3)."""
+    expected = largest_acked + 1
+    win = 1 << (8 * length)
+    hwin = win // 2
+    mask = win - 1
+    candidate = (expected & ~mask) | truncated
+    if candidate <= expected - hwin and candidate < (1 << 62) - win:
+        return candidate + win
+    if candidate > expected + hwin and candidate >= win:
+        return candidate - win
+    return candidate
+
+
+# ---------------------------------------------------------------------------
+# Version Negotiation (RFC 9000 §17.2.1)
+# ---------------------------------------------------------------------------
+
+
+def encode_version_negotiation(
+    dcid: bytes, scid: bytes, versions: List[int], first_byte_entropy: int = 0x2A
+) -> bytes:
+    buf = Buffer()
+    buf.push_uint8(0x80 | (first_byte_entropy & 0x7F))
+    buf.push_uint32(0)  # the VN version field is zero
+    buf.push_uint8(len(dcid))
+    buf.push_bytes(dcid)
+    buf.push_uint8(len(scid))
+    buf.push_bytes(scid)
+    for version in versions:
+        buf.push_uint32(version)
+    return buf.data()
+
+
+def decode_version_negotiation(datagram: bytes) -> VersionNegotiationPacket:
+    buf = Buffer(datagram)
+    first = buf.pull_uint8()
+    if not first & 0x80:
+        raise PacketDecodeError("not a long header packet")
+    version = buf.pull_uint32()
+    if version != 0:
+        raise PacketDecodeError("not a version negotiation packet")
+    dcid = buf.pull_bytes(buf.pull_uint8())
+    scid = buf.pull_bytes(buf.pull_uint8())
+    versions = []
+    while buf.remaining >= 4:
+        versions.append(buf.pull_uint32())
+    if buf.remaining:
+        raise PacketDecodeError("trailing bytes in version negotiation packet")
+    return VersionNegotiationPacket(dcid=dcid, scid=scid, supported_versions=versions)
+
+
+# ---------------------------------------------------------------------------
+# Long header packets (RFC 9000 §17.2)
+# ---------------------------------------------------------------------------
+
+
+def encode_long_header(
+    packet_type: PacketType,
+    version: int,
+    dcid: bytes,
+    scid: bytes,
+    packet_number: int,
+    payload_length: int,
+    token: bytes = b"",
+    packet_number_length: int = 4,
+) -> Tuple[bytes, int]:
+    """Encode a long header through the length field and packet number.
+
+    Returns ``(header_bytes, pn_offset)`` where ``pn_offset`` is the
+    offset of the packet number within the header (needed for header
+    protection).  ``payload_length`` is the length of the *protected*
+    payload excluding the packet number bytes.
+    """
+    if len(dcid) > 20 or len(scid) > 20:
+        raise ValueError("connection IDs are limited to 20 bytes")
+    buf = Buffer()
+    first = 0xC0 | (packet_type << 4) | (packet_number_length - 1)
+    buf.push_uint8(first)
+    buf.push_uint32(version)
+    buf.push_uint8(len(dcid))
+    buf.push_bytes(dcid)
+    buf.push_uint8(len(scid))
+    buf.push_bytes(scid)
+    if packet_type == PacketType.INITIAL:
+        buf.push_varint(len(token))
+        buf.push_bytes(token)
+    buf.push_varint(packet_number_length + payload_length)
+    pn_offset = len(buf.data())
+    buf.push_bytes(encode_packet_number(packet_number, packet_number_length))
+    return buf.data(), pn_offset
+
+
+def decode_long_header(datagram: bytes, offset: int = 0) -> LongHeader:
+    """Parse a long header up to (not including) the packet number.
+
+    ``header_offset`` in the result is where the (still protected)
+    packet number begins.  The first byte's low bits are protected and
+    therefore not interpreted here beyond the packet type.
+    """
+    buf = Buffer(datagram[offset:])
+    first = buf.pull_uint8()
+    if not first & 0x80:
+        raise PacketDecodeError("not a long header packet")
+    version = buf.pull_uint32()
+    if version == 0:
+        raise PacketDecodeError("version negotiation packets have no long header body")
+    packet_type = PacketType((first >> 4) & 0x3)
+    dcid_len = buf.pull_uint8()
+    if dcid_len > 20:
+        raise PacketDecodeError("destination connection ID too long")
+    dcid = buf.pull_bytes(dcid_len)
+    scid_len = buf.pull_uint8()
+    if scid_len > 20:
+        raise PacketDecodeError("source connection ID too long")
+    scid = buf.pull_bytes(scid_len)
+    token = b""
+    if packet_type == PacketType.INITIAL:
+        token = buf.pull_bytes(buf.pull_varint())
+    payload_length = 0
+    if packet_type != PacketType.RETRY:
+        payload_length = buf.pull_varint()
+    return LongHeader(
+        packet_type=packet_type,
+        version=version,
+        dcid=dcid,
+        scid=scid,
+        token=token,
+        payload_length=payload_length,
+        header_offset=offset + buf.position,
+    )
+
+
+def decode_short_header(datagram: bytes, dcid_length: int) -> ShortHeader:
+    """Parse a 1-RTT short header (requires knowing the local CID length)."""
+    buf = Buffer(datagram)
+    first = buf.pull_uint8()
+    if first & 0x80:
+        raise PacketDecodeError("not a short header packet")
+    dcid = buf.pull_bytes(dcid_length)
+    return ShortHeader(dcid=dcid, header_offset=buf.position)
+
+
+def encode_short_header(
+    dcid: bytes, packet_number: int, packet_number_length: int = 2, key_phase: int = 0
+) -> Tuple[bytes, int]:
+    buf = Buffer()
+    first = 0x40 | ((key_phase & 1) << 2) | (packet_number_length - 1)
+    buf.push_uint8(first)
+    buf.push_bytes(dcid)
+    pn_offset = len(buf.data())
+    buf.push_bytes(encode_packet_number(packet_number, packet_number_length))
+    return buf.data(), pn_offset

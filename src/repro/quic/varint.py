@@ -1,0 +1,110 @@
+"""QUIC variable-length integer encoding (RFC 9000 §16).
+
+The two most significant bits of the first byte select the total
+length (1, 2, 4 or 8 bytes); the remainder encodes the value in
+network byte order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["encode_varint", "decode_varint", "varint_length", "VARINT_MAX", "Buffer"]
+
+VARINT_MAX = (1 << 62) - 1
+
+
+def varint_length(value: int) -> int:
+    """Number of bytes the varint encoding of ``value`` occupies."""
+    if value < 0:
+        raise ValueError("varint cannot encode negative values")
+    if value < 1 << 6:
+        return 1
+    if value < 1 << 14:
+        return 2
+    if value < 1 << 30:
+        return 4
+    if value <= VARINT_MAX:
+        return 8
+    raise ValueError(f"value too large for varint: {value}")
+
+
+def encode_varint(value: int) -> bytes:
+    length = varint_length(value)
+    prefix = {1: 0x00, 2: 0x40, 4: 0x80, 8: 0xC0}[length]
+    encoded = bytearray(value.to_bytes(length, "big"))
+    encoded[0] |= prefix
+    return bytes(encoded)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint at ``offset``; returns ``(value, next_offset)``."""
+    if offset >= len(data):
+        raise ValueError("truncated varint")
+    first = data[offset]
+    length = 1 << (first >> 6)
+    if offset + length > len(data):
+        raise ValueError("truncated varint")
+    value = first & 0x3F
+    for i in range(1, length):
+        value = (value << 8) | data[offset + i]
+    return value, offset + length
+
+
+class Buffer:
+    """A small cursor-based reader/writer used by the wire codecs."""
+
+    def __init__(self, data: bytes = b""):
+        self._data = bytearray(data)
+        self._pos = 0
+
+    # -- reading -----------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def eof(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def pull_bytes(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise ValueError("buffer underrun")
+        result = bytes(self._data[self._pos : self._pos + count])
+        self._pos += count
+        return result
+
+    def pull_uint8(self) -> int:
+        return self.pull_bytes(1)[0]
+
+    def pull_uint16(self) -> int:
+        return int.from_bytes(self.pull_bytes(2), "big")
+
+    def pull_uint32(self) -> int:
+        return int.from_bytes(self.pull_bytes(4), "big")
+
+    def pull_varint(self) -> int:
+        value, self._pos = decode_varint(bytes(self._data), self._pos)
+        return value
+
+    # -- writing -----------------------------------------------------------
+    def push_bytes(self, data: bytes) -> None:
+        self._data += data
+
+    def push_uint8(self, value: int) -> None:
+        self._data.append(value & 0xFF)
+
+    def push_uint16(self, value: int) -> None:
+        self._data += value.to_bytes(2, "big")
+
+    def push_uint32(self, value: int) -> None:
+        self._data += value.to_bytes(4, "big")
+
+    def push_varint(self, value: int) -> None:
+        self._data += encode_varint(value)
+
+    def data(self) -> bytes:
+        return bytes(self._data)

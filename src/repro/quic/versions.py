@@ -1,0 +1,167 @@
+"""QUIC version registry.
+
+Covers every version label the paper reports in Figures 5 and 6:
+Google QUIC versions (``Q039``–``Q099``, ``T048``/``T051``), IETF
+drafts 27/28/29, the final "Version 1" (labelled ``ietf-01`` in the
+paper's figures) and the Facebook ``mvfst`` variants — plus the
+reserved ``0x?a?a?a?a`` pattern a client offers to force a Version
+Negotiation (RFC 9000 §6.3), which is the heart of the ZMap module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+__all__ = [
+    "QUIC_V1",
+    "DRAFT_27",
+    "DRAFT_28",
+    "DRAFT_29",
+    "DRAFT_32",
+    "DRAFT_34",
+    "VersionRegistry",
+    "force_negotiation_version",
+    "is_forcing_negotiation",
+    "version_label",
+    "label_to_version",
+    "alpn_for_version",
+    "QSCANNER_SUPPORTED",
+]
+
+QUIC_V1 = 0x00000001
+
+
+def _draft(n: int) -> int:
+    return 0xFF000000 | n
+
+
+DRAFT_27 = _draft(27)
+DRAFT_28 = _draft(28)
+DRAFT_29 = _draft(29)
+DRAFT_32 = _draft(32)
+DRAFT_34 = _draft(34)
+
+
+def _google(tag: str) -> int:
+    """Google QUIC versions are the ASCII tag, e.g. b"Q043"."""
+    return int.from_bytes(tag.encode("ascii"), "big")
+
+
+_LABELS: Dict[int, str] = {
+    QUIC_V1: "ietf-01",
+    DRAFT_27: "draft-27",
+    DRAFT_28: "draft-28",
+    DRAFT_29: "draft-29",
+    DRAFT_32: "draft-32",
+    DRAFT_34: "draft-34",
+    _google("Q039"): "Q039",
+    _google("Q043"): "Q043",
+    _google("Q046"): "Q046",
+    _google("Q048"): "Q048",
+    _google("Q050"): "Q050",
+    _google("Q099"): "Q099",
+    _google("T048"): "T048",
+    _google("T051"): "T051",
+    0xFACEB001: "mvfst-1",
+    0xFACEB002: "mvfst-2",
+    0xFACEB00E: "mvfst-e",
+}
+
+_BY_LABEL: Dict[str, int] = {label: version for version, label in _LABELS.items()}
+
+# Versions the published QScanner supported at scan time (§3.4): draft
+# 29, 32 and 34; updated for QUIC v1 shortly after RFC 9000.
+QSCANNER_SUPPORTED: FrozenSet[int] = frozenset({DRAFT_29, DRAFT_32, DRAFT_34, QUIC_V1})
+
+# ALPN token per version as drafted in draft-ietf-quic-http (§2 of the
+# paper's background): "h3-29" during drafts, plain "h3" for v1.
+_ALPN: Dict[int, str] = {
+    QUIC_V1: "h3",
+    DRAFT_27: "h3-27",
+    DRAFT_28: "h3-28",
+    DRAFT_29: "h3-29",
+    DRAFT_32: "h3-32",
+    DRAFT_34: "h3-34",
+    _google("Q043"): "h3-Q043",
+    _google("Q046"): "h3-Q046",
+    _google("Q050"): "h3-Q050",
+}
+
+
+def version_label(version: int) -> str:
+    """Human-readable label matching the paper's figures."""
+    label = _LABELS.get(version)
+    if label is not None:
+        return label
+    if is_forcing_negotiation(version):
+        return f"grease-{version:08x}"
+    if (version >> 8) == 0xFF0000:
+        return f"draft-{version & 0xFF}"
+    return f"0x{version:08x}"
+
+
+def label_to_version(label: str) -> int:
+    """Inverse of :func:`version_label` for registered labels."""
+    try:
+        return _BY_LABEL[label]
+    except KeyError:
+        raise ValueError(f"unknown version label: {label}") from None
+
+
+def alpn_for_version(version: int) -> Optional[str]:
+    return _ALPN.get(version)
+
+
+def is_forcing_negotiation(version: int) -> bool:
+    """True for the reserved 0x?a?a?a?a greasing pattern (RFC 9000 §15)."""
+    return (version & 0x0F0F0F0F) == 0x0A0A0A0A
+
+
+def force_negotiation_version(nibbles: int = 0x1234) -> int:
+    """Build a 0x?a?a?a?a version from four free nibbles.
+
+    The ZMap module offers such a version so that any conforming server
+    must answer with a Version Negotiation packet.
+    """
+    n0 = (nibbles >> 12) & 0xF
+    n1 = (nibbles >> 8) & 0xF
+    n2 = (nibbles >> 4) & 0xF
+    n3 = nibbles & 0xF
+    return (n0 << 28) | (0xA << 24) | (n1 << 20) | (0xA << 16) | (n2 << 12) | (0xA << 8) | (n3 << 4) | 0xA
+
+
+class VersionRegistry:
+    """Helpers for working with sets of versions (as in Figs. 5-7)."""
+
+    @staticmethod
+    def labels(versions: Iterable[int]) -> List[str]:
+        return [version_label(v) for v in versions]
+
+    @staticmethod
+    def set_label(versions: Iterable[int]) -> str:
+        """Canonical label for a version *set*, matching Figure 5 style.
+
+        Versions are sorted newest-first with IETF versions before
+        Google and Facebook ones, joined by spaces.
+        """
+
+        def sort_key(version: int):
+            label = version_label(version)
+            family = {"i": 0, "d": 0, "m": 2}.get(label[0], 1)
+            return (family, -version if family == 0 else version, label)
+
+        ordered = sorted(set(versions), key=sort_key)
+        return " ".join(version_label(v) for v in ordered)
+
+    @staticmethod
+    def is_ietf(version: int) -> bool:
+        return version == QUIC_V1 or (version >> 8) == 0xFF0000
+
+    @staticmethod
+    def is_google(version: int) -> bool:
+        first = (version >> 24) & 0xFF
+        return first in (ord("Q"), ord("T"))
+
+    @staticmethod
+    def is_mvfst(version: int) -> bool:
+        return (version >> 12) == 0xFACEB

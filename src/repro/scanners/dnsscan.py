@@ -1,0 +1,52 @@
+"""Bulk DNS scans of domain input lists (§3.2).
+
+Resolves each input list (toplists, CZDS zones) for ``A``, ``AAAA``
+and ``HTTPS`` records — the paper additionally queried ``SVCB`` but
+never received an answer, which the simulated Internet reproduces (no
+deployment publishes SVCB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.dns.resolver import Resolver
+from repro.scanners.results import DnsScanRecord
+
+__all__ = ["DnsScanner"]
+
+
+@dataclass
+class DnsScanner:
+    resolver: Resolver
+
+    def scan_list(self, list_name: str, domains: Iterable[str]) -> List[DnsScanRecord]:
+        records: List[DnsScanRecord] = []
+        for domain in domains:
+            result = self.resolver.resolve(domain, ("A", "AAAA", "HTTPS", "SVCB"))
+            alpn: List[str] = []
+            v4hints = []
+            v6hints = []
+            for https in result.https:
+                alpn.extend(a for a in https.params.alpn if a not in alpn)
+                v4hints.extend(https.params.ipv4hint)
+                v6hints.extend(https.params.ipv6hint)
+            records.append(
+                DnsScanRecord(
+                    domain=domain,
+                    source_list=list_name,
+                    a=tuple(result.ipv4_addresses),
+                    aaaa=tuple(result.ipv6_addresses),
+                    https_alpn=tuple(alpn),
+                    https_ipv4hints=tuple(v4hints),
+                    https_ipv6hints=tuple(v6hints),
+                    has_https_rr=result.has_https_rr,
+                )
+            )
+        return records
+
+    def scan_lists(
+        self, lists: Dict[str, Sequence[str]]
+    ) -> Dict[str, List[DnsScanRecord]]:
+        return {name: self.scan_list(name, domains) for name, domains in lists.items()}

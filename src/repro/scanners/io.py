@@ -1,0 +1,220 @@
+"""Result persistence: JSONL writers/readers for all scan records.
+
+The paper publishes its raw scan data alongside the tool set; this
+module provides the equivalent for the reproduction — every record
+type serialises to one JSON object per line and round-trips losslessly
+(addresses as strings, enums as values, version lists as hex).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Type, Union
+
+from repro.http.altsvc import AltSvcEntry
+from repro.netsim.addresses import Address, IPv4Address, IPv6Address
+from repro.scanners.results import (
+    DnsScanRecord,
+    GoscannerRecord,
+    QScanOutcome,
+    QScanRecord,
+    TargetSource,
+    ZmapQuicRecord,
+)
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "dump_record",
+    "load_record",
+]
+
+
+def _parse_address(text: str) -> Address:
+    if ":" in text:
+        return IPv6Address.parse(text)
+    return IPv4Address.parse(text)
+
+
+def dump_record(record) -> dict:
+    """Serialise any scan record to a JSON-compatible dict."""
+    if isinstance(record, ZmapQuicRecord):
+        return {
+            "type": "zmap-quic",
+            "address": str(record.address),
+            "versions": [f"0x{v:08x}" for v in record.versions],
+        }
+    if isinstance(record, DnsScanRecord):
+        return {
+            "type": "dns",
+            "domain": record.domain,
+            "source_list": record.source_list,
+            "a": [str(a) for a in record.a],
+            "aaaa": [str(a) for a in record.aaaa],
+            "https_alpn": list(record.https_alpn),
+            "https_ipv4hints": [str(a) for a in record.https_ipv4hints],
+            "https_ipv6hints": [str(a) for a in record.https_ipv6hints],
+            "has_https_rr": record.has_https_rr,
+        }
+    if isinstance(record, GoscannerRecord):
+        return {
+            "type": "goscanner",
+            "address": str(record.address),
+            "sni": record.sni,
+            "success": record.success,
+            "tls_version": record.tls_version,
+            "cipher_suite": record.cipher_suite,
+            "key_exchange_group": record.key_exchange_group,
+            "certificate_fingerprint": record.certificate_fingerprint,
+            "certificate_self_signed": record.certificate_self_signed,
+            "certificate_subject": record.certificate_subject,
+            "server_extensions": list(record.server_extensions),
+            "sni_echoed": record.sni_echoed,
+            "alpn": record.alpn,
+            "http_status": record.http_status,
+            "server_header": record.server_header,
+            "alt_svc": [
+                {"alpn": e.alpn, "host": e.host, "port": e.port, "ma": e.max_age}
+                for e in record.alt_svc
+            ],
+            "error": record.error,
+        }
+    if isinstance(record, QScanRecord):
+        return {
+            "type": "qscan",
+            "address": str(record.address),
+            "sni": record.sni,
+            "source": record.source.value,
+            "outcome": record.outcome.value,
+            "quic_version": f"0x{record.quic_version:08x}" if record.quic_version else None,
+            "error_code": record.error_code,
+            "error_reason": record.error_reason,
+            "tls_version": record.tls_version,
+            "cipher_suite": record.cipher_suite,
+            "key_exchange_group": record.key_exchange_group,
+            "certificate_fingerprint": record.certificate_fingerprint,
+            "certificate_subject": record.certificate_subject,
+            "server_extensions": list(record.server_extensions),
+            "sni_echoed": record.sni_echoed,
+            "alpn": record.alpn,
+            "transport_params_fingerprint": _dump_fingerprint(
+                record.transport_params_fingerprint
+            ),
+            "max_udp_payload_size": record.max_udp_payload_size,
+            "initial_max_data": record.initial_max_data,
+            "http_status": record.http_status,
+            "server_header": record.server_header,
+            "handshake_rtt": record.handshake_rtt,
+            "version_negotiation_seen": record.version_negotiation_seen,
+            "resumption_supported": record.resumption_supported,
+            "early_data_supported": record.early_data_supported,
+        }
+    raise TypeError(f"cannot serialise record {record!r}")
+
+
+def _dump_fingerprint(fingerprint) -> Optional[list]:
+    if fingerprint is None:
+        return None
+    return [[name, value] for name, value in fingerprint]
+
+
+def _load_fingerprint(data) -> Optional[tuple]:
+    if data is None:
+        return None
+    return tuple((name, value) for name, value in data)
+
+
+def load_record(obj: dict):
+    """Deserialise a dict produced by :func:`dump_record`."""
+    kind = obj.get("type")
+    if kind == "zmap-quic":
+        return ZmapQuicRecord(
+            address=_parse_address(obj["address"]),
+            versions=tuple(int(v, 16) for v in obj["versions"]),
+        )
+    if kind == "dns":
+        return DnsScanRecord(
+            domain=obj["domain"],
+            source_list=obj["source_list"],
+            a=tuple(_parse_address(a) for a in obj["a"]),
+            aaaa=tuple(_parse_address(a) for a in obj["aaaa"]),
+            https_alpn=tuple(obj["https_alpn"]),
+            https_ipv4hints=tuple(_parse_address(a) for a in obj["https_ipv4hints"]),
+            https_ipv6hints=tuple(_parse_address(a) for a in obj["https_ipv6hints"]),
+            has_https_rr=obj["has_https_rr"],
+        )
+    if kind == "goscanner":
+        return GoscannerRecord(
+            address=_parse_address(obj["address"]),
+            sni=obj["sni"],
+            success=obj["success"],
+            tls_version=obj["tls_version"],
+            cipher_suite=obj["cipher_suite"],
+            key_exchange_group=obj["key_exchange_group"],
+            certificate_fingerprint=obj["certificate_fingerprint"],
+            certificate_self_signed=obj["certificate_self_signed"],
+            certificate_subject=obj["certificate_subject"],
+            server_extensions=tuple(obj["server_extensions"]),
+            sni_echoed=obj["sni_echoed"],
+            alpn=obj["alpn"],
+            http_status=obj["http_status"],
+            server_header=obj["server_header"],
+            alt_svc=tuple(
+                AltSvcEntry(alpn=e["alpn"], host=e["host"], port=e["port"], max_age=e["ma"])
+                for e in obj["alt_svc"]
+            ),
+            error=obj["error"],
+        )
+    if kind == "qscan":
+        return QScanRecord(
+            address=_parse_address(obj["address"]),
+            sni=obj["sni"],
+            source=TargetSource(obj["source"]),
+            outcome=QScanOutcome(obj["outcome"]),
+            quic_version=int(obj["quic_version"], 16) if obj["quic_version"] else None,
+            error_code=obj["error_code"],
+            error_reason=obj["error_reason"],
+            tls_version=obj["tls_version"],
+            cipher_suite=obj["cipher_suite"],
+            key_exchange_group=obj["key_exchange_group"],
+            certificate_fingerprint=obj["certificate_fingerprint"],
+            certificate_subject=obj["certificate_subject"],
+            server_extensions=tuple(obj["server_extensions"]),
+            sni_echoed=obj["sni_echoed"],
+            alpn=obj["alpn"],
+            transport_params_fingerprint=_load_fingerprint(
+                obj["transport_params_fingerprint"]
+            ),
+            max_udp_payload_size=obj["max_udp_payload_size"],
+            initial_max_data=obj["initial_max_data"],
+            http_status=obj["http_status"],
+            server_header=obj["server_header"],
+            handshake_rtt=obj["handshake_rtt"],
+            version_negotiation_seen=obj["version_negotiation_seen"],
+            resumption_supported=obj.get("resumption_supported"),
+            early_data_supported=obj.get("early_data_supported"),
+        )
+    raise ValueError(f"unknown record type {kind!r}")
+
+
+def write_jsonl(records: Iterable, path: Union[str, Path]) -> int:
+    """Write records to a JSONL file; returns the number written."""
+    count = 0
+    with open(path, "w") as stream:
+        for record in records:
+            stream.write(json.dumps(dump_record(record), sort_keys=True))
+            stream.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path]) -> List:
+    """Read all records from a JSONL file."""
+    records = []
+    with open(path) as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(load_record(json.loads(line)))
+    return records

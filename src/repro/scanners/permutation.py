@@ -1,0 +1,92 @@
+"""ZMap's address-space permutation.
+
+ZMap iterates the scanned space in a pseudo-random order by walking
+the cyclic multiplicative group of integers modulo a prime just above
+the space size: ``x_{i+1} = x_i * g mod p``.  The order visits every
+element exactly once, needs constant memory and is cheap per step —
+the properties that let ZMap randomise a full IPv4 sweep.  We
+implement the same construction over the (configurable) simulated
+address space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.crypto.rand import DeterministicRandom
+
+__all__ = ["CyclicGroupPermutation", "smallest_prime_above"]
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def smallest_prime_above(n: int) -> int:
+    """The smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+class CyclicGroupPermutation:
+    """A full-cycle permutation of ``range(size)``.
+
+    Walks the multiplicative group modulo the smallest prime above
+    ``size``; values landing beyond the space are skipped (at most a
+    handful, since the prime gap is tiny).  A generator of the group is
+    found by checking the order against the factorisation of p-1.
+    """
+
+    def __init__(self, size: int, rng: Optional[DeterministicRandom] = None):
+        if size < 2:
+            raise ValueError("permutation needs a space of at least 2")
+        self.size = size
+        self._p = smallest_prime_above(size)
+        rng = rng or DeterministicRandom("zmap-permutation")
+        self._generator = self._find_generator(rng)
+        self._start = rng.randrange(1, self._p)
+
+    def _find_generator(self, rng: DeterministicRandom) -> int:
+        factors = self._factorize(self._p - 1)
+        while True:
+            candidate = rng.randrange(2, self._p)
+            if all(
+                pow(candidate, (self._p - 1) // q, self._p) != 1 for q in factors
+            ):
+                return candidate
+
+    @staticmethod
+    def _factorize(n: int) -> set:
+        factors = set()
+        f = 2
+        while f * f <= n:
+            while n % f == 0:
+                factors.add(f)
+                n //= f
+            f += 1
+        if n > 1:
+            factors.add(n)
+        return factors
+
+    def __iter__(self) -> Iterator[int]:
+        """Yield every index in ``range(size)`` exactly once."""
+        p, g = self._p, self._generator
+        current = self._start
+        for _ in range(p - 1):
+            if current <= self.size:
+                yield current - 1  # map [1, size] onto [0, size)
+            current = (current * g) % p
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,233 @@
+"""QScanner: the stateful QUIC scanner (§3.4).
+
+Completes full QUIC handshakes with targets — IP addresses alone or
+(address, domain) pairs with the domain as SNI — and extracts:
+
+- the handshake outcome class (Table 3: success / timeout / crypto
+  error 0x128 / version mismatch / other),
+- TLS properties: version, cipher, key-exchange group, certificate,
+  echoed extensions (§5.1 comparisons against TLS-over-TCP),
+- the server's QUIC transport parameters (§5.2 fingerprinting),
+- HTTP/3 response headers from a HEAD request (``server`` values).
+
+Like the published QScanner, only targets announcing a compatible
+version are attempted (the campaign pre-filters), and the scanner
+supports restricting its own version set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.rand import DeterministicRandom
+from repro.http import h3
+from repro.netsim.addresses import Address
+from repro.netsim.topology import Network
+from repro.quic.connection import (
+    HandshakeTimeout,
+    QuicClientConfig,
+    QuicClientConnection,
+    VersionMismatchError,
+)
+from repro.quic.errors import CRYPTO_ERROR_HANDSHAKE_FAILURE, QuicError
+from repro.quic.transport_params import TransportParameters
+from repro.quic.versions import QSCANNER_SUPPORTED, QUIC_V1, alpn_for_version
+from repro.scanners.results import QScanOutcome, QScanRecord, TargetSource
+from repro.tls.certificates import Certificate
+from repro.tls.engine import TlsClientConfig
+
+__all__ = ["QScanner", "QScannerConfig"]
+
+_REQUEST_STREAM = 0
+_CONTROL_STREAM = 2
+
+
+@dataclass
+class QScannerConfig:
+    """Scanner configuration mirroring the published tool's options."""
+
+    versions: Sequence[int] = (QUIC_V1,)
+    alpn: Sequence[str] = ("h3", "h3-34", "h3-32", "h3-29")
+    cipher_suites: Sequence = ()
+    groups: Sequence[int] = ()
+    transport_params: TransportParameters = field(
+        default_factory=lambda: TransportParameters(
+            max_idle_timeout=30_000,
+            max_udp_payload_size=1452,
+            initial_max_data=786_432,
+            initial_max_stream_data_bidi_local=524_288,
+            initial_max_stream_data_bidi_remote=524_288,
+            initial_max_stream_data_uni=524_288,
+            initial_max_streams_bidi=100,
+            initial_max_streams_uni=100,
+        )
+    )
+    timeout: float = 3.0
+    http3_head_request: bool = True
+    trusted_roots: Sequence[Certificate] = ()
+    fast_initial_protection: bool = False
+    # Extension E1: after a successful handshake, collect a session
+    # ticket and attempt a resumed (and, if permitted, 0-RTT)
+    # connection, recording support on the scan record.
+    test_resumption: bool = False
+    seed: object = "qscanner"
+
+
+class QScanner:
+    """The stateful QUIC scanner over the simulated network."""
+
+    def __init__(self, network: Network, source_address: Address, config: QScannerConfig):
+        self._network = network
+        self._source = source_address
+        self._config = config
+        self._rng = DeterministicRandom(config.seed)
+        self._counter = 0
+
+    def scan(
+        self,
+        address: Address,
+        sni: Optional[str] = None,
+        source: TargetSource = TargetSource.ZMAP_DNS,
+        port: int = 443,
+    ) -> QScanRecord:
+        """Scan one target; never raises — outcomes are classified."""
+        record = QScanRecord(address=address, sni=sni, source=source)
+        self._counter += 1
+        rng = self._rng.child(self._counter)
+
+        streams: Dict[int, bytes] = {}
+        if self._config.http3_head_request:
+            streams[_REQUEST_STREAM] = h3.encode_head_request(sni or str(address))
+            streams[_CONTROL_STREAM] = h3.encode_control_stream({0x06: 16384})
+
+        tls_kwargs = {}
+        if self._config.cipher_suites:
+            tls_kwargs["cipher_suites"] = tuple(self._config.cipher_suites)
+        if self._config.groups:
+            tls_kwargs["groups"] = tuple(self._config.groups)
+        quic_config = QuicClientConfig(
+            versions=tuple(self._config.versions),
+            tls=TlsClientConfig(
+                server_name=sni,
+                alpn=tuple(self._config.alpn),
+                transport_params=self._config.transport_params,
+                trusted_roots=tuple(self._config.trusted_roots),
+                **tls_kwargs,
+            ),
+            timeout=self._config.timeout,
+            application_streams=streams,
+            fast_initial_protection=self._config.fast_initial_protection,
+            collect_session_ticket=self._config.test_resumption,
+        )
+        connection = QuicClientConnection(
+            self._network, self._source, address, port, quic_config, rng
+        )
+        try:
+            result = connection.connect()
+        except VersionMismatchError:
+            record.outcome = QScanOutcome.VERSION_MISMATCH
+            return record
+        except HandshakeTimeout:
+            record.outcome = QScanOutcome.TIMEOUT
+            return record
+        except QuicError as error:
+            record.error_code = error.error_code
+            record.error_reason = error.reason
+            if error.error_code == CRYPTO_ERROR_HANDSHAKE_FAILURE:
+                record.outcome = QScanOutcome.CRYPTO_ERROR_0X128
+            else:
+                record.outcome = QScanOutcome.OTHER
+            return record
+
+        record.outcome = QScanOutcome.SUCCESS
+        record.quic_version = result.version
+        record.handshake_rtt = result.handshake_rtt
+        record.version_negotiation_seen = result.version_negotiation_seen
+        tls = result.tls
+        record.tls_version = tls.tls_version
+        record.cipher_suite = tls.cipher_suite
+        record.key_exchange_group = tls.key_exchange_group
+        record.server_extensions = tuple(
+            name
+            for name in tls.server_extensions
+            # The paper excludes the QUIC-only transport parameter
+            # extension from the TCP comparison (§5.1).
+            if not name.startswith("quic_transport_parameters")
+        )
+        record.sni_echoed = tls.sni_echoed
+        record.alpn = tls.alpn
+        if tls.server_certificates:
+            leaf = tls.server_certificates[0]
+            record.certificate_fingerprint = leaf.fingerprint()
+            record.certificate_subject = leaf.subject
+        params = result.transport_params
+        if params is not None:
+            record.transport_params_fingerprint = params.fingerprint()
+            record.max_udp_payload_size = params.max_udp_payload_size
+            record.initial_max_data = params.initial_max_data
+        response_data = result.streams.get(_REQUEST_STREAM)
+        if response_data:
+            try:
+                response = h3.decode_response(response_data)
+            except h3.H3Error:
+                response = None
+            if response is not None:
+                record.http_status = response.status
+                record.server_header = response.header("server")
+        if self._config.test_resumption:
+            self._probe_resumption(record, result, quic_config, address, port, rng)
+        return record
+
+    def _probe_resumption(
+        self,
+        record: QScanRecord,
+        result,
+        quic_config: QuicClientConfig,
+        address: Address,
+        port: int,
+        rng: DeterministicRandom,
+    ) -> None:
+        """Attempt a resumed (and 0-RTT) connection with the collected
+        ticket (extension E1)."""
+        ticket = result.session_ticket
+        if ticket is None:
+            record.resumption_supported = False
+            record.early_data_supported = False
+            return
+        resume_config = QuicClientConfig(
+            versions=quic_config.versions,
+            tls=TlsClientConfig(
+                server_name=quic_config.tls.server_name,
+                alpn=quic_config.tls.alpn,
+                cipher_suites=quic_config.tls.cipher_suites,
+                groups=quic_config.tls.groups,
+                transport_params=quic_config.tls.transport_params,
+                session_ticket=ticket,
+                offer_early_data=ticket.allows_early_data,
+            ),
+            timeout=self._config.timeout,
+            application_streams=dict(quic_config.application_streams),
+            fast_initial_protection=quic_config.fast_initial_protection,
+            use_early_data=ticket.allows_early_data,
+        )
+        connection = QuicClientConnection(
+            self._network, self._source, address, port, resume_config, rng.child("resume")
+        )
+        try:
+            resumed = connection.connect()
+        except (VersionMismatchError, HandshakeTimeout, QuicError):
+            record.resumption_supported = False
+            record.early_data_supported = False
+            return
+        record.resumption_supported = bool(resumed.tls.resumed)
+        record.early_data_supported = bool(
+            resumed.early_data_sent and resumed.early_data_accepted
+        )
+
+    def scan_many(
+        self,
+        targets: Sequence[Tuple[Address, Optional[str], TargetSource]],
+        port: int = 443,
+    ) -> List[QScanRecord]:
+        return [self.scan(address, sni, source, port) for address, sni, source in targets]

@@ -1,0 +1,132 @@
+"""Typed result records produced by the scanners.
+
+Each scanner emits flat records; the analysis layer joins and
+aggregates them.  Keeping these as plain dataclasses (rather than
+dicts) gives the pipeline a checked schema and makes tests precise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.http.altsvc import AltSvcEntry
+from repro.netsim.addresses import Address, IPv4Address, IPv6Address
+
+__all__ = [
+    "ZmapQuicRecord",
+    "SynRecord",
+    "DnsScanRecord",
+    "GoscannerRecord",
+    "QScanOutcome",
+    "QScanRecord",
+    "TargetSource",
+]
+
+
+class TargetSource(str, Enum):
+    """Which discovery method produced a stateful-scan target."""
+
+    ZMAP_DNS = "zmap+dns"
+    ALT_SVC = "alt-svc"
+    HTTPS_RR = "https-rr"
+
+
+@dataclass(frozen=True)
+class ZmapQuicRecord:
+    """One responding address from the stateless ZMap QUIC module."""
+
+    address: Address
+    versions: Tuple[int, ...]  # versions listed in the VN packet
+
+
+@dataclass(frozen=True)
+class SynRecord:
+    address: Address
+    port: int
+    open: bool
+
+
+@dataclass
+class DnsScanRecord:
+    """Resolution outcome for one domain from one input list."""
+
+    domain: str
+    source_list: str
+    a: Tuple[IPv4Address, ...] = ()
+    aaaa: Tuple[IPv6Address, ...] = ()
+    https_alpn: Tuple[str, ...] = ()
+    https_ipv4hints: Tuple[IPv4Address, ...] = ()
+    https_ipv6hints: Tuple[IPv6Address, ...] = ()
+    has_https_rr: bool = False
+
+
+@dataclass
+class GoscannerRecord:
+    """Stateful TLS-over-TCP scan result for one (address, SNI) target."""
+
+    address: Address
+    sni: Optional[str]
+    success: bool = False
+    tls_version: Optional[str] = None
+    cipher_suite: Optional[str] = None
+    key_exchange_group: Optional[str] = None
+    certificate_fingerprint: Optional[str] = None
+    certificate_self_signed: bool = False
+    certificate_subject: Optional[str] = None
+    server_extensions: Tuple[str, ...] = ()
+    sni_echoed: bool = False
+    alpn: Optional[str] = None
+    http_status: Optional[int] = None
+    server_header: Optional[str] = None
+    alt_svc: Tuple[AltSvcEntry, ...] = ()
+    error: Optional[str] = None
+
+
+class QScanOutcome(str, Enum):
+    """Stateful QUIC scan outcome classes, as in Table 3."""
+
+    SUCCESS = "success"
+    TIMEOUT = "timeout"
+    CRYPTO_ERROR_0X128 = "crypto-error-0x128"
+    VERSION_MISMATCH = "version-mismatch"
+    OTHER = "other"
+
+
+@dataclass
+class QScanRecord:
+    """Stateful QUIC scan result for one (address, SNI, source) target."""
+
+    address: Address
+    sni: Optional[str]
+    source: TargetSource
+    outcome: QScanOutcome = QScanOutcome.OTHER
+    quic_version: Optional[int] = None
+    error_code: Optional[int] = None
+    error_reason: Optional[str] = None
+    # TLS properties (Table 5 comparisons)
+    tls_version: Optional[str] = None
+    cipher_suite: Optional[str] = None
+    key_exchange_group: Optional[str] = None
+    certificate_fingerprint: Optional[str] = None
+    certificate_subject: Optional[str] = None
+    server_extensions: Tuple[str, ...] = ()
+    sni_echoed: bool = False
+    alpn: Optional[str] = None
+    # QUIC transport parameters (§5.2 fingerprinting)
+    transport_params_fingerprint: Optional[Tuple] = None
+    max_udp_payload_size: Optional[int] = None
+    initial_max_data: Optional[int] = None
+    # HTTP/3
+    http_status: Optional[int] = None
+    server_header: Optional[str] = None
+    handshake_rtt: Optional[float] = None
+    version_negotiation_seen: bool = False
+    # Extension E1 (resumption probing): None when not tested.
+    resumption_supported: Optional[bool] = None
+    early_data_supported: Optional[bool] = None
+
+    @property
+    def is_success(self) -> bool:
+        return self.outcome is QScanOutcome.SUCCESS

@@ -1,0 +1,42 @@
+"""ZMap TCP SYN scans on :443 (§3.3, first stage of the TLS scans)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.netsim.addresses import Address, Prefix
+from repro.netsim.blocklist import Blocklist
+from repro.netsim.topology import Network
+from repro.crypto.rand import DeterministicRandom
+from repro.scanners.permutation import CyclicGroupPermutation
+from repro.scanners.results import SynRecord
+
+__all__ = ["ZmapTcpScanner"]
+
+
+@dataclass
+class ZmapTcpScanner:
+    """Stateless TCP SYN scans over the simulated network."""
+
+    network: Network
+    blocklist: Blocklist = field(default_factory=Blocklist)
+    port: int = 443
+    seed: object = "zmap-tcp"
+
+    def scan_ipv4_space(self, space: Prefix) -> List[SynRecord]:
+        rng = DeterministicRandom(self.seed)
+        permutation = CyclicGroupPermutation(space.num_addresses, rng.child("perm"))
+        return self._probe_all(space.address_at(index) for index in permutation)
+
+    def scan_targets(self, targets: Iterable[Address]) -> List[SynRecord]:
+        return self._probe_all(targets)
+
+    def _probe_all(self, targets: Iterable[Address]) -> List[SynRecord]:
+        records: List[SynRecord] = []
+        for target in targets:
+            if self.blocklist.is_blocked(target):
+                continue
+            if self.network.syn_probe(target, self.port):
+                records.append(SynRecord(address=target, port=self.port, open=True))
+        return records

@@ -1,0 +1,158 @@
+"""Implementation profiles: how each deployment family behaves.
+
+A profile captures *implementation*-level behaviour the paper can
+observe from outside:
+
+- the wording of the TLS alert reason (the paper notes the 0x128
+  message text differs between Cloudflare's and Google's libraries),
+- the HTTP ``Server`` header value (Table 6),
+- SNI policy: whether missing SNI yields alert 0x28, a default
+  certificate or (Google on TCP only) a self-signed error certificate,
+- whether the implementation answers the forced version negotiation
+  (deployments that do not are invisible to the ZMap module, §4),
+- whether Initial packets without padding are accepted (§3.1).
+
+Provider *deployment* facts (addresses, ASes, domains, version
+timelines, transport parameter values) live in
+:mod:`repro.internet.providers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ImplementationProfile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class ImplementationProfile:
+    name: str
+    server_header: Optional[str]
+    alert_reason: str = "handshake failure"
+    # "require": alert 0x28 without SNI (QUIC error 0x128)
+    # "default": serve the default certificate
+    sni_policy_quic: str = "default"
+    sni_policy_tcp: str = "default"
+    # Google on TCP serves a self-signed CN=error certificate when SNI
+    # is missing, while QUIC serves the valid default one (§5.1).
+    tcp_no_sni_self_signed: bool = False
+    echo_sni_quic: bool = True
+    echo_sni_tcp: bool = True
+    respond_to_forced_negotiation: bool = True
+    respond_without_padding: bool = False
+    # Without SNI, the TCP error vhost negotiates no ALPN while QUIC
+    # still does — the Google-rooted extensions mismatch of Table 5.
+    tcp_no_sni_drops_alpn: bool = False
+    # Session resumption / 0-RTT support (extension experiment E1).
+    supports_resumption: bool = False
+    supports_early_data: bool = False
+
+
+PROFILES: Dict[str, ImplementationProfile] = {
+    "quiche": ImplementationProfile(
+        name="quiche",
+        server_header="cloudflare",
+        alert_reason="handshake failed: tls handshake failure",
+        sni_policy_quic="require",
+        sni_policy_tcp="require",
+        supports_resumption=True,
+        supports_early_data=True,
+    ),
+    "google-quic": ImplementationProfile(
+        name="google-quic",
+        server_header="gws",
+        alert_reason="TLS handshake failure (ENCRYPTION_HANDSHAKE) 40: handshake failure",
+        sni_policy_quic="default",
+        tcp_no_sni_self_signed=True,
+        tcp_no_sni_drops_alpn=True,
+        supports_resumption=True,
+        supports_early_data=True,
+    ),
+    "gvs": ImplementationProfile(
+        name="gvs",
+        server_header="gvs 1.0",
+        alert_reason="TLS handshake failure (ENCRYPTION_HANDSHAKE) 40: handshake failure",
+        sni_policy_quic="default",
+        tcp_no_sni_self_signed=True,
+        tcp_no_sni_drops_alpn=True,
+        supports_resumption=True,
+        supports_early_data=True,
+    ),
+    # Akamai/Fastly parked addresses behave as middleboxes: they answer
+    # the version negotiation but never complete handshakes; their
+    # active pools use these profiles.
+    "akamai-quic": ImplementationProfile(
+        name="akamai-quic",
+        server_header="AkamaiGHost",
+        sni_policy_quic="default",
+        sni_policy_tcp="default",
+        tcp_no_sni_self_signed=True,
+        supports_resumption=True,
+    ),
+    "fastly-quic": ImplementationProfile(
+        name="fastly-quic",
+        server_header="Fastly",
+        sni_policy_quic="require",
+        sni_policy_tcp="default",
+        respond_without_padding=True,  # the single-AS §3.1 artefact
+    ),
+    "proxygen": ImplementationProfile(
+        name="proxygen",
+        server_header="proxygen-bolt",
+        alert_reason="mvfst: handshake alert",
+        sni_policy_quic="default",
+        tcp_no_sni_self_signed=True,
+        supports_resumption=True,
+        supports_early_data=True,
+    ),
+    "lsquic": ImplementationProfile(
+        name="lsquic",
+        server_header="LiteSpeed",
+        alert_reason="lsquic: TLS alert 40",
+        sni_policy_quic="default",
+        supports_resumption=True,
+    ),
+    "nginx-quic": ImplementationProfile(
+        name="nginx-quic",
+        server_header="nginx",
+        alert_reason="SSL_do_handshake() failed",
+        sni_policy_quic="default",
+    ),
+    "yunjiasu": ImplementationProfile(
+        name="yunjiasu",
+        server_header="yunjiasu-nginx",
+        alert_reason="SSL_do_handshake() failed",
+        sni_policy_quic="default",
+    ),
+    "caddy": ImplementationProfile(
+        name="caddy",
+        server_header="Caddy",
+        sni_policy_quic="default",
+        supports_resumption=True,
+    ),
+    "h2o": ImplementationProfile(
+        name="h2o",
+        server_header="h2o/2.3.0-DEV@8c78575c9",
+        sni_policy_quic="default",
+        supports_resumption=True,
+        supports_early_data=True,
+    ),
+    "aioquic-ish": ImplementationProfile(
+        name="aioquic-ish",
+        server_header="Python/3.7 aiohttp/3.7.2",
+        sni_policy_quic="default",
+        supports_resumption=True,
+        supports_early_data=True,
+    ),
+    # LiteSpeed-based mass hosting that does not answer the forced
+    # version negotiation (unique to Alt-Svc discovery, §4 overlap).
+    "lsquic-hosting": ImplementationProfile(
+        name="lsquic-hosting",
+        server_header="LiteSpeed",
+        alert_reason="lsquic: TLS alert 40",
+        sni_policy_quic="require",
+        respond_to_forced_negotiation=False,
+        supports_resumption=True,
+    ),
+}

@@ -1,0 +1,42 @@
+"""A from-scratch TLS 1.3 implementation (RFC 8446 subset).
+
+TLS is an intrinsic part of QUIC (RFC 9001); the same engine here
+drives both the QUIC handshake (via CRYPTO frames, with the
+``quic_transport_parameters`` extension) and the TLS-over-TCP scans
+(via the record layer), exactly mirroring the paper's setup where the
+QScanner and the Goscanner send the same Client Hello (§5.1).
+
+Modules:
+
+- :mod:`repro.tls.ciphersuites` — suite registry (real AES-GCM suites
+  plus the documented private fast-simulation suite),
+- :mod:`repro.tls.extensions` — SNI, ALPN, supported_versions,
+  key_share, supported_groups, signature_algorithms and
+  quic_transport_parameters,
+- :mod:`repro.tls.messages` — handshake message framing and bodies,
+- :mod:`repro.tls.keyschedule` — the RFC 8446 §7.1 key schedule,
+- :mod:`repro.tls.certificates` — a compact certificate format with an
+  RSA-signing CA (substituting X.509/DER; see DESIGN.md),
+- :mod:`repro.tls.alerts` — alert codes and the AlertError exception,
+- :mod:`repro.tls.record` — the TLS-over-TCP record layer,
+- :mod:`repro.tls.engine` — client and server handshake sessions.
+"""
+
+from repro.tls.alerts import AlertDescription, AlertError
+from repro.tls.certificates import Certificate, CertificateAuthority, verify_chain
+from repro.tls.ciphersuites import CipherSuite, SUITE_AES_128_GCM_SHA256, SUITE_SIM_SHA256
+from repro.tls.engine import TlsClientSession, TlsServerConfig, TlsServerSession
+
+__all__ = [
+    "AlertDescription",
+    "AlertError",
+    "Certificate",
+    "CertificateAuthority",
+    "verify_chain",
+    "CipherSuite",
+    "SUITE_AES_128_GCM_SHA256",
+    "SUITE_SIM_SHA256",
+    "TlsClientSession",
+    "TlsServerSession",
+    "TlsServerConfig",
+]

@@ -1,0 +1,43 @@
+"""TLS alerts (RFC 8446 §6).
+
+The paper's stateful scans classify failures by the TLS alert carried
+in QUIC CONNECTION_CLOSE frames; alert 0x28 (``handshake_failure``)
+surfaced as QUIC error 0x128 dominates (Table 3).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["AlertDescription", "AlertError"]
+
+
+class AlertDescription(IntEnum):
+    CLOSE_NOTIFY = 0
+    UNEXPECTED_MESSAGE = 10
+    BAD_RECORD_MAC = 20
+    HANDSHAKE_FAILURE = 40  # 0x28
+    BAD_CERTIFICATE = 42
+    UNSUPPORTED_CERTIFICATE = 43
+    CERTIFICATE_EXPIRED = 45
+    CERTIFICATE_UNKNOWN = 46
+    ILLEGAL_PARAMETER = 47
+    UNKNOWN_CA = 48
+    DECODE_ERROR = 50
+    DECRYPT_ERROR = 51
+    PROTOCOL_VERSION = 70
+    INTERNAL_ERROR = 80
+    MISSING_EXTENSION = 109
+    UNSUPPORTED_EXTENSION = 110
+    UNRECOGNIZED_NAME = 112
+    NO_APPLICATION_PROTOCOL = 120
+
+
+class AlertError(Exception):
+    """A fatal TLS alert, raised locally or received from the peer."""
+
+    def __init__(self, description: AlertDescription, message: str = "", *, remote: bool = False):
+        super().__init__(f"TLS alert {int(description)} ({description.name}): {message}")
+        self.description = description
+        self.message = message
+        self.remote = remote

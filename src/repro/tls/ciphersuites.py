@@ -1,0 +1,84 @@
+"""TLS 1.3 cipher suites.
+
+TLS 1.3 defines five suites; QUIC limits the choice to four and only
+three are mandatory (paper §5.1).  We implement the two AES-GCM suites
+with real cryptography plus one private-use suite
+(``TLS_SIM_SHA256``) backed by the fast simulated AEAD used between
+this repository's own endpoints at campaign scale (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.crypto.aead import (
+    AeadAes128Gcm,
+    AeadSim,
+    aead_for_suite,
+    header_mask_aes,
+    header_mask_chacha,
+    header_mask_sim,
+)
+
+__all__ = [
+    "CipherSuite",
+    "SUITE_AES_128_GCM_SHA256",
+    "SUITE_AES_256_GCM_SHA384",
+    "SUITE_CHACHA20_POLY1305_SHA256",
+    "SUITE_SIM_SHA256",
+    "suite_by_id",
+    "ALL_SUITES",
+]
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    id: int
+    name: str
+    hash_name: str
+    hash_len: int
+    key_len: int
+    iv_len: int = 12
+
+    def aead(self, key: bytes):
+        return aead_for_suite(self.name, key)
+
+    def header_mask_fn(self) -> Callable[[bytes, bytes], bytes]:
+        if self.name == "TLS_SIM_SHA256":
+            return header_mask_sim
+        if self.name == "TLS_CHACHA20_POLY1305_SHA256":
+            return header_mask_chacha
+        return header_mask_aes
+
+
+SUITE_AES_128_GCM_SHA256 = CipherSuite(
+    id=0x1301, name="TLS_AES_128_GCM_SHA256", hash_name="sha256", hash_len=32, key_len=16
+)
+SUITE_AES_256_GCM_SHA384 = CipherSuite(
+    id=0x1302, name="TLS_AES_256_GCM_SHA384", hash_name="sha384", hash_len=48, key_len=32
+)
+SUITE_CHACHA20_POLY1305_SHA256 = CipherSuite(
+    id=0x1303,
+    name="TLS_CHACHA20_POLY1305_SHA256",
+    hash_name="sha256",
+    hash_len=32,
+    key_len=32,
+)
+# Private-use code point (0xFFxx range): the fast simulation suite.
+SUITE_SIM_SHA256 = CipherSuite(
+    id=0xFFD0, name="TLS_SIM_SHA256", hash_name="sha256", hash_len=32, key_len=16
+)
+
+ALL_SUITES = (
+    SUITE_AES_128_GCM_SHA256,
+    SUITE_AES_256_GCM_SHA384,
+    SUITE_CHACHA20_POLY1305_SHA256,
+    SUITE_SIM_SHA256,
+)
+
+_BY_ID: Dict[int, CipherSuite] = {suite.id: suite for suite in ALL_SUITES}
+
+
+def suite_by_id(suite_id: int) -> Optional[CipherSuite]:
+    return _BY_ID.get(suite_id)

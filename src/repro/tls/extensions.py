@@ -1,0 +1,226 @@
+"""TLS extensions (RFC 8446 §4.2 plus RFC 9001 §8.2).
+
+Encodes and decodes the extensions the paper's scanners send and
+compare: server_name (SNI), ALPN, supported_versions, supported_groups,
+key_share, signature_algorithms and quic_transport_parameters.  The
+Table 5 "Extensions" row compares the *sets of extensions* servers
+return on QUIC vs TLS-over-TCP, so servers track exactly which
+extensions they emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ExtensionType",
+    "encode_extensions",
+    "decode_extensions",
+    "encode_sni",
+    "decode_sni",
+    "encode_alpn",
+    "decode_alpn",
+    "encode_supported_versions",
+    "encode_key_share",
+    "decode_key_share",
+    "encode_supported_groups",
+    "GROUP_X25519",
+    "GROUP_SECP256R1",
+    "GROUP_SIM",
+    "TLS13",
+]
+
+TLS13 = 0x0304
+GROUP_X25519 = 0x001D
+GROUP_SECP256R1 = 0x0017
+# Private-use group id: the fast hash-based simulated DH used between
+# this repository's own endpoints at campaign scale (see DESIGN.md §5).
+GROUP_SIM = 0xFF42
+
+
+class ExtensionType:
+    SERVER_NAME = 0
+    SUPPORTED_GROUPS = 10
+    SIGNATURE_ALGORITHMS = 13
+    ALPN = 16
+    PRE_SHARED_KEY = 41
+    EARLY_DATA = 42
+    SUPPORTED_VERSIONS = 43
+    PSK_KEY_EXCHANGE_MODES = 45
+    KEY_SHARE = 51
+    QUIC_TRANSPORT_PARAMETERS = 0x39
+    QUIC_TRANSPORT_PARAMETERS_DRAFT = 0xFFA5
+
+    NAMES = {
+        0: "server_name",
+        10: "supported_groups",
+        13: "signature_algorithms",
+        16: "alpn",
+        41: "pre_shared_key",
+        42: "early_data",
+        43: "supported_versions",
+        45: "psk_key_exchange_modes",
+        51: "key_share",
+        0x39: "quic_transport_parameters",
+        0xFFA5: "quic_transport_parameters(draft)",
+    }
+
+    @classmethod
+    def name(cls, ext_type: int) -> str:
+        return cls.NAMES.get(ext_type, f"ext_{ext_type}")
+
+
+def encode_extensions(extensions: List[Tuple[int, bytes]]) -> bytes:
+    body = b"".join(
+        ext_type.to_bytes(2, "big") + len(data).to_bytes(2, "big") + data
+        for ext_type, data in extensions
+    )
+    return len(body).to_bytes(2, "big") + body
+
+
+def decode_extensions(data: bytes, offset: int = 0) -> Tuple[List[Tuple[int, bytes]], int]:
+    total = int.from_bytes(data[offset : offset + 2], "big")
+    offset += 2
+    end = offset + total
+    extensions: List[Tuple[int, bytes]] = []
+    while offset < end:
+        ext_type = int.from_bytes(data[offset : offset + 2], "big")
+        length = int.from_bytes(data[offset + 2 : offset + 4], "big")
+        extensions.append((ext_type, data[offset + 4 : offset + 4 + length]))
+        offset += 4 + length
+    if offset != end:
+        raise ValueError("malformed extension block")
+    return extensions, offset
+
+
+# -- server_name -----------------------------------------------------------
+
+
+def encode_sni(hostname: str) -> bytes:
+    name = hostname.encode("idna") if any(ord(c) > 127 for c in hostname) else hostname.encode()
+    entry = b"\x00" + len(name).to_bytes(2, "big") + name
+    return (len(entry)).to_bytes(2, "big") + entry
+
+
+def decode_sni(data: bytes) -> Optional[str]:
+    if not data:
+        return None  # a server's SNI ack is an empty extension
+    offset = 2
+    if data[offset] != 0:
+        return None
+    length = int.from_bytes(data[offset + 1 : offset + 3], "big")
+    return data[offset + 3 : offset + 3 + length].decode()
+
+
+# -- ALPN --------------------------------------------------------------------
+
+
+def encode_alpn(protocols: List[str]) -> bytes:
+    body = b"".join(
+        bytes([len(p.encode())]) + p.encode() for p in protocols
+    )
+    return len(body).to_bytes(2, "big") + body
+
+
+def decode_alpn(data: bytes) -> List[str]:
+    length = int.from_bytes(data[0:2], "big")
+    offset = 2
+    end = 2 + length
+    protocols = []
+    while offset < end:
+        plen = data[offset]
+        protocols.append(data[offset + 1 : offset + 1 + plen].decode())
+        offset += 1 + plen
+    return protocols
+
+
+# -- supported_versions / groups ----------------------------------------------
+
+
+def encode_supported_versions(versions: List[int], is_client: bool) -> bytes:
+    if is_client:
+        body = b"".join(v.to_bytes(2, "big") for v in versions)
+        return bytes([len(body)]) + body
+    return versions[0].to_bytes(2, "big")
+
+
+def encode_supported_groups(groups: List[int]) -> bytes:
+    body = b"".join(g.to_bytes(2, "big") for g in groups)
+    return len(body).to_bytes(2, "big") + body
+
+
+# -- pre_shared_key (RFC 8446 §4.2.11) -------------------------------------------
+
+
+def encode_psk_client(identity: bytes, binder: bytes, obfuscated_age: int = 0) -> bytes:
+    """Client form: one PskIdentity plus one binder entry."""
+    identities = (
+        len(identity).to_bytes(2, "big") + identity + obfuscated_age.to_bytes(4, "big")
+    )
+    binders = bytes([len(binder)]) + binder
+    return (
+        len(identities).to_bytes(2, "big")
+        + identities
+        + len(binders).to_bytes(2, "big")
+        + binders
+    )
+
+
+def decode_psk_client(data: bytes) -> Tuple[bytes, int, bytes]:
+    """Returns (identity, obfuscated_age, binder) of the first entry."""
+    identities_len = int.from_bytes(data[0:2], "big")
+    offset = 2
+    identity_len = int.from_bytes(data[offset : offset + 2], "big")
+    identity = data[offset + 2 : offset + 2 + identity_len]
+    age = int.from_bytes(
+        data[offset + 2 + identity_len : offset + 6 + identity_len], "big"
+    )
+    offset = 2 + identities_len
+    offset += 2  # binders list length
+    binder_len = data[offset]
+    binder = data[offset + 1 : offset + 1 + binder_len]
+    return identity, age, binder
+
+
+def psk_binders_serialized_length(binder: bytes) -> int:
+    """Bytes occupied by the binders list (for CH truncation)."""
+    return 2 + 1 + len(binder)
+
+
+def encode_psk_server(selected_identity: int = 0) -> bytes:
+    return selected_identity.to_bytes(2, "big")
+
+
+def encode_psk_modes(modes: Sequence[int] = (1,)) -> bytes:
+    """psk_key_exchange_modes; mode 1 = psk_dhe_ke."""
+    return bytes([len(modes)]) + bytes(modes)
+
+
+# -- key_share ------------------------------------------------------------------
+
+
+def encode_key_share(shares: List[Tuple[int, bytes]], is_client: bool) -> bytes:
+    entries = b"".join(
+        group.to_bytes(2, "big") + len(key).to_bytes(2, "big") + key
+        for group, key in shares
+    )
+    if is_client:
+        return len(entries).to_bytes(2, "big") + entries
+    return entries  # server sends a single KeyShareEntry
+
+
+def decode_key_share(data: bytes, is_client: bool) -> List[Tuple[int, bytes]]:
+    shares: List[Tuple[int, bytes]] = []
+    if is_client:
+        offset = 2
+        end = 2 + int.from_bytes(data[0:2], "big")
+    else:
+        offset = 0
+        end = len(data)
+    while offset < end:
+        group = int.from_bytes(data[offset : offset + 2], "big")
+        length = int.from_bytes(data[offset + 2 : offset + 4], "big")
+        shares.append((group, data[offset + 4 : offset + 4 + length]))
+        offset += 4 + length
+    return shares

@@ -1,0 +1,142 @@
+"""The TLS 1.3 key schedule (RFC 8446 §7.1).
+
+Derives handshake and application traffic secrets from the (EC)DH
+shared secret and the running transcript hash, plus the finished keys
+used to compute and verify Finished messages.  QUIC reuses the traffic
+secrets to derive packet protection keys (RFC 9001 §5.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.hkdf import hkdf_expand_label, hkdf_extract
+
+__all__ = ["KeySchedule", "TrafficSecrets"]
+
+
+@dataclass
+class TrafficSecrets:
+    client: bytes
+    server: bytes
+
+
+class KeySchedule:
+    """Incremental key schedule bound to a hash algorithm.
+
+    With ``psk`` set, the early secret is extracted from the
+    pre-shared key (resumption), enabling binder keys and early
+    (0-RTT) traffic secrets (RFC 8446 §4.2.11, §7.1).
+    """
+
+    def __init__(self, hash_name: str = "sha256", psk: Optional[bytes] = None):
+        self.hash_name = hash_name
+        self.hash_len = hashlib.new(hash_name).digest_size
+        self._transcript = hashlib.new(hash_name)
+        zeros = bytes(self.hash_len)
+        self._early_secret = hkdf_extract(zeros, psk if psk else zeros, hash_name)
+        self._handshake_secret: Optional[bytes] = None
+        self._master_secret: Optional[bytes] = None
+
+    # -- transcript ---------------------------------------------------------
+    def update_transcript(self, message: bytes) -> None:
+        self._transcript.update(message)
+
+    def transcript_hash(self) -> bytes:
+        return self._transcript.copy().digest()
+
+    # -- secrets ------------------------------------------------------------
+    def _derive_secret(self, secret: bytes, label: bytes) -> bytes:
+        return hkdf_expand_label(
+            secret, label, self.transcript_hash(), self.hash_len, self.hash_name
+        )
+
+    def set_shared_secret(self, shared_secret: bytes) -> None:
+        """Install the (EC)DH result; call after ServerHello is in the
+        transcript to derive handshake traffic secrets."""
+        derived = hkdf_expand_label(
+            self._early_secret,
+            b"derived",
+            hashlib.new(self.hash_name).digest(),
+            self.hash_len,
+            self.hash_name,
+        )
+        self._handshake_secret = hkdf_extract(derived, shared_secret, self.hash_name)
+
+    def handshake_traffic_secrets(self) -> TrafficSecrets:
+        if self._handshake_secret is None:
+            raise RuntimeError("shared secret not installed")
+        return TrafficSecrets(
+            client=self._derive_secret(self._handshake_secret, b"c hs traffic"),
+            server=self._derive_secret(self._handshake_secret, b"s hs traffic"),
+        )
+
+    def derive_master_secret(self) -> None:
+        if self._handshake_secret is None:
+            raise RuntimeError("shared secret not installed")
+        derived = hkdf_expand_label(
+            self._handshake_secret,
+            b"derived",
+            hashlib.new(self.hash_name).digest(),
+            self.hash_len,
+            self.hash_name,
+        )
+        self._master_secret = hkdf_extract(derived, bytes(self.hash_len), self.hash_name)
+
+    def application_traffic_secrets(self) -> TrafficSecrets:
+        """Application secrets over the transcript through server Finished."""
+        if self._master_secret is None:
+            self.derive_master_secret()
+        assert self._master_secret is not None
+        return TrafficSecrets(
+            client=self._derive_secret(self._master_secret, b"c ap traffic"),
+            server=self._derive_secret(self._master_secret, b"s ap traffic"),
+        )
+
+    # -- finished ------------------------------------------------------------
+    def finished_verify_data(self, base_secret: bytes) -> bytes:
+        """verify_data over the current transcript for one side."""
+        finished_key = hkdf_expand_label(
+            base_secret, b"finished", b"", self.hash_len, self.hash_name
+        )
+        return hmac.new(finished_key, self.transcript_hash(), self.hash_name).digest()
+
+    # -- resumption / 0-RTT (RFC 8446 §4.2.11, §4.6.1) ------------------------
+    def psk_binder(self, truncated_client_hello: bytes) -> bytes:
+        """The PSK binder over a truncated ClientHello (fresh transcript)."""
+        binder_key = hkdf_expand_label(
+            self._early_secret,
+            b"res binder",
+            hashlib.new(self.hash_name).digest(),
+            self.hash_len,
+            self.hash_name,
+        )
+        finished_key = hkdf_expand_label(
+            binder_key, b"finished", b"", self.hash_len, self.hash_name
+        )
+        transcript = hashlib.new(self.hash_name, truncated_client_hello).digest()
+        return hmac.new(finished_key, transcript, self.hash_name).digest()
+
+    def early_traffic_secret(self) -> bytes:
+        """client_early_traffic_secret over the (full) ClientHello."""
+        return self._derive_secret(self._early_secret, b"c e traffic")
+
+    def resumption_master_secret(self) -> bytes:
+        """Derived over the transcript through the client Finished."""
+        if self._master_secret is None:
+            self.derive_master_secret()
+        assert self._master_secret is not None
+        return self._derive_secret(self._master_secret, b"res master")
+
+    @staticmethod
+    def psk_from_resumption(
+        resumption_master: bytes, ticket_nonce: bytes, hash_name: str = "sha256"
+    ) -> bytes:
+        """PSK = HKDF-Expand-Label(res_master, "resumption", nonce)."""
+        hash_len = hashlib.new(hash_name).digest_size
+        return hkdf_expand_label(
+            resumption_master, b"resumption", ticket_nonce, hash_len, hash_name
+        )

@@ -1,0 +1,152 @@
+"""TLS-over-TCP record layer (RFC 8446 §5).
+
+Wraps handshake messages, alerts and application data in TLS records.
+ClientHello/ServerHello travel as plaintext handshake records; once
+handshake traffic secrets exist, everything is wrapped in protected
+``application_data`` records carrying the inner content type, exactly
+as the RFC prescribes.  The Goscanner-style TLS-over-TCP scans and the
+simulated :443 servers both use this layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.crypto.hkdf import hkdf_expand_label
+from repro.tls.alerts import AlertDescription, AlertError
+from repro.tls.ciphersuites import CipherSuite
+
+__all__ = ["ContentType", "RecordLayer", "RecordProtection", "encode_alert", "decode_records"]
+
+_LEGACY_RECORD_VERSION = 0x0303
+
+
+class ContentType:
+    ALERT = 21
+    HANDSHAKE = 22
+    APPLICATION_DATA = 23
+
+
+def _record(content_type: int, payload: bytes) -> bytes:
+    return (
+        bytes([content_type])
+        + _LEGACY_RECORD_VERSION.to_bytes(2, "big")
+        + len(payload).to_bytes(2, "big")
+        + payload
+    )
+
+
+def encode_alert(description: AlertDescription, fatal: bool = True) -> bytes:
+    return _record(ContentType.ALERT, bytes([2 if fatal else 1, int(description)]))
+
+
+def decode_records(data: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(content_type, payload)`` for each complete record."""
+    offset = 0
+    while offset < len(data):
+        if offset + 5 > len(data):
+            raise ValueError("truncated record header")
+        content_type = data[offset]
+        length = int.from_bytes(data[offset + 3 : offset + 5], "big")
+        end = offset + 5 + length
+        if end > len(data):
+            raise ValueError("truncated record payload")
+        yield content_type, data[offset + 5 : end]
+        offset = end
+
+
+class RecordProtection:
+    """AEAD protection for one direction of a TLS connection."""
+
+    def __init__(self, suite: CipherSuite, traffic_secret: bytes):
+        key = hkdf_expand_label(
+            traffic_secret, b"key", b"", suite.key_len, suite.hash_name
+        )
+        self._iv = hkdf_expand_label(
+            traffic_secret, b"iv", b"", suite.iv_len, suite.hash_name
+        )
+        self._aead = suite.aead(key)
+        self._sequence = 0
+
+    def _nonce(self) -> bytes:
+        seq = self._sequence.to_bytes(len(self._iv), "big")
+        self._sequence += 1
+        return bytes(a ^ b for a, b in zip(self._iv, seq))
+
+    def encrypt(self, content_type: int, payload: bytes) -> bytes:
+        """Build a protected application_data record."""
+        inner = payload + bytes([content_type])
+        header = (
+            bytes([ContentType.APPLICATION_DATA])
+            + _LEGACY_RECORD_VERSION.to_bytes(2, "big")
+            + (len(inner) + 16).to_bytes(2, "big")
+        )
+        sealed = self._aead.seal(self._nonce(), inner, header)
+        return header + sealed
+
+    def decrypt(self, record_payload: bytes) -> Tuple[int, bytes]:
+        """Open a protected record; returns ``(inner_type, plaintext)``."""
+        header = (
+            bytes([ContentType.APPLICATION_DATA])
+            + _LEGACY_RECORD_VERSION.to_bytes(2, "big")
+            + len(record_payload).to_bytes(2, "big")
+        )
+        inner = self._aead.open(self._nonce(), record_payload, header)
+        # Strip zero padding, last non-zero byte is the content type.
+        end = len(inner)
+        while end > 0 and inner[end - 1] == 0:
+            end -= 1
+        if end == 0:
+            raise AlertError(AlertDescription.UNEXPECTED_MESSAGE, "empty inner plaintext")
+        return inner[end - 1], inner[: end - 1]
+
+
+class RecordLayer:
+    """Bidirectional record framing helper bound to one endpoint role."""
+
+    def __init__(self):
+        self.send_protection: Optional[RecordProtection] = None
+        self.recv_protection: Optional[RecordProtection] = None
+
+    def wrap_handshake(self, messages: bytes) -> bytes:
+        if self.send_protection is None:
+            return _record(ContentType.HANDSHAKE, messages)
+        return self.send_protection.encrypt(ContentType.HANDSHAKE, messages)
+
+    def wrap_application_data(self, data: bytes) -> bytes:
+        if self.send_protection is None:
+            raise AlertError(
+                AlertDescription.INTERNAL_ERROR, "application data before keys"
+            )
+        return self.send_protection.encrypt(ContentType.APPLICATION_DATA, data)
+
+    def wrap_alert(self, description: AlertDescription) -> bytes:
+        if self.send_protection is None:
+            return encode_alert(description)
+        return self.send_protection.encrypt(
+            ContentType.ALERT, bytes([2, int(description)])
+        )
+
+    def unwrap(self, data: bytes) -> List[Tuple[int, bytes]]:
+        """Parse records, decrypting where protection is installed.
+
+        Returns a list of ``(content_type, plaintext)``; raises
+        :class:`AlertError` when the peer sent a fatal alert.
+        """
+        results: List[Tuple[int, bytes]] = []
+        for content_type, payload in decode_records(data):
+            if (
+                content_type == ContentType.APPLICATION_DATA
+                and self.recv_protection is not None
+            ):
+                content_type, payload = self.recv_protection.decrypt(payload)
+            if content_type == ContentType.ALERT:
+                level, description = payload[0], payload[1]
+                if level == 2:
+                    raise AlertError(
+                        AlertDescription(description), "received fatal alert", remote=True
+                    )
+                continue
+            results.append((content_type, payload))
+        return results

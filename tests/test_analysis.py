@@ -1,0 +1,289 @@
+"""Analysis pipeline unit tests (pure functions over records)."""
+
+import pytest
+
+from repro.analysis.asview import as_distribution, rank_cdf, top_providers
+from repro.analysis.joins import join_dns_addresses, overlap_matrix
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.tlscompare import TlsParity, compare_tls, cross_protocol_failures
+from repro.analysis.tparams import (
+    as_diversity,
+    config_distribution,
+    edge_pop_candidates,
+    server_value_summary,
+)
+from repro.analysis.versions import (
+    alpn_set_shares,
+    fold_rare,
+    version_set_shares,
+    version_support,
+)
+from repro.http.altsvc import AltSvcEntry
+from repro.netsim.addresses import IPv4Address, Prefix
+from repro.netsim.asn import AsRegistry
+from repro.quic.versions import DRAFT_29, QUIC_V1
+from repro.scanners.results import (
+    DnsScanRecord,
+    GoscannerRecord,
+    QScanOutcome,
+    QScanRecord,
+    TargetSource,
+    ZmapQuicRecord,
+)
+
+
+def addr(last):
+    return IPv4Address.parse(f"10.0.0.{last}")
+
+
+@pytest.fixture()
+def registry():
+    reg = AsRegistry()
+    reg.register(1, "AS One")
+    reg.register(2, "AS Two")
+    reg.announce(1, Prefix.parse("10.0.0.0/25"))
+    reg.announce(2, Prefix.parse("10.0.0.128/25"))
+    return reg
+
+
+def make_qrecord(last, outcome=QScanOutcome.SUCCESS, fingerprint=("cfg", 1), server="srv", sni=None):
+    return QScanRecord(
+        address=addr(last),
+        sni=sni,
+        source=TargetSource.ZMAP_DNS,
+        outcome=outcome,
+        transport_params_fingerprint=fingerprint,
+        server_header=server,
+        certificate_fingerprint="fp",
+        tls_version="TLS1.3",
+        cipher_suite="TLS_AES_128_GCM_SHA256",
+        key_exchange_group="x25519",
+        server_extensions=("alpn",),
+    )
+
+
+# -- joins ---------------------------------------------------------------------
+
+
+def test_join_dns_addresses_bidirectional():
+    records = [
+        DnsScanRecord(domain="a.example", source_list="alexa", a=(addr(1), addr(2))),
+        DnsScanRecord(domain="b.example", source_list="alexa", a=(addr(1),)),
+    ]
+    join = join_dns_addresses(records)
+    assert sorted(join.domains_for(addr(1))) == ["a.example", "b.example"]
+    assert join.v4_of["a.example"] == [addr(1), addr(2)]
+    assert join.domain_count == 2
+
+
+def test_join_deduplicates():
+    record = DnsScanRecord(domain="a.example", source_list="alexa", a=(addr(1),))
+    join = join_dns_addresses([record, record])
+    assert join.domains_for(addr(1)) == ["a.example"]
+
+
+def test_overlap_matrix():
+    matrix = overlap_matrix(
+        {
+            "zmap": [addr(1), addr(2), addr(3)],
+            "alt": [addr(2), addr(3), addr(4)],
+            "https": [addr(3)],
+        }
+    )
+    assert matrix["only:zmap"] == 1
+    assert matrix["only:alt"] == 1
+    assert matrix["only:https"] == 0
+    assert matrix["both:alt+zmap"] == 2
+    assert matrix["all"] == 1
+    assert matrix["union"] == 4
+
+
+# -- asview ---------------------------------------------------------------------
+
+
+def test_as_distribution_and_cdf(registry):
+    addresses = [addr(1), addr(2), addr(3), addr(200)]
+    counts = as_distribution(addresses, registry)
+    assert counts[1] == 3 and counts[2] == 1
+    cdf = dict(rank_cdf(counts))
+    assert cdf[1] == pytest.approx(0.75)
+    assert cdf[2] == pytest.approx(1.0)
+
+
+def test_top_providers(registry):
+    rows = top_providers(
+        [addr(1), addr(2), addr(200)],
+        registry,
+        domains_of={addr(1): ["x.example"], addr(200): ["y.example", "z.example"]},
+        limit=2,
+    )
+    assert rows[0].name == "AS One" and rows[0].addresses == 2 and rows[0].domains == 1
+    assert rows[1].name == "AS Two" and rows[1].domains == 2
+
+
+# -- versions ---------------------------------------------------------------------
+
+
+def test_version_set_shares_folds_rare():
+    records = [ZmapQuicRecord(address=addr(i), versions=(QUIC_V1,)) for i in range(99)]
+    records.append(ZmapQuicRecord(address=addr(99), versions=(DRAFT_29,)))
+    shares = version_set_shares(records, fold_threshold=0.02)
+    assert shares["ietf-01"] == pytest.approx(0.99)
+    assert shares["Other"] == pytest.approx(0.01)
+
+
+def test_version_support_counts_individuals():
+    records = [
+        ZmapQuicRecord(address=addr(1), versions=(QUIC_V1, DRAFT_29)),
+        ZmapQuicRecord(address=addr(2), versions=(DRAFT_29,)),
+    ]
+    support = version_support(records)
+    assert support["draft-29"] == pytest.approx(1.0)
+    assert support["ietf-01"] == pytest.approx(0.5)
+
+
+def test_alpn_set_shares():
+    def rec(last, sni, tokens):
+        return GoscannerRecord(
+            address=addr(last),
+            sni=sni,
+            success=True,
+            alt_svc=tuple(AltSvcEntry(alpn=t) for t in tokens),
+        )
+
+    records = [
+        rec(1, "a.example", ["h3-29", "h3-27"]),
+        rec(2, "b.example", ["h3-27", "h3-29"]),
+        rec(3, None, ["h3"]),  # no domain: excluded
+        rec(4, "c.example", []),  # no alt-svc: excluded
+    ]
+    shares = alpn_set_shares(records)
+    assert shares == {"h3-27,h3-29": 1.0}
+
+
+def test_fold_rare_keeps_total():
+    shares = {"a": 0.6, "b": 0.395, "c": 0.005}
+    folded = fold_rare(shares, 0.01)
+    assert folded["Other"] == pytest.approx(0.005)
+    assert sum(folded.values()) == pytest.approx(1.0)
+
+
+# -- tlscompare ---------------------------------------------------------------------
+
+
+def test_compare_tls_full_match():
+    quic = [make_qrecord(1)]
+    tcp = [
+        GoscannerRecord(
+            address=addr(1),
+            sni=None,
+            success=True,
+            tls_version="TLS1.3",
+            cipher_suite="TLS_AES_128_GCM_SHA256",
+            key_exchange_group="x25519",
+            certificate_fingerprint="fp",
+            server_extensions=("alpn",),
+        )
+    ]
+    parity = compare_tls(quic, tcp)
+    assert parity.pairs_compared == 1
+    assert parity.certificate == 100.0
+    assert parity.extensions == 100.0
+
+
+def test_compare_tls_version_gate():
+    """Rows after TLS version only count TLS 1.3 TCP handshakes."""
+    quic = [make_qrecord(1)]
+    tcp = [
+        GoscannerRecord(
+            address=addr(1),
+            sni=None,
+            success=True,
+            tls_version="TLS1.2",
+            cipher_suite="legacy",
+            certificate_fingerprint="fp",
+        )
+    ]
+    parity = compare_tls(quic, tcp)
+    assert parity.certificate == 100.0
+    assert parity.tls_version == 0.0
+    assert parity.cipher == 0.0  # no TLS 1.3 pairs at all
+
+
+def test_cross_protocol_failures():
+    quic = [make_qrecord(1), make_qrecord(2, outcome=QScanOutcome.TIMEOUT)]
+    tcp = [
+        GoscannerRecord(address=addr(1), sni=None, success=False),
+        GoscannerRecord(address=addr(2), sni=None, success=True),
+    ]
+    counts = cross_protocol_failures(quic, tcp)
+    assert counts["quic_ok_tcp_fail"] == 1
+    assert counts["tcp_ok_quic_fail"] == 1
+
+
+# -- tparams -----------------------------------------------------------------------
+
+
+def test_config_distribution(registry):
+    records = [
+        make_qrecord(1, fingerprint=("cfg", "a")),
+        make_qrecord(2, fingerprint=("cfg", "a")),
+        make_qrecord(200, fingerprint=("cfg", "b")),
+        make_qrecord(3, outcome=QScanOutcome.TIMEOUT, fingerprint=("cfg", "c")),
+    ]
+    stats = config_distribution(records, registry)
+    assert len(stats) == 2  # failed scans contribute nothing
+    assert stats[0].targets == 2 and stats[0].ases == 1
+    assert stats[1].targets == 1
+
+
+def test_server_value_summary(registry):
+    records = [
+        make_qrecord(1, server="nginx", fingerprint=("a",)),
+        make_qrecord(2, server="nginx", fingerprint=("b",)),
+        make_qrecord(200, server="nginx", fingerprint=("a",)),
+        make_qrecord(3, server="caddy"),
+    ]
+    rows = server_value_summary(records, registry)
+    assert rows[0].server_value == "nginx"
+    assert rows[0].ases == 2
+    assert rows[0].targets == 3
+    assert rows[0].parameter_configs == 2
+
+
+def test_edge_pop_candidates(registry):
+    records = [
+        make_qrecord(1, server="pop", fingerprint=("pop-cfg",)),
+        make_qrecord(200, server="pop", fingerprint=("pop-cfg",)),
+        make_qrecord(2, server="solo", fingerprint=("solo-cfg",)),
+    ]
+    candidates = edge_pop_candidates(records, registry, min_ases=2)
+    assert candidates == [("pop", ("pop-cfg",), 2)]
+
+
+def test_as_diversity(registry):
+    records = [
+        make_qrecord(1, server="a", fingerprint=("x",)),
+        make_qrecord(2, server="b", fingerprint=("y",)),
+        make_qrecord(200, server="a", fingerprint=("x",)),
+    ]
+    diversity = as_diversity(records, registry)
+    assert diversity[1] == {"configs": 2, "server_values": 2}
+    assert diversity[2] == {"configs": 1, "server_values": 1}
+
+
+# -- tables -------------------------------------------------------------------------
+
+
+def test_render_table_alignment():
+    text = render_table(["Name", "N"], [["a", 1], ["long-name", 22]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "Name" in lines[1]
+    assert lines[2].startswith("-")
+    assert "long-name" in lines[4]
+
+
+def test_render_series():
+    text = render_series("S", [(1, 0.5), (2, 0.25)])
+    assert "0.50" in text and "0.25" in text

@@ -1,0 +1,89 @@
+"""Centralization metric tests (paper §7)."""
+
+import pytest
+
+from repro.analysis.centralization import (
+    compare_concentration,
+    herfindahl_index,
+    operator_attribution,
+    top_share,
+)
+from repro.netsim.addresses import IPv4Address, Prefix
+from repro.netsim.asn import AsRegistry
+from repro.scanners.results import QScanOutcome, QScanRecord, TargetSource
+
+
+def test_hhi_extremes():
+    assert herfindahl_index({}) == 0.0
+    assert herfindahl_index({"a": 10}) == 1.0
+    assert herfindahl_index({"a": 1, "b": 1}) == pytest.approx(0.5)
+    assert herfindahl_index({"a": 1, "b": 1, "c": 1, "d": 1}) == pytest.approx(0.25)
+
+
+def test_top_share():
+    counts = {"a": 6, "b": 3, "c": 1}
+    assert top_share(counts, 1) == pytest.approx(0.6)
+    assert top_share(counts, 2) == pytest.approx(0.9)
+    assert top_share(counts, 10) == pytest.approx(1.0)
+    assert top_share({}, 1) == 0.0
+
+
+def _record(address, server, fingerprint):
+    return QScanRecord(
+        address=address,
+        sni=None,
+        source=TargetSource.ZMAP_DNS,
+        outcome=QScanOutcome.SUCCESS,
+        server_header=server,
+        transport_params_fingerprint=fingerprint,
+    )
+
+
+@pytest.fixture()
+def pop_world():
+    registry = AsRegistry()
+    registry.register(100, "Facebook, Inc.")
+    registry.announce(100, Prefix.parse("10.100.0.0/16"))
+    records = [
+        _record(IPv4Address.parse("10.100.0.1"), "proxygen-bolt", ("fb-pop",))
+    ]
+    # POPs in 12 distinct edge ASes with the identical signature.
+    for index in range(12):
+        asn = 200 + index
+        registry.register(asn, f"Edge ISP {index}")
+        registry.announce(asn, Prefix.parse(f"10.{index + 1}.0.0/16"))
+        records.append(
+            _record(IPv4Address.parse(f"10.{index + 1}.0.9"), "proxygen-bolt", ("fb-pop",))
+        )
+    # One independent deployment that must NOT be folded.
+    registry.register(300, "Indie host")
+    registry.announce(300, Prefix.parse("10.200.0.0/16"))
+    records.append(_record(IPv4Address.parse("10.200.0.1"), "nginx", ("nginx-cfg",)))
+    return registry, records
+
+
+def test_operator_attribution_folds_pops(pop_world):
+    registry, records = pop_world
+    attribution = operator_attribution(records, registry, min_pop_ases=10)
+    values = set(attribution.values())
+    assert "Facebook" in values
+    assert "Indie host" in values
+    facebook_count = sum(1 for owner in attribution.values() if owner == "Facebook")
+    assert facebook_count == 13  # origin + 12 POPs
+
+
+def test_operator_view_is_more_concentrated(pop_world):
+    registry, records = pop_world
+    comparison = compare_concentration(records, registry)
+    assert comparison.operator_owners < comparison.as_owners
+    assert comparison.operator_hhi > comparison.as_hhi
+    assert comparison.operator_view_more_concentrated
+
+
+def test_centralization_on_tiny_campaign(tiny_campaign):
+    from repro.experiments.ablations import centralization_analysis
+
+    result = centralization_analysis(tiny_campaign)
+    values = {row[0]: row[1] for row in result.rows}
+    assert values["owners (operator view)"] <= values["owners (AS view)"]
+    assert values["HHI (operator view)"] >= values["HHI (AS view)"]

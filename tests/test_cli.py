@@ -1,0 +1,50 @@
+"""CLI tests (argument handling and output shape, small scale)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+SMALL = ["--scale", "20000", "--seed", "7"]
+
+
+def test_world_summary(capsys):
+    assert main(["world", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "simulated Internet, week 18" in out
+    assert "autonomous systems:" in out
+    assert "blocklist:" in out
+
+
+def test_experiment_t3(capsys):
+    assert main(["experiment", "T3", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "[T3]" in out
+    assert "Crypto Error (0x128)" in out
+
+
+def test_experiment_lowercase_id(capsys):
+    assert main(["experiment", "t6", *SMALL]) == 0
+    assert "[T6]" in capsys.readouterr().out
+
+
+def test_experiment_unknown_id(capsys):
+    assert main(["experiment", "T99", *SMALL]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_experiment_registry_complete():
+    for expected in ("T1", "T2", "T3", "T4", "T5", "T6", "F3", "F4", "F5", "F6",
+                     "F7", "F8", "F9", "A1", "A2", "A3", "A5", "A6", "A7", "E1"):
+        assert expected in EXPERIMENTS
+
+
+def test_scan_prints_core_tables(capsys):
+    assert main(["scan", *SMALL]) == 0
+    out = capsys.readouterr().out
+    for marker in ("[T1]", "[T3]", "[T4]"):
+        assert marker in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,146 @@
+"""Additional coverage: campaign IPv6 paths, timeline boundaries,
+experiment rendering, codec edge cases."""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.experiments.base import ExperimentResult
+from repro.http.qpack import _decode_prefixed_int, _encode_prefixed_int
+from repro.internet.timeline import growth_factor, https_adoption_factor, version_set
+from repro.quic.versions import QUIC_V1, label_to_version
+
+
+# -- campaign IPv6 paths -----------------------------------------------------
+
+
+def test_goscanner_v6_records(tiny_campaign):
+    records = tiny_campaign.goscanner_sni_v6
+    assert records
+    assert all(record.address.version == 6 for record in records)
+    successes = [record for record in records if record.success]
+    assert successes
+
+
+def test_goscanner_nosni_v6(tiny_campaign):
+    records = tiny_campaign.goscanner_nosni_v6
+    assert records
+    # Dead (Alt-Svc-only) hosts still speak TLS over TCP.
+    assert any(record.success for record in records)
+
+
+def test_qscan_v6_dead_hosts_time_out(tiny_campaign):
+    """Hostinger-style v6 targets advertise Alt-Svc but have no QUIC."""
+    from repro.scanners.results import QScanOutcome
+
+    dead_addresses = {
+        d.address for d in tiny_campaign.world.deployments if d.pool == "dead"
+    }
+    records = [
+        record
+        for record in tiny_campaign.qscan_sni_v6
+        if record.address in dead_addresses
+    ]
+    assert records
+    assert all(record.outcome is QScanOutcome.TIMEOUT for record in records)
+
+
+def test_syn_v6_covers_dead_hosts(tiny_campaign):
+    open_addresses = {record.address for record in tiny_campaign.syn_v6}
+    dead = [d.address for d in tiny_campaign.world.deployments if d.pool == "dead"]
+    assert dead
+    assert set(dead) <= open_addresses
+
+
+# -- timeline boundaries -------------------------------------------------------
+
+
+def test_growth_factor_out_of_range_weeks():
+    assert growth_factor(1) == 0.60
+    assert growth_factor(100) == 1.0
+
+
+def test_adoption_factor_bounds():
+    assert https_adoption_factor(5) == 0.3
+    assert https_adoption_factor(30) == 1.0
+
+
+def test_version_sets_are_nonempty_for_all_keys_and_weeks():
+    keys = (
+        "cf", "google", "google-vm", "akamai", "fastly", "facebook",
+        "legacy", "litespeed", "ietf-generic", "ietf-v1-adopters",
+    )
+    for key in keys:
+        for week in (5, 11, 14, 18, 31):
+            versions = version_set(key, week)
+            assert versions, (key, week)
+            assert all(isinstance(v, int) for v in versions)
+
+
+def test_google_vm_set_has_no_ietf_versions():
+    for version in version_set("google-vm", 18):
+        assert version != QUIC_V1
+        assert (version >> 8) != 0xFF0000
+
+
+# -- experiment rendering --------------------------------------------------------
+
+
+def test_experiment_result_render_sections():
+    result = ExperimentResult(
+        experiment_id="TX",
+        title="Test table",
+        headers=("A", "B"),
+        rows=[(1, 2.5), ("x", "y")],
+        paper_reference="ref values",
+        notes="a note",
+    )
+    text = result.render()
+    assert "[TX] Test table" in text
+    assert "paper: ref values" in text
+    assert "note: a note" in text
+    assert "2.50" in text  # float formatting
+
+
+def test_render_table_empty_rows():
+    text = render_table(("Only",), [], title="Empty")
+    assert "Only" in text
+
+
+# -- QPACK prefixed integers -------------------------------------------------------
+
+
+@pytest.mark.parametrize("value", [0, 5, 30, 31, 32, 127, 128, 1337, 100_000])
+@pytest.mark.parametrize("prefix", [3, 5, 6, 7])
+def test_prefixed_int_roundtrip(value, prefix):
+    encoded = _encode_prefixed_int(value, prefix, 0x00)
+    decoded, offset = _decode_prefixed_int(encoded, 0, prefix)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+def test_prefixed_int_truncated():
+    from repro.http.qpack import QpackError
+
+    encoded = _encode_prefixed_int(1337, 5, 0x00)
+    with pytest.raises(QpackError):
+        _decode_prefixed_int(encoded[:1], 0, 5)
+
+
+# -- stats sanity over a whole campaign --------------------------------------------
+
+
+def test_network_traffic_stats_accumulate(tiny_campaign):
+    tiny_campaign.zmap_v4  # ensure at least one sweep ran
+    stats = tiny_campaign.world.network.stats
+    assert stats.datagrams_sent > 100_000  # the /14 sweep
+    assert stats.bytes_sent > stats.datagrams_sent  # probes are >1 B
+    assert stats.datagrams_delivered <= stats.datagrams_sent
+
+
+def test_world_summary_counts_consistent(tiny_world):
+    v4 = [d for d in tiny_world.deployments if d.address.version == 4]
+    v6 = [d for d in tiny_world.deployments if d.address.version == 6]
+    assert len(v4) + len(v6) == len(tiny_world.deployments)
+    # Every deployment address is unique.
+    addresses = [d.address for d in tiny_world.deployments]
+    assert len(addresses) == len(set(addresses))

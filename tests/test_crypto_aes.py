@@ -1,0 +1,63 @@
+"""AES block cipher tests (FIPS 197 vectors + properties)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import AES
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+@pytest.mark.parametrize(
+    "key_hex,expected",
+    [
+        ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"),
+        ("000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191"),
+        (
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+            "8ea2b7ca516745bfeafc49904b496089",
+        ),
+    ],
+)
+def test_fips197_vectors(key_hex, expected):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(FIPS_PLAINTEXT).hex() == expected
+    assert cipher.decrypt_block(bytes.fromhex(expected)) == FIPS_PLAINTEXT
+
+
+def test_zero_key_zero_block():
+    assert AES(bytes(16)).encrypt_block(bytes(16)).hex() == "66e94bd4ef8a2c3b884cfa59ca342b2e"
+
+
+def test_invalid_key_length_rejected():
+    with pytest.raises(ValueError):
+        AES(b"short")
+
+
+def test_invalid_block_length_rejected():
+    cipher = AES(bytes(16))
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"not-a-block")
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(b"not-a-block")
+
+
+@given(key=st.binary(min_size=16, max_size=16), block=st.binary(min_size=16, max_size=16))
+def test_encrypt_decrypt_roundtrip(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(key=st.binary(min_size=32, max_size=32), block=st.binary(min_size=16, max_size=16))
+def test_roundtrip_aes256(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(key=st.binary(min_size=16, max_size=16))
+def test_permutation_property(key):
+    """Distinct plaintexts encrypt to distinct ciphertexts."""
+    cipher = AES(key)
+    a = cipher.encrypt_block(bytes(16))
+    b = cipher.encrypt_block(bytes(15) + b"\x01")
+    assert a != b

@@ -1,0 +1,138 @@
+"""ChaCha20 / Poly1305 / AEAD tests against RFC 8439 vectors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aead import AeadError, header_mask_chacha
+from repro.crypto.chacha import (
+    ChaCha20Poly1305,
+    chacha20_block,
+    chacha20_xor,
+    poly1305_mac,
+)
+
+
+def test_chacha20_block_rfc8439_2_3_2():
+    key = bytes(range(32))
+    nonce = bytes.fromhex("000000090000004a00000000")
+    block = chacha20_block(key, 1, nonce)
+    assert block.hex() == (
+        "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+        "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    )
+
+
+def test_chacha20_encrypt_rfc8439_2_4_2():
+    key = bytes(range(32))
+    nonce = bytes.fromhex("000000000000004a00000000")
+    plaintext = (
+        b"Ladies and Gentlemen of the class of '99: If I could offer you "
+        b"only one tip for the future, sunscreen would be it."
+    )
+    ciphertext = chacha20_xor(key, 1, nonce, plaintext)
+    assert ciphertext.hex().startswith("6e2e359a2568f98041ba0728dd0d6981")
+    assert chacha20_xor(key, 1, nonce, ciphertext) == plaintext
+
+
+def test_poly1305_rfc8439_2_5_2():
+    key = bytes.fromhex(
+        "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"
+    )
+    message = b"Cryptographic Forum Research Group"
+    assert poly1305_mac(key, message).hex() == "a8061dc1305136c6c22b8baf0c0127a9"
+
+
+def test_aead_rfc8439_2_8_2():
+    key = bytes.fromhex(
+        "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f"
+    )
+    nonce = bytes.fromhex("070000004041424344454647")
+    aad = bytes.fromhex("50515253c0c1c2c3c4c5c6c7")
+    plaintext = (
+        b"Ladies and Gentlemen of the class of '99: If I could offer you "
+        b"only one tip for the future, sunscreen would be it."
+    )
+    sealed = ChaCha20Poly1305(key).seal(nonce, plaintext, aad)
+    assert sealed[-16:].hex() == "1ae10b594f09e26a7e902ecbd0600691"
+    assert sealed[:16].hex() == "d31a8d34648e60db7b86afbc53ef7ec2"
+    assert ChaCha20Poly1305(key).open(nonce, sealed, aad) == plaintext
+
+
+def test_aead_tamper_detection():
+    key = bytes(32)
+    aead = ChaCha20Poly1305(key)
+    sealed = bytearray(aead.seal(bytes(12), b"data", b"aad"))
+    sealed[0] ^= 1
+    with pytest.raises(AeadError):
+        aead.open(bytes(12), bytes(sealed), b"aad")
+    with pytest.raises(AeadError):
+        aead.open(bytes(12), b"short", b"")
+
+
+def test_key_and_nonce_validation():
+    with pytest.raises(ValueError):
+        chacha20_block(bytes(16), 0, bytes(12))
+    with pytest.raises(ValueError):
+        chacha20_block(bytes(32), 0, bytes(8))
+    with pytest.raises(ValueError):
+        poly1305_mac(bytes(16), b"")
+    with pytest.raises(ValueError):
+        ChaCha20Poly1305(bytes(16))
+
+
+def test_header_mask_chacha_rfc9001_a5():
+    """RFC 9001 A.5: ChaCha20 header protection sample."""
+    hp_key = bytes.fromhex(
+        "25a282b9e82f06f21f488917a4fc8f1b73573685608597d0efcb076b0ab7a7a4"
+    )
+    sample = bytes.fromhex("5e5cd55c41f69080575d7999c25a5bfb")
+    assert header_mask_chacha(hp_key, sample).hex() == "aefefe7d03"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    key=st.binary(min_size=32, max_size=32),
+    nonce=st.binary(min_size=12, max_size=12),
+    plaintext=st.binary(max_size=200),
+    aad=st.binary(max_size=32),
+)
+def test_aead_roundtrip_property(key, nonce, plaintext, aad):
+    aead = ChaCha20Poly1305(key)
+    assert aead.open(nonce, aead.seal(nonce, plaintext, aad), aad) == plaintext
+
+
+def test_tls_suite_integration():
+    """Full TLS handshake negotiating ChaCha20-Poly1305."""
+    from repro.crypto.rand import DeterministicRandom
+    from repro.tls.certificates import CertificateAuthority
+    from repro.tls.ciphersuites import SUITE_CHACHA20_POLY1305_SHA256
+    from repro.tls.engine import (
+        TlsClientConfig,
+        TlsClientSession,
+        TlsServerConfig,
+        TlsServerSession,
+    )
+
+    ca = CertificateAuthority(seed="chacha-suite", key_bits=512)
+    cert, key = ca.issue("c.example", ["c.example"], key_bits=512)
+    client = TlsClientSession(
+        TlsClientConfig(
+            server_name="c.example",
+            alpn=("h3",),
+            cipher_suites=(SUITE_CHACHA20_POLY1305_SHA256,),
+        ),
+        DeterministicRandom("cc"),
+    )
+    server = TlsServerSession(
+        TlsServerConfig(
+            select_certificate=lambda sni: ([cert, ca.root], key),
+            alpn_protocols=("h3",),
+            cipher_suites=(SUITE_CHACHA20_POLY1305_SHA256,),
+        ),
+        DeterministicRandom("cs"),
+    )
+    flight = server.process_client_hello(client.client_hello())
+    client.process_server_hello(flight.server_hello)
+    server.process_client_finished(client.process_server_flight(flight.encrypted_flight))
+    assert client.result.cipher_suite == "TLS_CHACHA20_POLY1305_SHA256"
+    assert client.application_secrets.client == server.application_secrets.client

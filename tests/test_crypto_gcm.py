@@ -1,0 +1,71 @@
+"""AES-GCM tests: NIST vectors, tamper detection, properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.gcm import AesGcm, GcmAuthenticationError
+
+KEY = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+IV = bytes.fromhex("cafebabefacedbaddecaf888")
+PLAINTEXT = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255"
+)
+AAD = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+def test_nist_case_3_no_aad():
+    out = AesGcm(KEY).encrypt(IV, PLAINTEXT)
+    assert out[:-16].hex() == (
+        "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+    )
+    assert out[-16:].hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+
+def test_nist_case_4_with_aad():
+    out = AesGcm(KEY).encrypt(IV, PLAINTEXT[:60], AAD)
+    assert out[-16:].hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+    assert AesGcm(KEY).decrypt(IV, out, AAD) == PLAINTEXT[:60]
+
+
+def test_empty_plaintext_tag_only():
+    out = AesGcm(bytes(16)).encrypt(bytes(12), b"")
+    assert len(out) == 16
+    # NIST test case 1: empty plaintext, zero key.
+    assert out.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+
+def test_tamper_detection_ciphertext():
+    out = bytearray(AesGcm(KEY).encrypt(IV, PLAINTEXT, AAD))
+    out[0] ^= 1
+    with pytest.raises(GcmAuthenticationError):
+        AesGcm(KEY).decrypt(IV, bytes(out), AAD)
+
+
+def test_tamper_detection_aad():
+    out = AesGcm(KEY).encrypt(IV, PLAINTEXT, AAD)
+    with pytest.raises(GcmAuthenticationError):
+        AesGcm(KEY).decrypt(IV, out, AAD + b"x")
+
+
+def test_short_ciphertext_rejected():
+    with pytest.raises(GcmAuthenticationError):
+        AesGcm(KEY).decrypt(IV, b"tooshort")
+
+
+def test_bad_nonce_length():
+    with pytest.raises(ValueError):
+        AesGcm(KEY).encrypt(b"short", b"data")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    nonce=st.binary(min_size=12, max_size=12),
+    plaintext=st.binary(max_size=200),
+    aad=st.binary(max_size=64),
+)
+def test_roundtrip_property(key, nonce, plaintext, aad):
+    gcm = AesGcm(key)
+    assert gcm.decrypt(nonce, gcm.encrypt(nonce, plaintext, aad), aad) == plaintext

@@ -1,0 +1,130 @@
+"""DNS substrate tests: records, zones, resolver."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.records import (
+    AaaaRecord,
+    ARecord,
+    HttpsRecord,
+    SvcbRecord,
+    SvcParams,
+    decode_dns_name,
+    encode_dns_name,
+)
+from repro.dns.resolver import Resolver
+from repro.dns.zones import ZoneStore
+from repro.netsim.addresses import IPv4Address, IPv6Address
+
+
+def test_dns_name_roundtrip():
+    for name in ("example.com", "a.b.c.example.org", "single"):
+        encoded = encode_dns_name(name)
+        decoded, offset = decode_dns_name(encoded)
+        assert decoded == name
+        assert offset == len(encoded)
+
+
+def test_root_name():
+    assert encode_dns_name(".") == b"\x00"
+    assert decode_dns_name(b"\x00")[0] == "."
+
+
+def test_label_length_enforced():
+    with pytest.raises(ValueError):
+        encode_dns_name("a" * 64 + ".com")
+
+
+def test_svcparams_roundtrip():
+    params = SvcParams(
+        alpn=("h3-29", "h3"),
+        port=8443,
+        ipv4hint=(IPv4Address.parse("192.0.2.1"), IPv4Address.parse("192.0.2.2")),
+        ipv6hint=(IPv6Address.parse("2001:db8::1"),),
+    )
+    assert SvcParams.decode(params.encode()) == params
+
+
+def test_svcparams_ascending_key_order_enforced():
+    params = SvcParams(alpn=("h3",), port=443)
+    encoded = bytearray(params.encode())
+    # Swap the two parameter blocks to violate ordering.
+    first_len = 4 + int.from_bytes(encoded[2:4], "big")
+    swapped = bytes(encoded[first_len:]) + bytes(encoded[:first_len])
+    with pytest.raises(ValueError):
+        SvcParams.decode(swapped)
+
+
+def test_https_record_rdata_roundtrip():
+    record = HttpsRecord(
+        name="example.com",
+        priority=1,
+        target=".",
+        params=SvcParams(alpn=("h3-29",), ipv4hint=(IPv4Address.parse("192.0.2.7"),)),
+    )
+    decoded = HttpsRecord.decode_rdata("example.com", record.encode_rdata())
+    assert decoded.priority == 1
+    assert decoded.target == "."
+    assert decoded.params == record.params
+    assert not decoded.is_alias
+
+
+def test_svcb_alias_mode():
+    record = SvcbRecord(name="example.com", priority=0, target="pool.example.net")
+    decoded = SvcbRecord.decode_rdata("example.com", record.encode_rdata())
+    assert decoded.is_alias
+    assert decoded.target == "pool.example.net"
+
+
+def test_zone_store_and_resolver():
+    zones = ZoneStore()
+    a = ARecord(name="www.example.com", address=IPv4Address.parse("192.0.2.1"))
+    aaaa = AaaaRecord(name="www.example.com", address=IPv6Address.parse("2001:db8::1"))
+    https = HttpsRecord(
+        name="www.example.com", priority=1, target=".", params=SvcParams(alpn=("h3",))
+    )
+    zones.add_a(a)
+    zones.add_aaaa(aaaa)
+    zones.add_https(https)
+    resolver = Resolver(zones)
+    result = resolver.resolve("www.example.com")
+    assert result.ipv4_addresses == [a.address]
+    assert result.ipv6_addresses == [aaaa.address]
+    assert result.has_https_rr
+    assert result.https[0].params.alpn == ("h3",)
+    assert resolver.queries == 4  # A, AAAA, HTTPS, SVCB
+
+
+def test_resolver_nxdomain():
+    resolver = Resolver(ZoneStore())
+    result = resolver.resolve("missing.example")
+    assert not result.a and not result.aaaa and not result.has_https_rr
+
+
+def test_resolver_case_insensitive():
+    zones = ZoneStore()
+    zones.add_a(ARecord(name="MiXeD.Example.COM", address=IPv4Address.parse("192.0.2.5")))
+    resolver = Resolver(zones)
+    assert resolver.resolve("mixed.example.com").ipv4_addresses
+
+
+def test_resolver_unknown_type():
+    with pytest.raises(ValueError):
+        Resolver(ZoneStore()).resolve("x.example", ("MX",))
+
+
+def test_zone_domain_listing():
+    zones = ZoneStore()
+    zones.add_a(ARecord(name="b.example", address=IPv4Address(1)))
+    zones.add_aaaa(AaaaRecord(name="a.example", address=IPv6Address(1)))
+    assert zones.domains() == ["a.example", "b.example"]
+    assert len(zones) == 2
+
+
+@given(
+    alpn=st.lists(st.sampled_from(["h3", "h3-29", "h3-Q050", "quic"]), max_size=4),
+    port=st.one_of(st.none(), st.integers(min_value=1, max_value=65535)),
+)
+def test_svcparams_roundtrip_property(alpn, port):
+    params = SvcParams(alpn=tuple(dict.fromkeys(alpn)), port=port)
+    assert SvcParams.decode(params.encode()) == params

@@ -1,0 +1,92 @@
+"""Implementation fingerprinting classifier tests (§7 analysis)."""
+
+import pytest
+
+from repro.analysis.fingerprint import (
+    FingerprintFeatures,
+    QuicFingerprinter,
+    evaluate_fingerprinter,
+)
+from repro.netsim.addresses import IPv4Address
+from repro.scanners.results import QScanOutcome, QScanRecord, TargetSource
+
+
+def rec(last, fingerprint=None, alert=None, server=None):
+    return QScanRecord(
+        address=IPv4Address.parse(f"10.0.0.{last}"),
+        sni=None,
+        source=TargetSource.ZMAP_DNS,
+        outcome=QScanOutcome.SUCCESS,
+        transport_params_fingerprint=fingerprint,
+        error_reason=alert,
+        server_header=server,
+    )
+
+
+def test_exact_signature_classification():
+    classifier = QuicFingerprinter()
+    classifier.train(
+        [rec(1, ("cf",), None, "cloudflare"), rec(2, ("ls",), None, "LiteSpeed")],
+        ["quiche", "lsquic"],
+    )
+    assert classifier.classify(rec(3, ("cf",), None, "cloudflare")) == "quiche"
+    assert classifier.classify(rec(4, ("ls",), None, "LiteSpeed")) == "lsquic"
+
+
+def test_prefix_fallback():
+    """Unseen full tuples fall back to coarser prefixes."""
+    classifier = QuicFingerprinter()
+    classifier.train(
+        [rec(1, ("cf",), None, "cloudflare"), rec(2, ("cf",), None, "cloudflare-beta")],
+        ["quiche", "quiche"],
+    )
+    # Same tparams, unseen server header: still classified via prefix.
+    assert classifier.classify(rec(3, ("cf",), None, "something-new")) == "quiche"
+
+
+def test_global_fallback():
+    classifier = QuicFingerprinter()
+    classifier.train([rec(1, ("a",)), rec(2, ("a",)), rec(3, ("b",))], ["x", "x", "y"])
+    assert classifier.classify(rec(4, ("zzz",), "nope", "nope")) == "x"
+
+
+def test_feature_masking():
+    """With server headers disabled, records differing only in header collapse."""
+    full = QuicFingerprinter(FingerprintFeatures(True, True, True))
+    masked = QuicFingerprinter(FingerprintFeatures(True, True, False))
+    training = [rec(1, ("t",), None, "srv-a"), rec(2, ("t",), None, "srv-b")]
+    labels = ["impl-a", "impl-b"]
+    full.train(training, labels)
+    masked.train(training, labels)
+    assert full.distinct_signatures() == 2
+    assert masked.distinct_signatures() == 1
+    assert full.classify(rec(3, ("t",), None, "srv-b")) == "impl-b"
+
+
+def test_untrained_raises():
+    with pytest.raises(RuntimeError):
+        QuicFingerprinter().classify(rec(1))
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        QuicFingerprinter().train([rec(1)], ["a", "b"])
+
+
+def test_evaluate_metrics():
+    train = [rec(1, ("a",), None, "A"), rec(2, ("b",), None, "B")]
+    test = [rec(3, ("a",), None, "A"), rec(4, ("b",), None, "B"), rec(5, ("a",), None, "A")]
+    metrics = evaluate_fingerprinter(train, ["x", "y"], test, ["x", "y", "x"])
+    assert metrics["accuracy"] == 1.0
+    assert metrics["recall:x"] == 1.0
+    assert metrics["recall:y"] == 1.0
+    assert metrics["signatures"] == 2.0
+
+
+def test_ablation_on_tiny_campaign(tiny_campaign):
+    from repro.experiments.ablations import ablation_fingerprint
+
+    result = ablation_fingerprint(tiny_campaign)
+    accuracy = {row[0]: row[1] for row in result.rows}
+    assert accuracy["tparams+alerts+server"] >= accuracy["alerts"]
+    assert accuracy["tparams+alerts+server"] > 50

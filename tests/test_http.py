@@ -1,0 +1,181 @@
+"""HTTP substrate tests: h1, Alt-Svc, QPACK, HTTP/3 frames."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http import h3
+from repro.http.altsvc import AltSvcEntry, format_alt_svc, h3_alpn_tokens, parse_alt_svc
+from repro.http.h1 import HttpParseError, HttpRequest, HttpResponse
+from repro.http.qpack import QpackError, decode_header_block, encode_header_block
+
+
+# -- HTTP/1.1 -----------------------------------------------------------------
+
+
+def test_request_roundtrip():
+    request = HttpRequest(method="GET", target="/x", headers=[("Host", "a.example")])
+    decoded = HttpRequest.decode(request.encode())
+    assert decoded.method == "GET"
+    assert decoded.target == "/x"
+    assert decoded.header("host") == "a.example"
+
+
+def test_response_roundtrip_with_body():
+    response = HttpResponse(
+        status=200,
+        reason="OK",
+        headers=[("Server", "nginx"), ("Alt-Svc", 'h3=":443"')],
+        body=b"content",
+    )
+    decoded = HttpResponse.decode(response.encode())
+    assert decoded.status == 200
+    assert decoded.header("ALT-SVC") == 'h3=":443"'
+    assert decoded.body == b"content"
+
+
+def test_malformed_messages_rejected():
+    with pytest.raises(HttpParseError):
+        HttpRequest.decode(b"GARBAGE")
+    with pytest.raises(HttpParseError):
+        HttpResponse.decode(b"HTTP/1.1 200 OK\r\nNoColon\r\n\r\n")
+    with pytest.raises(HttpParseError):
+        HttpRequest.decode(b"GET /\r\n\r\n")  # missing version
+
+
+# -- Alt-Svc --------------------------------------------------------------------
+
+
+def test_alt_svc_parse_multiple_entries():
+    entries = parse_alt_svc('h3-29=":443"; ma=86400, h3-27=":443"')
+    assert [e.alpn for e in entries] == ["h3-29", "h3-27"]
+    assert entries[0].max_age == 86400
+    assert entries[0].port == 443
+    assert entries[1].max_age is None
+
+
+def test_alt_svc_clear():
+    assert parse_alt_svc("clear") == []
+    assert parse_alt_svc("") == []
+
+
+def test_alt_svc_alternate_host():
+    [entry] = parse_alt_svc('h3="alt.example.com:8443"')
+    assert entry.host == "alt.example.com"
+    assert entry.port == 8443
+
+
+def test_alt_svc_percent_decoding():
+    [entry] = parse_alt_svc('h3%2D29=":443"')
+    assert entry.alpn == "h3-29"
+
+
+def test_alt_svc_format_parse_roundtrip():
+    entries = [
+        AltSvcEntry(alpn="h3", port=443, max_age=3600),
+        AltSvcEntry(alpn="h3-29", host="other.example", port=8443),
+    ]
+    assert parse_alt_svc(format_alt_svc(entries)) == entries
+
+
+def test_h3_alpn_tokens_filter():
+    entries = parse_alt_svc('h3-29=":443", hq-29=":443", quic=":443", h3-29=":444"')
+    assert h3_alpn_tokens(entries) == ["h3-29", "quic"]
+
+
+def test_indicates_http3():
+    assert AltSvcEntry(alpn="h3").indicates_http3
+    assert AltSvcEntry(alpn="h3-Q043").indicates_http3
+    assert AltSvcEntry(alpn="quic").indicates_http3
+    assert not AltSvcEntry(alpn="h2").indicates_http3
+
+
+# -- QPACK -----------------------------------------------------------------------
+
+
+def test_qpack_static_and_literal_roundtrip():
+    headers = [
+        (":method", "HEAD"),
+        (":scheme", "https"),
+        (":authority", "example.com"),
+        (":path", "/index.html"),
+        ("server", "cloudflare"),
+        ("x-custom-header", "some value"),
+    ]
+    assert decode_header_block(encode_header_block(headers)) == headers
+
+
+def test_qpack_status_codes():
+    for status in ("200", "404", "503", "418"):
+        headers = [(":status", status)]
+        assert decode_header_block(encode_header_block(headers)) == headers
+
+
+def test_qpack_rejects_short_block():
+    with pytest.raises(QpackError):
+        decode_header_block(b"\x00")
+
+
+def test_qpack_rejects_dynamic_references():
+    with pytest.raises(QpackError):
+        decode_header_block(b"\x00\x00\x80")  # indexed, T=0 (dynamic)
+
+
+@given(
+    headers=st.lists(
+        st.tuples(
+            st.sampled_from([":path", "server", "alt-svc", "x-h", "content-length"]),
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=30
+            ),
+        ),
+        max_size=8,
+    )
+)
+def test_qpack_roundtrip_property(headers):
+    assert decode_header_block(encode_header_block(headers)) == headers
+
+
+# -- HTTP/3 ------------------------------------------------------------------------
+
+
+def test_h3_head_request_roundtrip():
+    data = h3.encode_head_request("example.com", path="/probe")
+    headers = dict(h3.decode_request(data))
+    assert headers[":method"] == "HEAD"
+    assert headers[":authority"] == "example.com"
+    assert headers[":path"] == "/probe"
+
+
+def test_h3_response_roundtrip():
+    data = h3.encode_response(
+        200, [("server", "proxygen-bolt"), ("alt-svc", 'h3=":443"')], body=b"payload"
+    )
+    response = h3.decode_response(data)
+    assert response.status == 200
+    assert response.header("server") == "proxygen-bolt"
+    assert response.body == b"payload"
+
+
+def test_h3_response_requires_status():
+    data = h3.encode_frame(h3.H3FrameType.DATA, b"junk")
+    with pytest.raises(h3.H3Error):
+        h3.decode_response(data)
+
+
+def test_h3_control_stream_settings():
+    data = h3.encode_control_stream({0x06: 16384, 0x01: 100})
+    # Stream type 0x00 then a SETTINGS frame.
+    assert data[0] == 0x00
+    frames = h3.decode_frames(data[1:])
+    assert frames[0][0] == h3.H3FrameType.SETTINGS
+
+
+def test_h3_request_without_headers_frame():
+    with pytest.raises(h3.H3Error):
+        h3.decode_request(h3.encode_frame(h3.H3FrameType.DATA, b"x"))
+
+
+def test_h3_truncated_frame():
+    data = h3.encode_frame(h3.H3FrameType.HEADERS, b"abcdef")
+    with pytest.raises(h3.H3Error):
+        h3.decode_frames(data[:-2])

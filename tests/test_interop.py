@@ -1,0 +1,51 @@
+"""Interop matrix tests (paper §3.4: compatibility across stacks)."""
+
+import pytest
+
+from repro.interop import CLIENT_FLAVOURS, TEST_CASES, InteropRunner
+from repro.interop.runner import InteropResult
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return InteropRunner(seed=1).run()
+
+
+def test_full_matrix_passes(matrix):
+    assert matrix.pass_rate() == 1.0, matrix.failures()
+
+
+def test_matrix_is_complete(matrix):
+    # 3 client flavours x 11 server profiles x 6 cases.
+    assert len(matrix.outcomes) == len(CLIENT_FLAVOURS) * 11 * len(TEST_CASES)
+
+
+def test_chacha_case_actually_negotiates_chacha():
+    result = InteropRunner(seed=2).run(
+        clients=CLIENT_FLAVOURS[:1], servers=("quiche",), cases=("chacha20",)
+    )
+    assert result.passed("aes-x25519", "quiche", "chacha20")
+
+
+def test_retry_case_exercises_address_validation():
+    result = InteropRunner(seed=3).run(
+        clients=CLIENT_FLAVOURS[:1], servers=("lsquic",), cases=("retry", "handshake")
+    )
+    assert result.passed("aes-x25519", "lsquic", "retry")
+    assert result.passed("aes-x25519", "lsquic", "handshake")
+
+
+def test_render_contains_every_server(matrix):
+    text = matrix.render()
+    for server in ("quiche", "proxygen", "lsquic", "nginx-quic"):
+        assert server in text
+    assert "overall pass rate: 100%" in text
+
+
+def test_result_helpers():
+    result = InteropResult()
+    result.outcomes[("c", "s", "handshake")] = True
+    result.outcomes[("c", "s", "http3")] = False
+    assert result.pass_rate() == 0.5
+    assert result.failures() == [("c", "s", "http3")]
+    assert not result.passed("c", "s", "missing")

@@ -1,0 +1,124 @@
+"""Additional property-based tests over core invariants."""
+
+import ipaddress
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.addresses import IPv4Address, Prefix
+from repro.netsim.asn import AsRegistry
+from repro.quic.versions import VersionRegistry
+from repro.quic import frames as fr
+
+
+# -- longest-prefix match vs brute force --------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    announcements=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            st.integers(min_value=4, max_value=28),
+            st.integers(min_value=1, max_value=20),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    probe=st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_trie_lpm_matches_bruteforce(announcements, probe):
+    registry = AsRegistry()
+    prefixes = []
+    for value, length, asn in announcements:
+        network_value = value & ~((1 << (32 - length)) - 1)
+        prefix = Prefix(IPv4Address(network_value), length)
+        if asn not in registry:
+            registry.register(asn, f"AS{asn}")
+        registry.announce(asn, prefix)
+        prefixes.append((prefix, asn))
+    address = IPv4Address(probe)
+    # Brute force: most specific containing prefix; ties resolved by
+    # the most recent announcement (matching trie overwrite semantics).
+    best = None
+    best_len = -1
+    for prefix, asn in prefixes:
+        if prefix.contains(address) and prefix.length >= best_len:
+            best, best_len = asn, prefix.length
+    assert registry.origin(address) == best
+
+
+# -- version set labels ----------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    versions=st.lists(
+        st.sampled_from(
+            [0x00000001, 0xFF00001D, 0xFF00001C, 0xFF00001B, 0x51303433,
+             0x51303530, 0x54303531, 0xFACEB001, 0xFACEB002]
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_set_label_is_order_invariant_and_idempotent(versions):
+    label = VersionRegistry.set_label(versions)
+    assert VersionRegistry.set_label(list(reversed(versions))) == label
+    assert VersionRegistry.set_label(versions * 2) == label
+    assert label  # never empty for non-empty input
+
+
+# -- frame sequences ---------------------------------------------------------------
+
+
+_frame_strategy = st.one_of(
+    st.builds(fr.PingFrame),
+    st.builds(
+        fr.CryptoFrame,
+        offset=st.integers(min_value=0, max_value=1 << 20),
+        data=st.binary(min_size=1, max_size=40),
+    ),
+    st.builds(
+        fr.StreamFrame,
+        stream_id=st.integers(min_value=0, max_value=1 << 16),
+        offset=st.integers(min_value=0, max_value=1 << 16),
+        data=st.binary(max_size=40),
+        fin=st.booleans(),
+    ),
+    st.builds(
+        fr.MaxDataFrame, maximum=st.integers(min_value=0, max_value=(1 << 50))
+    ),
+    st.builds(fr.HandshakeDoneFrame),
+    st.builds(
+        fr.ConnectionCloseFrame,
+        error_code=st.integers(min_value=0, max_value=0x1FF),
+        frame_type=st.one_of(st.none(), st.integers(min_value=0, max_value=0x30)),
+        reason=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20
+        ),
+    ),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(frames=st.lists(_frame_strategy, min_size=1, max_size=8))
+def test_frame_sequences_roundtrip(frames):
+    assert fr.decode_frames(fr.encode_frames(frames)) == frames
+
+
+# -- prefix arithmetic vs the standard library -----------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    value=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    length=st.integers(min_value=0, max_value=32),
+    probe=st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_prefix_contains_matches_stdlib(value, length, probe):
+    network_value = value & (((1 << 32) - 1) ^ ((1 << (32 - length)) - 1)) if length else 0
+    ours = Prefix(IPv4Address(network_value), length)
+    stdlib = ipaddress.ip_network(f"{ipaddress.IPv4Address(network_value)}/{length}")
+    address = IPv4Address(probe)
+    assert ours.contains(address) == (ipaddress.IPv4Address(probe) in stdlib)
+    assert ours.num_addresses == stdlib.num_addresses

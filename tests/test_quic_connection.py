@@ -1,0 +1,211 @@
+"""End-to-end QUIC connection tests over the simulated network."""
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandom
+from repro.netsim.addresses import IPv4Address
+from repro.netsim.topology import Network
+from repro.quic.connection import (
+    HandshakeTimeout,
+    QuicClientConfig,
+    QuicClientConnection,
+    QuicServerBehaviour,
+    QuicServerEndpoint,
+    VersionMismatchError,
+)
+from repro.quic.errors import QuicError
+from repro.quic.packet import decode_version_negotiation
+from repro.quic.transport_params import TransportParameters
+from repro.quic.versions import (
+    DRAFT_29,
+    QUIC_V1,
+    force_negotiation_version,
+    label_to_version,
+)
+from repro.scanners.zmapquic import build_probe
+from repro.tls.alerts import AlertDescription, AlertError
+from repro.tls.certificates import CertificateAuthority
+from repro.tls.engine import TlsClientConfig, TlsServerConfig
+
+CLIENT = IPv4Address.parse("198.51.100.1")
+SERVER = IPv4Address.parse("192.0.2.1")
+
+
+@pytest.fixture()
+def pki():
+    ca = CertificateAuthority(seed="conn-tests", key_bits=512)
+    cert, key = ca.issue("example.com", ["example.com", "*.example.com"], key_bits=512)
+    return ca, cert, key
+
+
+def make_network(pki, **behaviour_kwargs):
+    ca, cert, key = pki
+    net = Network(seed=11)
+    defaults = dict(
+        tls=TlsServerConfig(
+            select_certificate=lambda sni: ([cert, ca.root], key),
+            alpn_protocols=("h3",),
+            transport_params=TransportParameters(initial_max_data=1_048_576),
+        ),
+        advertised_versions=(QUIC_V1, DRAFT_29),
+        app_handler=lambda alpn, sid, data: b"resp:" + data,
+    )
+    defaults.update(behaviour_kwargs)
+    net.bind_udp(SERVER, 443, QuicServerEndpoint(QuicServerBehaviour(**defaults)))
+    return net
+
+
+def client_config(pki, **kwargs):
+    ca, _cert, _key = pki
+    defaults = dict(
+        versions=(QUIC_V1,),
+        tls=TlsClientConfig(
+            server_name="www.example.com",
+            alpn=("h3",),
+            transport_params=TransportParameters(initial_max_data=65536),
+            trusted_roots=(ca.root,),
+        ),
+        application_streams={0: b"request"},
+    )
+    defaults.update(kwargs)
+    return QuicClientConfig(**defaults)
+
+
+def connect(net, config, seed="c"):
+    return QuicClientConnection(net, CLIENT, SERVER, 443, config, DeterministicRandom(seed)).connect()
+
+
+def test_full_handshake_and_application_exchange(pki):
+    net = make_network(pki)
+    result = connect(net, client_config(pki))
+    assert result.version == QUIC_V1
+    assert result.streams[0] == b"resp:request"
+    assert result.tls.alpn == "h3"
+    assert result.tls.cipher_suite == "TLS_AES_128_GCM_SHA256"
+    assert result.transport_params.initial_max_data == 1_048_576
+    assert result.tls.certificate_errors == []
+    assert not result.version_negotiation_seen
+
+
+def test_forced_version_negotiation_probe(pki):
+    net = make_network(pki)
+    probe = build_probe(b"\x01" * 8, b"\x02" * 8)
+    socket = net.client_socket(CLIENT)
+    socket.send(SERVER, 443, probe)
+    _source, datagram = socket.receive(1.0)
+    vn = decode_version_negotiation(datagram)
+    assert set(vn.supported_versions) == {QUIC_V1, DRAFT_29}
+    assert vn.dcid == b"\x02" * 8  # echoed from the probe's SCID
+    assert vn.scid == b"\x01" * 8
+
+
+def test_version_negotiation_retry(pki):
+    net = make_network(pki)
+    config = client_config(pki, versions=(label_to_version("draft-32"), QUIC_V1))
+    result = connect(net, config)
+    assert result.version == QUIC_V1
+    assert result.version_negotiation_seen
+
+
+def test_version_mismatch(pki):
+    net = make_network(
+        pki,
+        advertised_versions=(DRAFT_29, label_to_version("Q050")),
+        handshake_versions=(label_to_version("Q050"),),
+    )
+    with pytest.raises(VersionMismatchError) as excinfo:
+        connect(net, client_config(pki, versions=(DRAFT_29,)))
+    assert label_to_version("Q050") in excinfo.value.server_versions
+
+
+def test_crypto_error_0x128(pki):
+    ca, cert, key = pki
+
+    def require_sni(sni):
+        if sni is None:
+            raise AlertError(AlertDescription.HANDSHAKE_FAILURE, "sni required")
+        return [cert, ca.root], key
+
+    net = make_network(
+        pki,
+        tls=TlsServerConfig(select_certificate=require_sni, alpn_protocols=("h3",),
+                            transport_params=TransportParameters()),
+        alert_reason_text="quiche: tls handshake failure",
+    )
+    config = client_config(pki)
+    config.tls.server_name = None
+    with pytest.raises(QuicError) as excinfo:
+        connect(net, config)
+    assert excinfo.value.error_code == 0x128
+    assert "quiche" in excinfo.value.reason
+
+
+def test_close_with_custom_error(pki):
+    net = make_network(pki, close_with=(0x01, "internal error"))
+    with pytest.raises(QuicError) as excinfo:
+        connect(net, client_config(pki))
+    assert excinfo.value.error_code == 0x01
+
+
+def test_silent_handshake_times_out_in_virtual_time(pki):
+    net = make_network(pki, silent_handshake=True)
+    before = net.now
+    with pytest.raises(HandshakeTimeout):
+        connect(net, client_config(pki, timeout=2.0))
+    assert net.now >= before + 2.0
+
+
+def test_unpadded_initial_discarded_by_default(pki):
+    net = make_network(pki)
+    probe = build_probe(b"\x01" * 8, b"\x02" * 8, padded=False)
+    socket = net.client_socket(CLIENT)
+    socket.send(SERVER, 443, probe)
+    assert socket.receive(0.5) is None
+
+
+def test_unpadded_initial_accepted_when_configured(pki):
+    net = make_network(pki, respond_without_padding=True)
+    probe = build_probe(b"\x01" * 8, b"\x02" * 8, padded=False)
+    socket = net.client_socket(CLIENT)
+    socket.send(SERVER, 443, probe)
+    _source, datagram = socket.receive(0.5)
+    assert decode_version_negotiation(datagram).supported_versions
+
+
+def test_no_forced_negotiation_response(pki):
+    net = make_network(pki, respond_to_forced_negotiation=False)
+    probe = build_probe(b"\x01" * 8, b"\x02" * 8)
+    socket = net.client_socket(CLIENT)
+    socket.send(SERVER, 443, probe)
+    assert socket.receive(0.5) is None
+    # But a real handshake still works.
+    assert connect(net, client_config(pki)).streams[0] == b"resp:request"
+
+
+def test_drop_predicate_by_sni(pki):
+    net = make_network(pki, drop_predicate=lambda sni: sni == "www.example.com")
+    with pytest.raises(HandshakeTimeout):
+        connect(net, client_config(pki, timeout=1.0))
+    config = client_config(pki)
+    config.tls.server_name = "ok.example.com"
+    assert connect(net, config).streams[0] == b"resp:request"
+
+
+def test_fast_initial_protection_end_to_end(pki):
+    net = make_network(pki, fast_initial_protection=True)
+    result = connect(net, client_config(pki, fast_initial_protection=True))
+    assert result.streams[0] == b"resp:request"
+
+
+def test_fast_initial_mismatch_times_out(pki):
+    """A fast-mode client cannot talk to a real-mode server."""
+    net = make_network(pki, fast_initial_protection=False)
+    with pytest.raises(HandshakeTimeout):
+        connect(net, client_config(pki, fast_initial_protection=True, timeout=1.0))
+
+
+def test_handshake_without_application_streams(pki):
+    net = make_network(pki)
+    result = connect(net, client_config(pki, application_streams={}))
+    assert result.streams == {}
+    assert result.tls.alpn == "h3"

@@ -1,0 +1,138 @@
+"""QUIC frame codec tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.quic import frames as fr
+
+
+def roundtrip(frame_list):
+    return fr.decode_frames(fr.encode_frames(frame_list))
+
+
+def test_padding_runs_collapse():
+    decoded = roundtrip([fr.PaddingFrame(5)])
+    assert len(decoded) == 1
+    assert isinstance(decoded[0], fr.PaddingFrame)
+    assert decoded[0].length == 5
+
+
+def test_ping():
+    assert isinstance(roundtrip([fr.PingFrame()])[0], fr.PingFrame)
+
+
+def test_crypto_frame_roundtrip():
+    frame = fr.CryptoFrame(offset=1200, data=b"hello")
+    decoded = roundtrip([frame])[0]
+    assert decoded == frame
+
+
+def test_stream_frame_roundtrip():
+    frame = fr.StreamFrame(stream_id=4, offset=10, data=b"data", fin=True)
+    decoded = roundtrip([frame])[0]
+    assert decoded == frame
+
+
+def test_stream_frame_without_fin():
+    decoded = roundtrip([fr.StreamFrame(stream_id=0, data=b"x")])[0]
+    assert not decoded.fin
+    assert decoded.offset == 0
+
+
+def test_ack_single_range():
+    frame = fr.AckFrame(largest_acknowledged=9, ack_delay=3, ranges=[(9, 9)])
+    decoded = roundtrip([frame])[0]
+    assert decoded.largest_acknowledged == 9
+    assert decoded.ranges == [(9, 9)]
+    assert decoded.acknowledged() == [9]
+
+
+def test_ack_multiple_ranges():
+    frame = fr.AckFrame(largest_acknowledged=20, ranges=[(18, 20), (10, 14), (2, 5)])
+    decoded = roundtrip([frame])[0]
+    assert decoded.ranges == [(18, 20), (10, 14), (2, 5)]
+    assert decoded.acknowledged() == [2, 3, 4, 5, 10, 11, 12, 13, 14, 18, 19, 20]
+
+
+def test_ack_invalid_ranges_rejected():
+    with pytest.raises(ValueError):
+        fr.encode_frames([fr.AckFrame(largest_acknowledged=5, ranges=[(3, 4)])])
+    with pytest.raises(ValueError):
+        fr.encode_frames(
+            [fr.AckFrame(largest_acknowledged=5, ranges=[(4, 5), (4, 4)])]
+        )
+
+
+def test_connection_close_transport():
+    frame = fr.ConnectionCloseFrame(error_code=0x128, frame_type=0x06, reason="bad tls")
+    decoded = roundtrip([frame])[0]
+    assert decoded.error_code == 0x128
+    assert decoded.frame_type == 0x06
+    assert decoded.reason == "bad tls"
+    assert not decoded.is_application
+
+
+def test_connection_close_application():
+    frame = fr.ConnectionCloseFrame(error_code=3, frame_type=None, reason="app")
+    decoded = roundtrip([frame])[0]
+    assert decoded.is_application
+    assert decoded.error_code == 3
+
+
+def test_handshake_done():
+    assert isinstance(roundtrip([fr.HandshakeDoneFrame()])[0], fr.HandshakeDoneFrame)
+
+
+def test_new_connection_id_roundtrip():
+    frame = fr.NewConnectionIdFrame(
+        sequence_number=1,
+        retire_prior_to=0,
+        connection_id=b"\x07" * 8,
+        stateless_reset_token=b"\x09" * 16,
+    )
+    assert roundtrip([frame])[0] == frame
+
+
+def test_flow_control_frames():
+    frames = [
+        fr.MaxDataFrame(maximum=100000),
+        fr.MaxStreamDataFrame(stream_id=4, maximum=5000),
+        fr.MaxStreamsFrame(maximum=10, bidirectional=True),
+        fr.MaxStreamsFrame(maximum=3, bidirectional=False),
+        fr.ResetStreamFrame(stream_id=8, error_code=2, final_size=99),
+        fr.StopSendingFrame(stream_id=8, error_code=1),
+    ]
+    assert roundtrip(frames) == frames
+
+
+def test_mixed_sequence_preserved():
+    frames = [
+        fr.AckFrame(largest_acknowledged=0, ranges=[(0, 0)]),
+        fr.CryptoFrame(offset=0, data=b"ch"),
+        fr.PaddingFrame(10),
+        fr.StreamFrame(stream_id=0, data=b"req", fin=True),
+    ]
+    decoded = roundtrip(frames)
+    assert [type(f) for f in decoded] == [type(f) for f in frames]
+
+
+def test_unknown_frame_type_rejected():
+    with pytest.raises(fr.FrameDecodeError):
+        fr.decode_frames(b"\x3f")  # 0x3f is unassigned here
+
+
+def test_truncated_crypto_rejected():
+    data = fr.encode_frames([fr.CryptoFrame(offset=0, data=b"abcdef")])
+    with pytest.raises(fr.FrameDecodeError):
+        fr.decode_frames(data[:-2])
+
+
+@given(
+    stream_id=st.integers(min_value=0, max_value=1 << 20),
+    offset=st.integers(min_value=0, max_value=1 << 20),
+    data=st.binary(max_size=64),
+    fin=st.booleans(),
+)
+def test_stream_roundtrip_property(stream_id, offset, data, fin):
+    frame = fr.StreamFrame(stream_id=stream_id, offset=offset, data=data, fin=fin)
+    assert roundtrip([frame])[0] == frame

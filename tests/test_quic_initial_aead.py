@@ -1,0 +1,117 @@
+"""RFC 9001 Appendix A conformance tests for Initial packet protection."""
+
+import pytest
+
+from repro.quic.initial_aead import derive_initial_keys
+from repro.quic.packet import PacketType
+from repro.quic.protection import ProtectionKeys, protect_long, protect_short, unprotect
+from repro.crypto.aead import AeadError
+
+DCID = bytes.fromhex("8394c8f03e515708")
+
+CLIENT_HELLO_CRYPTO = bytes.fromhex(
+    "060040f1010000ed0303ebf8fa56f12939b9584a3896472ec40bb863cfd3e868"
+    "04fe3a47f06a2b69484c00000413011302010000c000000010000e00000b6578"
+    "616d706c652e636f6dff01000100000a00080006001d00170018001000070005"
+    "04616c706e000500050100000000003300260024001d00209370b2c9caa47fba"
+    "baf4559fedba753de171fa71f50f1ce15d43e994ec74d748002b000302030400"
+    "0d0010000e0403050306030203080408050806002d00020101001c0002400100"
+    "3900320408ffffffffffffffff05048000ffff07048000ffff08011001048000"
+    "75300901100f088394c8f03e5157080604 8000ffff".replace(" ", "")
+)
+
+
+def _keys(direction) -> ProtectionKeys:
+    aead = direction.aead()
+    return ProtectionKeys(
+        seal=aead.seal, open=aead.open, iv=direction.iv, header_mask=direction.header_mask
+    )
+
+
+def test_a1_initial_secrets():
+    keys = derive_initial_keys(DCID, 1)
+    assert keys.client.key.hex() == "1f369613dd76d5467730efcbe3b1a22d"
+    assert keys.client.iv.hex() == "fa044b2f42a3fd3b46fb255c"
+    assert keys.client.hp.hex() == "9f50449e04a0e810283a1e9933adedd2"
+    assert keys.server.key.hex() == "cf3a5331653c364c88f0f379b6067e37"
+    assert keys.server.iv.hex() == "0ac1493ca1905853b0bba03e"
+    assert keys.server.hp.hex() == "c206b8d9b9f0f37644430b490eeaa314"
+
+
+def test_a2_client_initial_packet_bit_exact():
+    keys = derive_initial_keys(DCID, 1)
+    payload = CLIENT_HELLO_CRYPTO + bytes(1162 - len(CLIENT_HELLO_CRYPTO))
+    packet = protect_long(
+        _keys(keys.client), PacketType.INITIAL, 1, DCID, b"", 2, payload, pn_length=4
+    )
+    assert len(packet) == 1200
+    assert packet[:64].hex() == (
+        "c000000001088394c8f03e5157080000449e7b9aec34d1b1c98dd7689fb8ec11"
+        "d242b123dc9bd8bab936b47d92ec356c0bab7df5976d27cd449f63300099f399"
+    )
+    # The final bytes of the protected packet per the RFC sample.
+    assert packet[-16:].hex() == "e221af44860018ab0856972e194cd934"
+
+
+def test_a2_server_can_unprotect_client_initial():
+    keys = derive_initial_keys(DCID, 1)
+    payload = CLIENT_HELLO_CRYPTO + bytes(1162 - len(CLIENT_HELLO_CRYPTO))
+    packet = protect_long(
+        _keys(keys.client), PacketType.INITIAL, 1, DCID, b"", 2, payload, pn_length=4
+    )
+    unprotected = unprotect(packet, 0, _keys(keys.client))
+    assert unprotected.packet_number == 2
+    assert unprotected.payload == payload
+    assert unprotected.dcid == DCID
+    assert unprotected.packet_type is PacketType.INITIAL
+
+
+def test_a3_server_initial_packet():
+    keys = derive_initial_keys(DCID, 1)
+    # Server Initial: SCID f067a5502a4262b5, ACK + CRYPTO(SH), PN 1, 2-byte PN.
+    payload = bytes.fromhex(
+        "02000000000600405a020000560303eefce7f7b37ba1d1632e96677825ddf739"
+        "88cfc79825df566dc5430b9a045a1200130100002e00330024001d00209d3c94"
+        "0d89690b84d08a60993c144eca684d1081287c834d5311bcf32bb9da1a002b00"
+        "020304"
+    )
+    packet = protect_long(
+        _keys(keys.server),
+        PacketType.INITIAL,
+        1,
+        b"",
+        bytes.fromhex("f067a5502a4262b5"),
+        1,
+        payload,
+        pn_length=2,
+    )
+    assert packet.hex().startswith(
+        "cf000000010008f067a5502a4262b5004075c0d95a482cd0991cd25b0aac406a"
+    )
+
+
+def test_wrong_keys_fail_authentication():
+    keys = derive_initial_keys(DCID, 1)
+    other = derive_initial_keys(b"\x00" * 8, 1)
+    payload = bytes(1162)
+    packet = protect_long(
+        _keys(keys.client), PacketType.INITIAL, 1, DCID, b"", 0, payload
+    )
+    with pytest.raises(AeadError):
+        unprotect(packet, 0, _keys(other.client))
+
+
+def test_draft_29_uses_draft_salt():
+    v1 = derive_initial_keys(DCID, 1)
+    draft29 = derive_initial_keys(DCID, 0xFF00001D)
+    assert v1.client.key != draft29.client.key
+
+
+def test_short_header_protection_roundtrip():
+    keys = derive_initial_keys(DCID, 1)
+    protection = _keys(keys.client)
+    packet = protect_short(protection, b"\x11" * 8, 42, b"application-data" * 4)
+    unprotected = unprotect(packet, 0, protection, largest_pn=41, short_header_dcid_length=8)
+    assert unprotected.packet_number == 42
+    assert unprotected.payload == b"application-data" * 4
+    assert unprotected.packet_type is None

@@ -1,0 +1,99 @@
+"""QUIC packet header codec tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.quic.packet import (
+    PacketDecodeError,
+    PacketType,
+    decode_long_header,
+    decode_packet_number,
+    decode_short_header,
+    decode_version_negotiation,
+    encode_long_header,
+    encode_packet_number,
+    encode_short_header,
+    encode_version_negotiation,
+    is_long_header,
+)
+from repro.quic.versions import QUIC_V1
+
+
+def test_version_negotiation_roundtrip():
+    packet = encode_version_negotiation(b"\x01" * 8, b"\x02" * 8, [QUIC_V1, 0xFF00001D])
+    assert is_long_header(packet)
+    vn = decode_version_negotiation(packet)
+    assert vn.dcid == b"\x01" * 8
+    assert vn.scid == b"\x02" * 8
+    assert vn.supported_versions == [QUIC_V1, 0xFF00001D]
+
+
+def test_version_negotiation_requires_zero_version():
+    header, _ = encode_long_header(PacketType.INITIAL, QUIC_V1, b"\x01" * 8, b"", 0, 20)
+    with pytest.raises(PacketDecodeError):
+        decode_version_negotiation(header)
+
+
+def test_version_negotiation_rejects_trailing_garbage():
+    packet = encode_version_negotiation(b"", b"", [QUIC_V1]) + b"\x00"
+    with pytest.raises(PacketDecodeError):
+        decode_version_negotiation(packet)
+
+
+def test_long_header_roundtrip():
+    header, pn_offset = encode_long_header(
+        PacketType.INITIAL, QUIC_V1, b"\xaa" * 8, b"\xbb" * 4, 7, 100, token=b"tok"
+    )
+    parsed = decode_long_header(header + bytes(104))
+    assert parsed.packet_type is PacketType.INITIAL
+    assert parsed.version == QUIC_V1
+    assert parsed.dcid == b"\xaa" * 8
+    assert parsed.scid == b"\xbb" * 4
+    assert parsed.token == b"tok"
+    assert parsed.payload_length == 104  # pn length (4) + payload (100)
+    assert parsed.header_offset == pn_offset
+
+
+def test_handshake_header_has_no_token():
+    header, _ = encode_long_header(PacketType.HANDSHAKE, QUIC_V1, b"\x01", b"\x02", 0, 10)
+    parsed = decode_long_header(header + bytes(20))
+    assert parsed.packet_type is PacketType.HANDSHAKE
+    assert parsed.token == b""
+
+
+def test_cid_length_limit():
+    with pytest.raises(ValueError):
+        encode_long_header(PacketType.INITIAL, QUIC_V1, b"\x00" * 21, b"", 0, 0)
+    bad = bytearray(encode_long_header(PacketType.INITIAL, QUIC_V1, b"\x00" * 20, b"", 0, 0)[0])
+    bad[5] = 21  # corrupt the DCID length
+    with pytest.raises(PacketDecodeError):
+        decode_long_header(bytes(bad) + bytes(30))
+
+
+def test_short_header_roundtrip():
+    header, pn_offset = encode_short_header(b"\xcc" * 8, 3, packet_number_length=2)
+    assert not is_long_header(header)
+    parsed = decode_short_header(header, dcid_length=8)
+    assert parsed.dcid == b"\xcc" * 8
+    assert parsed.header_offset == pn_offset
+
+
+@pytest.mark.parametrize(
+    "truncated,length,largest,expected",
+    [
+        # RFC 9000 A.3 example: largest 0xa82f30ea, truncated 0x9b32 (2 bytes).
+        (0x9B32, 2, 0xA82F30EA, 0xA82F9B32),
+        (0, 1, -1, 0),
+        (0xFF, 1, 0xFE, 0xFF),
+        (0x00, 1, 0xFF, 0x100),
+    ],
+)
+def test_packet_number_decode(truncated, length, largest, expected):
+    assert decode_packet_number(truncated, length, largest) == expected
+
+
+@given(pn=st.integers(min_value=0, max_value=(1 << 30)), length=st.sampled_from([2, 3, 4]))
+def test_packet_number_roundtrip_window(pn, length):
+    encoded = encode_packet_number(pn, length)
+    truncated = int.from_bytes(encoded, "big")
+    assert decode_packet_number(truncated, length, pn - 1) == pn

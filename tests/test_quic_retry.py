@@ -1,0 +1,146 @@
+"""Retry packet, token and address-validation tests (RFC 9000 §8.1,
+RFC 9001 §5.8 + Appendix A.4)."""
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandom
+from repro.netsim.addresses import IPv4Address
+from repro.netsim.topology import Network
+from repro.quic.connection import (
+    QuicClientConfig,
+    QuicClientConnection,
+    QuicServerBehaviour,
+    QuicServerEndpoint,
+)
+from repro.quic.packet import PacketDecodeError
+from repro.quic.retry import (
+    decode_retry,
+    encode_retry,
+    make_token,
+    retry_integrity_tag,
+    validate_token,
+)
+from repro.quic.transport_params import TransportParameters
+from repro.quic.versions import QUIC_V1
+from repro.tls.certificates import CertificateAuthority
+from repro.tls.engine import TlsClientConfig, TlsServerConfig
+
+ODCID = bytes.fromhex("8394c8f03e515708")
+
+
+def test_rfc9001_a4_retry_bit_exact():
+    packet = encode_retry(
+        1,
+        dcid=b"",
+        scid=bytes.fromhex("f067a5502a4262b5"),
+        token=b"token",
+        original_dcid=ODCID,
+        first_byte_entropy=0x0F,
+    )
+    assert packet.hex() == (
+        "ff000000010008f067a5502a4262b5746f6b656e04a265ba2eff4d829058fb3f0f2496ba"
+    )
+
+
+def test_retry_roundtrip_and_integrity():
+    packet = encode_retry(1, b"\x01" * 4, b"\x02" * 8, b"tok", ODCID)
+    parsed = decode_retry(packet, original_dcid=ODCID)
+    assert parsed.scid == b"\x02" * 8
+    assert parsed.token == b"tok"
+    tampered = bytearray(packet)
+    tampered[10] ^= 1
+    with pytest.raises(PacketDecodeError):
+        decode_retry(bytes(tampered), original_dcid=ODCID)
+    # Wrong ODCID also fails integrity.
+    with pytest.raises(PacketDecodeError):
+        decode_retry(packet, original_dcid=b"\x00" * 8)
+
+
+def test_retry_tag_is_odcid_bound():
+    without_tag = b"\xf0" + bytes(20)
+    assert retry_integrity_tag(b"\x01" * 8, without_tag) != retry_integrity_tag(
+        b"\x02" * 8, without_tag
+    )
+
+
+def test_token_roundtrip():
+    token = make_token(b"secret", "10.0.0.1:443", ODCID)
+    assert validate_token(b"secret", "10.0.0.1:443", token) == ODCID
+    assert validate_token(b"other", "10.0.0.1:443", token) is None
+    assert validate_token(b"secret", "10.0.0.2:443", token) is None
+    assert validate_token(b"secret", "10.0.0.1:443", b"\x02" + token[1:]) is None
+    assert validate_token(b"secret", "10.0.0.1:443", b"short") is None
+
+
+def test_handshake_through_retry():
+    """Full handshake against a server requiring address validation."""
+    ca = CertificateAuthority(seed="retry-tests", key_bits=512)
+    cert, key = ca.issue("retry.example", ["retry.example"], key_bits=512)
+    net = Network(seed=21)
+    server = IPv4Address.parse("192.0.2.30")
+    client = IPv4Address.parse("198.51.100.3")
+    net.bind_udp(
+        server,
+        443,
+        QuicServerEndpoint(
+            QuicServerBehaviour(
+                tls=TlsServerConfig(
+                    select_certificate=lambda sni: ([cert, ca.root], key),
+                    alpn_protocols=("h3",),
+                    transport_params=TransportParameters(),
+                ),
+                advertised_versions=(QUIC_V1,),
+                app_handler=lambda alpn, sid, data: b"validated",
+                stateless_retry=True,
+            )
+        ),
+    )
+    config = QuicClientConfig(
+        versions=(QUIC_V1,),
+        tls=TlsClientConfig(server_name="retry.example", alpn=("h3",),
+                            transport_params=TransportParameters()),
+        application_streams={0: b"hello"},
+    )
+    result = QuicClientConnection(
+        net, client, server, 443, config, DeterministicRandom("retry-client")
+    ).connect()
+    assert result.streams[0] == b"validated"
+
+
+def test_retry_probe_counts():
+    """The validated handshake takes exactly one extra round trip."""
+    ca = CertificateAuthority(seed="retry-rtt", key_bits=512)
+    cert, key = ca.issue("r.example", ["r.example"], key_bits=512)
+
+    def build(stateless_retry):
+        net = Network(seed=22)
+        server = IPv4Address.parse("192.0.2.31")
+        net.bind_udp(
+            server,
+            443,
+            QuicServerEndpoint(
+                QuicServerBehaviour(
+                    tls=TlsServerConfig(
+                        select_certificate=lambda sni: ([cert, ca.root], key),
+                        alpn_protocols=("h3",),
+                        transport_params=TransportParameters(),
+                    ),
+                    advertised_versions=(QUIC_V1,),
+                    app_handler=lambda alpn, sid, data: b"x",
+                    stateless_retry=stateless_retry,
+                )
+            ),
+        )
+        config = QuicClientConfig(
+            versions=(QUIC_V1,),
+            tls=TlsClientConfig(server_name="r.example", alpn=("h3",),
+                                transport_params=TransportParameters()),
+            application_streams={0: b"q"},
+        )
+        result = QuicClientConnection(
+            net, IPv4Address.parse("198.51.100.4"), server, 443, config,
+            DeterministicRandom("rtt"),
+        ).connect()
+        return result.handshake_rtt
+
+    assert build(True) > build(False)

@@ -1,0 +1,84 @@
+"""QUIC version registry tests."""
+
+import pytest
+
+from repro.quic.versions import (
+    DRAFT_27,
+    DRAFT_29,
+    QUIC_V1,
+    QSCANNER_SUPPORTED,
+    VersionRegistry,
+    alpn_for_version,
+    force_negotiation_version,
+    is_forcing_negotiation,
+    label_to_version,
+    version_label,
+)
+
+
+def test_wire_values():
+    assert QUIC_V1 == 0x00000001
+    assert DRAFT_29 == 0xFF00001D
+    assert label_to_version("Q043") == 0x51303433
+    assert label_to_version("T051") == 0x54303531
+    assert label_to_version("mvfst-1") == 0xFACEB001
+
+
+def test_labels_roundtrip():
+    for label in ("ietf-01", "draft-29", "draft-27", "Q050", "T048", "mvfst-e"):
+        assert version_label(label_to_version(label)) == label
+
+
+def test_unknown_label_raises():
+    with pytest.raises(ValueError):
+        label_to_version("draft-9000")
+
+
+def test_unknown_version_formats():
+    assert version_label(0xFF000063) == "draft-99"
+    assert version_label(0x12345678) == "0x12345678"
+
+
+def test_forcing_negotiation_pattern():
+    version = force_negotiation_version(0x1234)
+    assert is_forcing_negotiation(version)
+    assert (version & 0x0F0F0F0F) == 0x0A0A0A0A
+    assert not is_forcing_negotiation(QUIC_V1)
+    assert not is_forcing_negotiation(DRAFT_29)
+    assert is_forcing_negotiation(0x1A2A3A4A)
+
+
+def test_forcing_label():
+    assert version_label(0x1A2A3A4A).startswith("grease-")
+
+
+def test_alpn_mapping():
+    assert alpn_for_version(QUIC_V1) == "h3"
+    assert alpn_for_version(DRAFT_29) == "h3-29"
+    assert alpn_for_version(0xDEADBEEF) is None
+
+
+def test_qscanner_supported():
+    assert DRAFT_29 in QSCANNER_SUPPORTED
+    assert QUIC_V1 in QSCANNER_SUPPORTED
+    assert DRAFT_27 not in QSCANNER_SUPPORTED
+
+
+def test_set_label_canonical_order():
+    versions = [label_to_version(l) for l in ("Q043", "draft-29", "mvfst-2", "draft-27")]
+    label = VersionRegistry.set_label(versions)
+    # IETF versions first (newest first), then Google, then Facebook.
+    assert label.startswith("draft-29 draft-27")
+    assert "mvfst-2" in label
+    # Order independent of input order; duplicates collapse.
+    assert VersionRegistry.set_label(reversed(versions)) == label
+    assert VersionRegistry.set_label(versions + versions) == label
+
+
+def test_family_predicates():
+    assert VersionRegistry.is_ietf(QUIC_V1)
+    assert VersionRegistry.is_ietf(DRAFT_29)
+    assert VersionRegistry.is_google(label_to_version("Q050"))
+    assert VersionRegistry.is_google(label_to_version("T051"))
+    assert VersionRegistry.is_mvfst(label_to_version("mvfst-1"))
+    assert not VersionRegistry.is_google(QUIC_V1)

@@ -1,0 +1,208 @@
+"""Session resumption and 0-RTT over QUIC (RFC 8446 §2.2/§2.3, RFC 9001)."""
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandom
+from repro.netsim.addresses import IPv4Address
+from repro.netsim.topology import Network
+from repro.quic.connection import (
+    QuicClientConfig,
+    QuicClientConnection,
+    QuicServerBehaviour,
+    QuicServerEndpoint,
+)
+from repro.quic.transport_params import TransportParameters
+from repro.quic.versions import QUIC_V1
+from repro.tls.certificates import CertificateAuthority
+from repro.tls.engine import TlsClientConfig, TlsServerConfig
+from repro.tls.tickets import SessionTicket, open_ticket, seal_ticket
+
+CLIENT = IPv4Address.parse("198.51.100.8")
+SERVER = IPv4Address.parse("192.0.2.60")
+
+
+@pytest.fixture()
+def world():
+    ca = CertificateAuthority(seed="0rtt-tests", key_bits=512)
+    cert, key = ca.issue("zerortt.example", ["zerortt.example"], key_bits=512)
+    net = Network(seed=51)
+    behaviour = QuicServerBehaviour(
+        tls=TlsServerConfig(
+            select_certificate=lambda sni: ([cert, ca.root], key),
+            alpn_protocols=("h3",),
+            transport_params=TransportParameters(),
+            ticket_key=b"ticket-key-0123",
+            max_early_data=65536,
+        ),
+        advertised_versions=(QUIC_V1,),
+        app_handler=lambda alpn, sid, data: b"echo:" + data,
+    )
+    net.bind_udp(SERVER, 443, QuicServerEndpoint(behaviour))
+    return net, ca
+
+
+def _connect(net, ca, seed, ticket=None, early=False, streams=None, collect=False):
+    config = QuicClientConfig(
+        versions=(QUIC_V1,),
+        tls=TlsClientConfig(
+            server_name="zerortt.example",
+            alpn=("h3",),
+            transport_params=TransportParameters(),
+            trusted_roots=(ca.root,),
+            session_ticket=ticket,
+            offer_early_data=early,
+        ),
+        application_streams=streams if streams is not None else {0: b"request"},
+        use_early_data=early,
+        collect_session_ticket=collect,
+    )
+    return QuicClientConnection(net, CLIENT, SERVER, 443, config, DeterministicRandom(seed)).connect()
+
+
+def test_ticket_issued_over_quic(world):
+    net, ca = world
+    result = _connect(net, ca, "first", collect=True)
+    assert result.session_ticket is not None
+    assert result.session_ticket.max_early_data == 65536
+    assert not result.tls.resumed
+    assert result.streams[0] == b"echo:request"
+
+
+def test_resumption_without_certificate(world):
+    net, ca = world
+    ticket = _connect(net, ca, "initial", collect=True).session_ticket
+    resumed = _connect(net, ca, "resumed", ticket=ticket)
+    assert resumed.tls.resumed
+    assert resumed.tls.server_certificates == []
+    assert resumed.streams[0] == b"echo:request"
+
+
+def test_zero_rtt_round_trip(world):
+    net, ca = world
+    ticket = _connect(net, ca, "warm", collect=True).session_ticket
+    result = _connect(net, ca, "early", ticket=ticket, early=True)
+    assert result.early_data_sent
+    assert result.early_data_accepted
+    assert result.tls.resumed
+    assert result.streams[0] == b"echo:request"
+
+
+def test_zero_rtt_saves_a_round_trip(world):
+    net, ca = world
+    ticket = _connect(net, ca, "timing-warm", collect=True).session_ticket
+    full = _connect(net, ca, "timing-full")
+    early = _connect(net, ca, "timing-early", ticket=ticket, early=True)
+    # 0-RTT halves the time to the first response byte (1 RTT vs 2).
+    assert early.time_to_first_byte is not None
+    assert full.time_to_first_byte is not None
+    assert early.time_to_first_byte <= full.time_to_first_byte / 2 + 1e-9
+
+
+def test_early_data_rejected_when_server_disables_it(world):
+    net, ca = world
+    ticket = _connect(net, ca, "reject-warm", collect=True).session_ticket
+    # A second server without early-data support.
+    cert, key = ca.issue("zerortt.example", ["zerortt.example"], key_bits=512,
+                         key_seed="second-server")
+    strict = IPv4Address.parse("192.0.2.61")
+    net.bind_udp(
+        strict,
+        443,
+        QuicServerEndpoint(
+            QuicServerBehaviour(
+                tls=TlsServerConfig(
+                    select_certificate=lambda sni: ([cert, ca.root], key),
+                    alpn_protocols=("h3",),
+                    transport_params=TransportParameters(),
+                    ticket_key=b"ticket-key-0123",
+                    max_early_data=0,
+                ),
+                advertised_versions=(QUIC_V1,),
+                app_handler=lambda alpn, sid, data: b"late:" + data,
+            )
+        ),
+    )
+    config = QuicClientConfig(
+        versions=(QUIC_V1,),
+        tls=TlsClientConfig(
+            server_name="zerortt.example",
+            alpn=("h3",),
+            transport_params=TransportParameters(),
+            session_ticket=ticket,
+            offer_early_data=True,
+        ),
+        application_streams={0: b"req"},
+        use_early_data=True,
+    )
+    result = QuicClientConnection(
+        net, CLIENT, strict, 443, config, DeterministicRandom("rejected")
+    ).connect()
+    assert result.early_data_sent
+    assert not result.early_data_accepted
+    assert result.tls.resumed  # PSK still accepted, just no 0-RTT
+    # The request was retransmitted as 1-RTT data and still answered.
+    assert result.streams[0] == b"late:req"
+
+
+def test_wrong_ticket_key_falls_back_to_full_handshake(world):
+    net, ca = world
+    ticket = _connect(net, ca, "fk-warm", collect=True).session_ticket
+    forged = SessionTicket(
+        identity=b"\x00" * len(ticket.identity),
+        psk=ticket.psk,
+        cipher_suite_id=ticket.cipher_suite_id,
+        hash_name=ticket.hash_name,
+    )
+    result = _connect(net, ca, "forged", ticket=forged)
+    assert not result.tls.resumed
+    assert result.tls.server_certificates  # full handshake happened
+    assert result.streams[0] == b"echo:request"
+
+
+def test_ticket_seal_open_roundtrip():
+    rng = DeterministicRandom("seal")
+    blob = seal_ticket(b"k" * 16, b"psk-bytes", 0x1301, "h3", 1024, rng)
+    opened = open_ticket(b"k" * 16, blob)
+    assert opened == (b"psk-bytes", 0x1301, "h3", 1024)
+    assert open_ticket(b"x" * 16, blob) is None
+    assert open_ticket(b"k" * 16, b"short") is None
+    corrupted = blob[:-1] + bytes([blob[-1] ^ 1])
+    assert open_ticket(b"k" * 16, corrupted) is None
+
+
+def test_extension_resumption_on_tiny_campaign(tiny_campaign):
+    """E1 runs end-to-end over campaign scan data."""
+    from repro.experiments.ablations import extension_resumption
+
+    result = extension_resumption(tiny_campaign, sample_size=40)
+    totals = {row[0]: row for row in result.rows}["TOTAL"]
+    probed, resumption, zero_rtt = totals[1], totals[2], totals[3]
+    assert probed > 5
+    assert resumption > 0
+    assert zero_rtt <= resumption
+
+
+def test_qscanner_resumption_probe_fields(tiny_campaign):
+    """A ticket-collecting scan records resumption support flags."""
+    from repro.scanners.qscanner import QScanner, QScannerConfig
+    from repro.tls.ciphersuites import SUITE_AES_128_GCM_SHA256, SUITE_SIM_SHA256
+    from repro.tls.extensions import GROUP_SIM, GROUP_X25519
+
+    target = next(r for r in tiny_campaign.qscan_sni_v4 if r.is_success)
+    scanner = QScanner(
+        tiny_campaign.world.network,
+        tiny_campaign.world.scanner_v4,
+        QScannerConfig(
+            versions=tiny_campaign.config.qscanner_versions,
+            trusted_roots=(tiny_campaign.world.ca.root,),
+            fast_initial_protection=True,
+            test_resumption=True,
+            cipher_suites=(SUITE_SIM_SHA256, SUITE_AES_128_GCM_SHA256),
+            groups=(GROUP_SIM, GROUP_X25519),
+            seed="probe-fields",
+        ),
+    )
+    record = scanner.scan(target.address, target.sni, target.source)
+    assert record.is_success
+    assert record.resumption_supported is not None
+    assert record.early_data_supported is not None

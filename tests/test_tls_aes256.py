@@ -1,0 +1,118 @@
+"""AES-256-GCM / SHA-384 suite coverage (the second mandatory TLS 1.3 suite)."""
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandom
+from repro.tls.certificates import CertificateAuthority
+from repro.tls.ciphersuites import SUITE_AES_256_GCM_SHA384
+from repro.tls.engine import (
+    TlsClientConfig,
+    TlsClientSession,
+    TlsServerConfig,
+    TlsServerSession,
+)
+from repro.tls.keyschedule import KeySchedule
+from repro.tls.record import RecordLayer, RecordProtection
+
+
+@pytest.fixture(scope="module")
+def pki():
+    ca = CertificateAuthority(seed="aes256-tests", key_bits=512)
+    cert, key = ca.issue("a256.example", ["a256.example"], key_bits=512)
+    return ca, cert, key
+
+
+def test_sha384_key_schedule_lengths():
+    schedule = KeySchedule("sha384")
+    schedule.update_transcript(b"ch")
+    schedule.set_shared_secret(b"\x01" * 48)
+    secrets = schedule.handshake_traffic_secrets()
+    assert len(secrets.client) == 48
+    assert len(secrets.server) == 48
+
+
+def test_full_handshake_aes256(pki):
+    ca, cert, key = pki
+    client = TlsClientSession(
+        TlsClientConfig(
+            server_name="a256.example",
+            alpn=("h3",),
+            cipher_suites=(SUITE_AES_256_GCM_SHA384,),
+            trusted_roots=(ca.root,),
+        ),
+        DeterministicRandom("c256"),
+    )
+    server = TlsServerSession(
+        TlsServerConfig(
+            select_certificate=lambda sni: ([cert, ca.root], key),
+            alpn_protocols=("h3",),
+            cipher_suites=(SUITE_AES_256_GCM_SHA384,),
+        ),
+        DeterministicRandom("s256"),
+    )
+    flight = server.process_client_hello(client.client_hello())
+    client.process_server_hello(flight.server_hello)
+    server.process_client_finished(client.process_server_flight(flight.encrypted_flight))
+    assert client.result.cipher_suite == "TLS_AES_256_GCM_SHA384"
+    assert client.application_secrets.client == server.application_secrets.client
+    assert len(client.application_secrets.client) == 48
+
+
+def test_aes256_record_protection_roundtrip():
+    secret = b"\x07" * 48
+    sender = RecordLayer()
+    receiver = RecordLayer()
+    sender.send_protection = RecordProtection(SUITE_AES_256_GCM_SHA384, secret)
+    receiver.recv_protection = RecordProtection(SUITE_AES_256_GCM_SHA384, secret)
+    record = sender.wrap_application_data(b"data-over-aes256")
+    [(content_type, payload)] = receiver.unwrap(record)
+    assert payload == b"data-over-aes256"
+
+
+def test_quic_handshake_over_aes256(pki):
+    from repro.netsim.addresses import IPv4Address
+    from repro.netsim.topology import Network
+    from repro.quic.connection import (
+        QuicClientConfig,
+        QuicClientConnection,
+        QuicServerBehaviour,
+        QuicServerEndpoint,
+    )
+    from repro.quic.transport_params import TransportParameters
+    from repro.quic.versions import QUIC_V1
+
+    ca, cert, key = pki
+    net = Network(seed=41)
+    server = IPv4Address.parse("192.0.2.50")
+    net.bind_udp(
+        server,
+        443,
+        QuicServerEndpoint(
+            QuicServerBehaviour(
+                tls=TlsServerConfig(
+                    select_certificate=lambda sni: ([cert, ca.root], key),
+                    alpn_protocols=("h3",),
+                    cipher_suites=(SUITE_AES_256_GCM_SHA384,),
+                    transport_params=TransportParameters(),
+                ),
+                advertised_versions=(QUIC_V1,),
+                app_handler=lambda alpn, sid, data: b"aes256-ok",
+            )
+        ),
+    )
+    config = QuicClientConfig(
+        versions=(QUIC_V1,),
+        tls=TlsClientConfig(
+            server_name="a256.example",
+            alpn=("h3",),
+            cipher_suites=(SUITE_AES_256_GCM_SHA384,),
+            transport_params=TransportParameters(),
+        ),
+        application_streams={0: b"q"},
+    )
+    result = QuicClientConnection(
+        net, IPv4Address.parse("198.51.100.7"), server, 443, config,
+        DeterministicRandom("aes256-conn"),
+    ).connect()
+    assert result.streams[0] == b"aes256-ok"
+    assert result.tls.cipher_suite == "TLS_AES_256_GCM_SHA384"
