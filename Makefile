@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench report interop clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m repro bench --output BENCH_scan.json
+
+report:
+	$(PYTHON) -m repro report
+
+interop:
+	$(PYTHON) -m repro interop
+
+clean:
+	rm -rf .cache BENCH_scan.json
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

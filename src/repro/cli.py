@@ -6,7 +6,12 @@ Subcommands:
 - ``scan``        — run a full weekly campaign and print Tables 1/3/4,
 - ``experiment``  — regenerate one paper artefact (T1-T6, F3-F9, A1-A7, E1),
 - ``interop``     — run the client x server x case interop matrix,
-- ``report``      — regenerate everything (the EXPERIMENTS.md content).
+- ``report``      — regenerate everything (the EXPERIMENTS.md content),
+- ``bench``       — run the scan-engine benchmarks, write BENCH_scan.json.
+
+``--workers N`` shards scan stages across a process pool (ZMap-style
+permutation sharding; identical output to a serial run) and
+``--cache-dir DIR`` persists completed stages on disk for reuse.
 """
 
 from __future__ import annotations
@@ -67,6 +72,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="use real AES-GCM/X25519 everywhere (slower)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard scan stages across N worker processes (default 1: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist completed scan stages under this directory",
+    )
 
 
 def _campaign(args):
@@ -75,6 +91,8 @@ def _campaign(args):
         scale=Scale(addresses=args.scale, ases=max(1, args.scale // 50), domains=args.scale),
         seed=args.seed,
         fast_crypto=not args.real_crypto,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
 
 
@@ -153,6 +171,40 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.perf import write_benchmarks
+
+    results = write_benchmarks(
+        Path(args.output),
+        week=args.week,
+        seed=args.seed,
+        scale=Scale(
+            addresses=args.scale, ases=max(1, args.scale // 100), domains=args.scale
+        ),
+        workers=args.workers or None,
+        cache_dir=args.cache_dir,
+    )
+    campaign = results["campaign"]
+    print(f"wrote {args.output}")
+    print(f"  probes/sec:        {results['zmap_probe_rate']['probes_per_sec']:,.0f}")
+    print(
+        "  handshakes/sec:    "
+        f"{results['qscanner_handshake_rate']['handshakes_per_sec']:,.1f}"
+    )
+    print(f"  serial cold:       {campaign['serial_cold_seconds']}s")
+    print(
+        f"  parallel cold:     {campaign['parallel_cold_seconds']}s "
+        f"({results['workers']} workers, {campaign['parallel_speedup']}x)"
+    )
+    print(
+        f"  warm stage cache:  {campaign['cache_warm_seconds']}s "
+        f"({campaign['warm_cache_speedup']}x)"
+    )
+    return 0
+
+
 def _cmd_interop(args) -> int:
     from repro.interop import InteropRunner
 
@@ -193,6 +245,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     interop_parser.add_argument("--seed", type=int, default=0)
     interop_parser.set_defaults(func=_cmd_interop)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the scan-engine benchmarks, write BENCH_scan.json"
+    )
+    bench_parser.add_argument("--week", type=int, default=18)
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument(
+        "--scale", type=int, default=20_000, help="benchmark world size (addresses)"
+    )
+    bench_parser.add_argument(
+        "--workers", type=int, default=0, help="worker count (default: all cores)"
+    )
+    bench_parser.add_argument(
+        "--cache-dir", default=None, help="reuse this stage-cache directory"
+    )
+    bench_parser.add_argument("--output", default="BENCH_scan.json")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from functools import lru_cache
 
-from repro.crypto.gcm import AesGcm, GcmAuthenticationError
+from repro.crypto.gcm import AesGcm, GcmAuthenticationError, xor_bytes
 
 __all__ = [
     "AeadError",
@@ -92,7 +93,7 @@ class AeadSim:
 
     def seal(self, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
         keystream = self._keystream(nonce, len(plaintext))
-        ciphertext = bytes(a ^ b for a, b in zip(plaintext, keystream))
+        ciphertext = xor_bytes(plaintext, keystream)
         return ciphertext + self._tag(nonce, aad, ciphertext)
 
     def open(self, nonce: bytes, data: bytes, aad: bytes) -> bytes:
@@ -102,14 +103,25 @@ class AeadSim:
         if not hmac.compare_digest(tag, self._tag(nonce, aad, ciphertext)):
             raise AeadError("simulated AEAD tag mismatch")
         keystream = self._keystream(nonce, len(ciphertext))
-        return bytes(a ^ b for a, b in zip(ciphertext, keystream))
+        return xor_bytes(ciphertext, keystream)
+
+
+@lru_cache(maxsize=1024)
+def _hp_cipher(hp_key: bytes):
+    """One AES instance per header-protection key.
+
+    Header protection runs once per packet in both directions, always
+    with the same few keys per connection; constructing a fresh cipher
+    per mask dominated the hot path.
+    """
+    from repro.crypto.aes import AES
+
+    return AES(hp_key)
 
 
 def header_mask_aes(hp_key: bytes, sample: bytes) -> bytes:
     """QUIC header-protection mask via AES-ECB (RFC 9001 §5.4.3)."""
-    from repro.crypto.aes import AES
-
-    return AES(hp_key).encrypt_block(sample[:16])[:5]
+    return _hp_cipher(hp_key).encrypt_block(sample[:16])[:5]
 
 
 def header_mask_sim(hp_key: bytes, sample: bytes) -> bytes:

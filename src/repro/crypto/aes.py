@@ -13,7 +13,8 @@ for handshake-scale workloads.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 __all__ = ["AES"]
 
@@ -128,9 +129,16 @@ class AES:
     def __init__(self, key: bytes):
         if len(key) not in (16, 24, 32):
             raise ValueError(f"invalid AES key length: {len(key)}")
+        self._key = key
         self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
-        self._round_keys = self._expand_key(key)
-        self._dec_round_keys = self._expand_decryption_key()
+        # Key schedules are memoised per key value: QUIC re-derives the
+        # same Initial keys for every probe of a scan (the DCID-keyed
+        # secrets repeat), and both GCM and header protection construct
+        # fresh AES objects around recurring keys.
+        self._round_keys = _expand_key_cached(key)
+        # The inverse schedule is only needed by decrypt_block(); built
+        # on first use since CTR mode and header protection never do.
+        self._dec_round_keys: Optional[Tuple[int, ...]] = None
 
     @staticmethod
     def _expand_key(key: bytes) -> List[int]:
@@ -158,26 +166,9 @@ class AES:
             words.append(words[i - nk] ^ temp)
         return words
 
-    def _expand_decryption_key(self) -> List[int]:
+    def _expand_decryption_key(self) -> Tuple[int, ...]:
         """Round keys for the equivalent inverse cipher (InvMixColumns applied)."""
-        rounds = self._rounds
-        rk = self._round_keys
-        dec: List[int] = [0] * len(rk)
-        for i in range(4):
-            dec[i] = rk[4 * rounds + i]
-            dec[4 * rounds + i] = rk[i]
-        for rnd in range(1, rounds):
-            for i in range(4):
-                word = rk[4 * (rounds - rnd) + i]
-                # Apply InvMixColumns to the word via the decryption tables
-                # composed with the forward S-box.
-                dec[4 * rnd + i] = (
-                    _D0[_SBOX[(word >> 24) & 0xFF]]
-                    ^ _D1[_SBOX[(word >> 16) & 0xFF]]
-                    ^ _D2[_SBOX[(word >> 8) & 0xFF]]
-                    ^ _D3[_SBOX[word & 0xFF]]
-                )
-        return dec
+        return _expand_decryption_key_cached(self._key)
 
     def encrypt_block(self, block: bytes) -> bytes:
         if len(block) != 16:
@@ -251,6 +242,8 @@ class AES:
         if len(block) != 16:
             raise ValueError("AES operates on 16-byte blocks")
         rk = self._dec_round_keys
+        if rk is None:
+            rk = self._dec_round_keys = self._expand_decryption_key()
         s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
         s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
         s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
@@ -314,3 +307,30 @@ class AES:
             | inv[s0 & 0xFF]
         ) ^ rk[k + 3]
         return b"".join(x.to_bytes(4, "big") for x in (out0, out1, out2, out3))
+
+
+@lru_cache(maxsize=4096)
+def _expand_key_cached(key: bytes) -> Tuple[int, ...]:
+    return tuple(AES._expand_key(key))
+
+
+@lru_cache(maxsize=1024)
+def _expand_decryption_key_cached(key: bytes) -> Tuple[int, ...]:
+    rk = _expand_key_cached(key)
+    rounds = {44: 10, 52: 12, 60: 14}[len(rk)]
+    dec: List[int] = [0] * len(rk)
+    for i in range(4):
+        dec[i] = rk[4 * rounds + i]
+        dec[4 * rounds + i] = rk[i]
+    for rnd in range(1, rounds):
+        for i in range(4):
+            word = rk[4 * (rounds - rnd) + i]
+            # Apply InvMixColumns to the word via the decryption tables
+            # composed with the forward S-box.
+            dec[4 * rnd + i] = (
+                _D0[_SBOX[(word >> 24) & 0xFF]]
+                ^ _D1[_SBOX[(word >> 16) & 0xFF]]
+                ^ _D2[_SBOX[(word >> 8) & 0xFF]]
+                ^ _D3[_SBOX[word & 0xFF]]
+            )
+    return tuple(dec)

@@ -8,11 +8,18 @@ scale acceptable for handshake workloads.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 from repro.crypto.aes import AES
 
-__all__ = ["AesGcm", "GcmAuthenticationError"]
+__all__ = ["AesGcm", "GcmAuthenticationError", "xor_bytes"]
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings via single big-int ops."""
+    n = len(a)
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(n, "big")
 
 
 class GcmAuthenticationError(Exception):
@@ -37,7 +44,8 @@ def _gcm_mult(x: int, y: int) -> int:
     return z
 
 
-def _build_table(h: int) -> List[List[int]]:
+@lru_cache(maxsize=1024)
+def _build_table(h: int) -> Tuple[Tuple[int, ...], ...]:
     """Precompute tables[i][n] = (n << (4 * i)) * H for fast GHASH.
 
     The 128 single-bit products form a "divide by x" chain starting at
@@ -46,14 +54,16 @@ def _build_table(h: int) -> List[List[int]]:
     nibble positions — no full field multiplications.  Nibble (4-bit)
     tables trade a little per-block speed for an 8x cheaper setup,
     which matters because QUIC derives fresh AEAD instances for every
-    connection.
+    connection.  Tables are additionally memoised per subkey: Initial
+    secrets are a pure function of the client DCID, so scans revisit
+    the same subkeys constantly.
     """
     products = [0] * 128
     v = h
     for bit_index in range(127, -1, -1):
         products[bit_index] = v
         v = (v >> 1) ^ _R if v & 1 else v >> 1
-    tables: List[List[int]] = []
+    tables: List[Tuple[int, ...]] = []
     for nibble_pos in range(32):
         row = [0] * 16
         for bit in range(4):
@@ -62,8 +72,8 @@ def _build_table(h: int) -> List[List[int]]:
             for base in range(0, 16, 2 * stride):
                 for offset in range(stride):
                     row[base + stride + offset] = row[base + offset] ^ product
-        tables.append(row)
-    return tables
+        tables.append(tuple(row))
+    return tuple(tables)
 
 
 class _Ghash:
@@ -126,14 +136,14 @@ class AesGcm:
         ghash.update(lengths)
         digest = ghash.digest()
         mask = self._aes.encrypt_block(nonce + b"\x00\x00\x00\x01")
-        return bytes(a ^ b for a, b in zip(digest, mask))
+        return xor_bytes(digest, mask)
 
     def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Encrypt and authenticate; returns ciphertext || 16-byte tag."""
         if len(nonce) != 12:
             raise ValueError("GCM nonce must be 12 bytes")
         keystream = self._ctr_keystream(nonce, len(plaintext))
-        ciphertext = bytes(a ^ b for a, b in zip(plaintext, keystream))
+        ciphertext = xor_bytes(plaintext, keystream)
         return ciphertext + self._tag(nonce, aad, ciphertext)
 
     def decrypt(
@@ -149,7 +159,7 @@ class AesGcm:
         if not _constant_time_equal(tag, expected):
             raise GcmAuthenticationError("GCM tag mismatch")
         keystream = self._ctr_keystream(nonce, len(ciphertext))
-        return bytes(a ^ b for a, b in zip(ciphertext, keystream))
+        return xor_bytes(ciphertext, keystream)
 
 
 def _constant_time_equal(a: bytes, b: bytes) -> bool:

@@ -8,12 +8,20 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from functools import lru_cache
 
 __all__ = ["hkdf_extract", "hkdf_expand", "hkdf_expand_label"]
 
 
+@lru_cache(maxsize=8192)
 def hkdf_extract(salt: bytes, ikm: bytes, hash_name: str = "sha256") -> bytes:
-    """HKDF-Extract: PRK = HMAC-Hash(salt, IKM)."""
+    """HKDF-Extract: PRK = HMAC-Hash(salt, IKM).
+
+    Memoised: QUIC Initial secrets extract the per-connection DCID
+    against a fixed version salt, and the TLS key schedule re-extracts
+    identical (salt, IKM) pairs on both sides of every simulated
+    handshake.
+    """
     if not salt:
         salt = bytes(hashlib.new(hash_name).digest_size)
     return hmac.new(salt, ikm, hash_name).digest()
@@ -36,6 +44,7 @@ def hkdf_expand(
     return b"".join(blocks)[:length]
 
 
+@lru_cache(maxsize=8192)
 def hkdf_expand_label(
     secret: bytes,
     label: bytes,
@@ -48,6 +57,9 @@ def hkdf_expand_label(
     The label is prefixed with ``"tls13 "`` per the RFC; QUIC passes
     labels such as ``b"quic key"`` through this same construction
     (RFC 9001 §5.1).
+
+    Memoised because every packet-protection key ladder expands the
+    same handful of (secret, label) pairs on both endpoints.
     """
     full_label = b"tls13 " + label
     hkdf_label = (

@@ -11,14 +11,25 @@ Orchestrates the paper's §3 scan pipeline for one calendar week:
 
 All stages are lazy cached properties, so an experiment touching only
 Figure 5 never pays for stateful scans.  Campaigns themselves are
-memoised per (week, scale, seed, crypto mode).
+memoised per configuration.
+
+Two optional accelerations sit underneath the lazy properties:
+
+- a :class:`~repro.parallel.ScanEngine` (``workers > 1``) shards each
+  stage across a process pool — ZMap sweeps by cyclic-permutation
+  sub-iteration, stateful loops by contiguous target blocks — and
+  merges the results back into serial order, record for record,
+- a :class:`~repro.experiments.stage_cache.CampaignStageCache`
+  (``cache_dir``) persists completed stages on disk so repeated runs
+  skip them entirely (warm runs never even build the world).
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.joins import DnsJoin, join_dns_addresses
 from repro.internet.generator import World, build_world
@@ -42,7 +53,14 @@ from repro.dns.resolver import Resolver
 from repro.tls.ciphersuites import SUITE_AES_128_GCM_SHA256, SUITE_SIM_SHA256
 from repro.tls.extensions import GROUP_SIM, GROUP_X25519
 
-__all__ = ["CampaignConfig", "Campaign", "get_campaign", "COMPATIBLE_ALPN_TOKENS"]
+__all__ = [
+    "CampaignConfig",
+    "Campaign",
+    "get_campaign",
+    "COMPATIBLE_ALPN_TOKENS",
+    "shard_block_bounds",
+    "aligned_block_bounds",
+]
 
 # ALPN tokens compatible with the QScanner's supported versions.
 COMPATIBLE_ALPN_TOKENS = frozenset({"h3", "h3-29", "h3-32", "h3-34"})
@@ -61,29 +79,143 @@ class CampaignConfig:
     scan_timeout: float = 3.0
 
     def cache_key(self) -> Tuple:
-        return (
-            self.week,
-            self.scale.addresses,
-            self.scale.ases,
-            self.scale.domains,
-            self.seed,
-            self.fast_crypto,
-            self.max_domains_per_address,
-            self.qscanner_versions,
-        )
+        """A hashable key covering *every* configuration field.
+
+        Derived from ``dataclasses.fields`` so adding a field that
+        affects scan results can never silently be left out of the
+        memoisation/persistent-cache key again (nested dataclasses
+        such as :class:`Scale` are flattened).
+        """
+        parts = []
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                value = dataclasses.astuple(value)
+            parts.append((spec.name, value))
+        return tuple(parts)
+
+
+def shard_block_bounds(count: int, shard: int, of: int) -> Tuple[int, int]:
+    """Balanced contiguous partition of ``range(count)`` into ``of`` blocks."""
+    if not 0 <= shard < of:
+        raise ValueError(f"shard {shard} out of range for {of} shards")
+    return shard * count // of, (shard + 1) * count // of
+
+
+def aligned_block_bounds(keys: Sequence, shard: int, of: int) -> Tuple[int, int]:
+    """Contiguous partition whose cuts never split a run of equal keys.
+
+    Used for per-address target lists: all connections to one server
+    stay in one shard, preserving the server's per-connection state
+    sequence exactly as in a serial scan.
+    """
+
+    def align(position: int) -> int:
+        while 0 < position < len(keys) and keys[position] == keys[position - 1]:
+            position += 1
+        return position
+
+    lo, hi = shard_block_bounds(len(keys), shard, of)
+    return align(lo), align(hi)
 
 
 class Campaign:
     """Lazily executed scan campaign for one week."""
 
-    def __init__(self, config: CampaignConfig, world: Optional[World] = None):
+    def __init__(
+        self,
+        config: CampaignConfig,
+        world: Optional[World] = None,
+        workers: Optional[int] = None,
+        cache_dir: Optional[object] = None,
+    ):
         self.config = config
-        self.world = world or build_world(
-            week=config.week,
-            scale=config.scale,
-            seed=config.seed,
-            fast_crypto=config.fast_crypto,
-        )
+        self._world = world
+        self._workers = max(1, workers or 1)
+        self._engine = None
+        self._cache = None
+        if cache_dir is not None:
+            from repro.experiments.stage_cache import CampaignStageCache
+
+            self._cache = CampaignStageCache(cache_dir, config)
+
+    @property
+    def world(self) -> World:
+        """The simulated Internet, built on first use.
+
+        Lazy so that a fully warm-cached campaign never pays for world
+        construction at all.
+        """
+        if self._world is None:
+            self._world = build_world(
+                week=self.config.week,
+                scale=self.config.scale,
+                seed=self.config.seed,
+                fast_crypto=self.config.fast_crypto,
+            )
+        return self._world
+
+    @property
+    def stage_cache(self):
+        return self._cache
+
+    def close(self) -> None:
+        """Shut down the parallel engine's worker pool, if any."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    # -- stage execution ---------------------------------------------------------
+    #
+    # Every scan stage is expressed as a shard-aware compute function
+    # returning (position, record) pairs; serial execution is simply
+    # shard 0 of 1.  The wrapper below layers the persistent cache and
+    # the parallel engine on top without changing the serial record
+    # stream in any way.
+
+    def _stage(self, name: str) -> List:
+        if self._cache is not None:
+            cached = self._cache.load(name)
+            if cached is not None:
+                return cached
+        if self._workers > 1 and name in _STAGE_COMPUTE:
+            records = self._engine_run(name)
+        else:
+            records = [record for _, record in self.compute_stage_shard(name, 0, 1)]
+        if self._cache is not None:
+            self._cache.store(name, records)
+        return records
+
+    def _plain_stage(self, name: str, compute: Callable[[], object]):
+        """A cacheable but unsharded stage (DNS, derived target lists)."""
+        if self._cache is not None:
+            cached = self._cache.load(name)
+            if cached is not None:
+                return cached
+        value = compute()
+        if self._cache is not None:
+            self._cache.store(name, value)
+        return value
+
+    def _engine_run(self, name: str) -> List:
+        from repro.parallel import ScanEngine
+
+        if self._engine is None:
+            self._engine = ScanEngine(self.config, self._workers)
+        deps = {dep: getattr(self, dep) for dep in _STAGE_DEPS[name]}
+        return self._engine.run_stage(name, deps)
+
+    def compute_stage_shard(self, name: str, shard: int, of: int) -> List[Tuple[int, object]]:
+        """Compute one shard of a stage (the engine's worker entry point)."""
+        return _STAGE_COMPUTE[name](self, shard, of)
+
+    def run_all_stages(self) -> Dict[str, int]:
+        """Execute every stage in canonical order; returns record counts."""
+        counts: Dict[str, int] = {}
+        counts["dns"] = len(self.all_dns_records)
+        for name in _STAGE_ORDER:
+            counts[name] = len(getattr(self, name))
+        return counts
 
     # -- shared scanner configs ------------------------------------------------
     def _crypto_kwargs(self) -> Dict:
@@ -100,8 +232,11 @@ class Campaign:
     # -- stage 1: DNS ------------------------------------------------------------
     @cached_property
     def dns_records(self) -> Dict[str, List[DnsScanRecord]]:
-        scanner = DnsScanner(Resolver(self.world.zones))
-        return scanner.scan_lists(self.world.input_lists.lists)
+        def compute():
+            scanner = DnsScanner(Resolver(self.world.zones))
+            return scanner.scan_lists(self.world.input_lists.lists)
+
+        return self._plain_stage("dns_records", compute)
 
     @cached_property
     def all_dns_records(self) -> List[DnsScanRecord]:
@@ -114,42 +249,69 @@ class Campaign:
     # -- stage 2: ZMap QUIC ---------------------------------------------------
     @cached_property
     def zmap_v4(self) -> List[ZmapQuicRecord]:
-        scanner = ZmapQuicScanner(
+        return self._stage("zmap_v4")
+
+    def _zmap_scanner(self, family: int) -> ZmapQuicScanner:
+        label = "zmapquic" if family == 4 else "zmapquic6"
+        return ZmapQuicScanner(
             self.world.network,
-            self.world.scanner_v4,
+            self.world.scanner_v4 if family == 4 else self.world.scanner_v6,
             blocklist=self.world.blocklist,
-            seed=("zmapquic", self.config.seed, self.config.week),
+            seed=(label, self.config.seed, self.config.week),
         )
-        return scanner.scan_ipv4_space(self.world.ipv4_space)
+
+    def _compute_zmap_v4(self, shard: int, of: int) -> List[Tuple[int, ZmapQuicRecord]]:
+        return self._zmap_scanner(4).scan_ipv4_space_shard(
+            self.world.ipv4_space, shard, of
+        )
 
     @cached_property
     def ipv6_scan_input(self) -> List[IPv6Address]:
         """AAAA resolutions joined with the IPv6 hitlist (§3.1)."""
-        addresses: Set[IPv6Address] = set(self.world.ipv6_hitlist)
-        for record in self.all_dns_records:
-            addresses.update(record.aaaa)
-        return sorted(addresses)
+
+        def compute():
+            addresses: Set[IPv6Address] = set(self.world.ipv6_hitlist)
+            for record in self.all_dns_records:
+                addresses.update(record.aaaa)
+            return sorted(addresses)
+
+        return self._plain_stage("ipv6_scan_input", compute)
 
     @cached_property
     def zmap_v6(self) -> List[ZmapQuicRecord]:
-        scanner = ZmapQuicScanner(
-            self.world.network,
-            self.world.scanner_v6,
-            blocklist=self.world.blocklist,
-            seed=("zmapquic6", self.config.seed, self.config.week),
-        )
-        return scanner.scan_targets(self.ipv6_scan_input)
+        return self._stage("zmap_v6")
+
+    def _compute_zmap_v6(self, shard: int, of: int) -> List[Tuple[int, ZmapQuicRecord]]:
+        targets = self.ipv6_scan_input
+        lo, hi = shard_block_bounds(len(targets), shard, of)
+        return self._zmap_scanner(6).scan_targets_shard(targets[lo:hi], lo)
 
     # -- stage 3: TCP SYN ---------------------------------------------------------
+    def _syn_scanner(self, family: int) -> ZmapTcpScanner:
+        label = "zmaptcp" if family == 4 else "zmaptcp6"
+        return ZmapTcpScanner(
+            self.world.network,
+            blocklist=self.world.blocklist,
+            seed=(label, self.config.seed, self.config.week),
+        )
+
     @cached_property
     def syn_v4(self) -> List[SynRecord]:
-        scanner = ZmapTcpScanner(self.world.network, blocklist=self.world.blocklist)
-        return scanner.scan_ipv4_space(self.world.ipv4_space)
+        return self._stage("syn_v4")
+
+    def _compute_syn_v4(self, shard: int, of: int) -> List[Tuple[int, SynRecord]]:
+        return self._syn_scanner(4).scan_ipv4_space_shard(
+            self.world.ipv4_space, shard, of
+        )
 
     @cached_property
     def syn_v6(self) -> List[SynRecord]:
-        scanner = ZmapTcpScanner(self.world.network, blocklist=self.world.blocklist)
-        return scanner.scan_targets(self.ipv6_scan_input)
+        return self._stage("syn_v6")
+
+    def _compute_syn_v6(self, shard: int, of: int) -> List[Tuple[int, SynRecord]]:
+        targets = self.ipv6_scan_input
+        lo, hi = shard_block_bounds(len(targets), shard, of)
+        return self._syn_scanner(6).scan_targets_shard(targets[lo:hi], lo)
 
     # -- stage 4: stateful TLS over TCP -----------------------------------------
     def _goscanner(self, label: str) -> Goscanner:
@@ -163,78 +325,104 @@ class Campaign:
             ),
         )
 
+    def _syn_records(self, family: int) -> List[SynRecord]:
+        return self.syn_v4 if family == 4 else self.syn_v6
+
+    def _compute_goscanner_nosni(
+        self, family: int, shard: int, of: int
+    ) -> List[Tuple[int, GoscannerRecord]]:
+        syn = self._syn_records(family)
+        lo, hi = shard_block_bounds(len(syn), shard, of)
+        scanner = self._goscanner(f"nosni{family}")
+        scanner.seek(lo)
+        return [
+            (lo + i, scanner.scan(record.address, None))
+            for i, record in enumerate(syn[lo:hi])
+        ]
+
+    def _sni_scan_items(self, family: int) -> List[Tuple[Address, str]]:
+        """The flat (address, domain) list the SNI TLS scan walks."""
+        cap = self.config.max_domains_per_address
+        items: List[Tuple[Address, str]] = []
+        for syn in self._syn_records(family):
+            for domain in self.dns_join.domains_for(syn.address)[:cap]:
+                items.append((syn.address, domain))
+        return items
+
+    def _compute_goscanner_sni(
+        self, family: int, shard: int, of: int
+    ) -> List[Tuple[int, GoscannerRecord]]:
+        items = self._sni_scan_items(family)
+        lo, hi = aligned_block_bounds([a for a, _ in items], shard, of)
+        scanner = self._goscanner(f"sni{family}")
+        scanner.seek(lo)
+        return [
+            (lo + i, scanner.scan(address, domain))
+            for i, (address, domain) in enumerate(items[lo:hi])
+        ]
+
     @cached_property
     def goscanner_nosni_v4(self) -> List[GoscannerRecord]:
-        scanner = self._goscanner("nosni4")
-        return [scanner.scan(record.address, None) for record in self.syn_v4]
+        return self._stage("goscanner_nosni_v4")
 
     @cached_property
     def goscanner_sni_v4(self) -> List[GoscannerRecord]:
-        scanner = self._goscanner("sni4")
-        cap = self.config.max_domains_per_address
-        records = []
-        for syn in self.syn_v4:
-            for domain in self.dns_join.domains_for(syn.address)[:cap]:
-                records.append(scanner.scan(syn.address, domain))
-        return records
+        return self._stage("goscanner_sni_v4")
 
     @cached_property
     def goscanner_nosni_v6(self) -> List[GoscannerRecord]:
-        scanner = self._goscanner("nosni6")
-        return [scanner.scan(record.address, None) for record in self.syn_v6]
+        return self._stage("goscanner_nosni_v6")
 
     @cached_property
     def goscanner_sni_v6(self) -> List[GoscannerRecord]:
-        scanner = self._goscanner("sni6")
-        cap = self.config.max_domains_per_address
-        records = []
-        for syn in self.syn_v6:
-            for domain in self.dns_join.domains_for(syn.address)[:cap]:
-                records.append(scanner.scan(syn.address, domain))
-        return records
+        return self._stage("goscanner_sni_v6")
 
     # -- target assembly --------------------------------------------------------
     @staticmethod
     def _zmap_compatible(records: Sequence[ZmapQuicRecord]) -> List[ZmapQuicRecord]:
         return [r for r in records if set(r.versions) & QSCANNER_SUPPORTED]
 
-    @cached_property
-    def altsvc_targets_v4(self) -> List[Tuple[Address, str]]:
-        """(address, domain) pairs advertising HTTP/3 via Alt-Svc."""
+    def _goscanner_records(self, family: int, sni: bool) -> List[GoscannerRecord]:
+        if family == 4:
+            return self.goscanner_sni_v4 if sni else self.goscanner_nosni_v4
+        return self.goscanner_sni_v6 if sni else self.goscanner_nosni_v6
+
+    def _altsvc_targets(self, family: int) -> List[Tuple[Address, str]]:
+        """(address, domain) pairs advertising a compatible HTTP/3 token."""
         targets = []
-        for record in self.goscanner_sni_v4:
-            tokens = {e.alpn for e in record.alt_svc if e.indicates_http3}
-            if tokens:
-                targets.append((record.address, record.sni, tokens))
-        return [(a, d) for a, d, t in targets if t & COMPATIBLE_ALPN_TOKENS]
-
-    @cached_property
-    def altsvc_discovered_v4(self) -> List[Tuple[Address, str, frozenset]]:
-        """All Alt-Svc discoveries (including incompatible tokens)."""
-        discovered = []
-        for record in self.goscanner_sni_v4 + self.goscanner_nosni_v4:
-            tokens = frozenset(e.alpn for e in record.alt_svc if e.indicates_http3)
-            if tokens:
-                discovered.append((record.address, record.sni, tokens))
-        return discovered
-
-    @cached_property
-    def altsvc_discovered_v6(self) -> List[Tuple[Address, str, frozenset]]:
-        discovered = []
-        for record in self.goscanner_sni_v6 + self.goscanner_nosni_v6:
-            tokens = frozenset(e.alpn for e in record.alt_svc if e.indicates_http3)
-            if tokens:
-                discovered.append((record.address, record.sni, tokens))
-        return discovered
-
-    @cached_property
-    def altsvc_targets_v6(self) -> List[Tuple[Address, str]]:
-        targets = []
-        for record in self.goscanner_sni_v6:
+        for record in self._goscanner_records(family, sni=True):
             tokens = {e.alpn for e in record.alt_svc if e.indicates_http3}
             if tokens & COMPATIBLE_ALPN_TOKENS:
                 targets.append((record.address, record.sni))
         return targets
+
+    def _altsvc_discovered(self, family: int) -> List[Tuple[Address, str, frozenset]]:
+        """All Alt-Svc discoveries (including incompatible tokens)."""
+        discovered = []
+        records = self._goscanner_records(family, sni=True) + self._goscanner_records(
+            family, sni=False
+        )
+        for record in records:
+            tokens = frozenset(e.alpn for e in record.alt_svc if e.indicates_http3)
+            if tokens:
+                discovered.append((record.address, record.sni, tokens))
+        return discovered
+
+    @cached_property
+    def altsvc_targets_v4(self) -> List[Tuple[Address, str]]:
+        return self._altsvc_targets(4)
+
+    @cached_property
+    def altsvc_targets_v6(self) -> List[Tuple[Address, str]]:
+        return self._altsvc_targets(6)
+
+    @cached_property
+    def altsvc_discovered_v4(self) -> List[Tuple[Address, str, frozenset]]:
+        return self._altsvc_discovered(4)
+
+    @cached_property
+    def altsvc_discovered_v6(self) -> List[Tuple[Address, str, frozenset]]:
+        return self._altsvc_discovered(6)
 
     @cached_property
     def https_rr_targets(self) -> Dict[int, List[Tuple[Address, str]]]:
@@ -298,41 +486,58 @@ class Campaign:
             ),
         )
 
-    @cached_property
-    def qscan_nosni_v4(self) -> List[QScanRecord]:
-        scanner = self._qscanner("nosni4")
+    def _compute_qscan_nosni(
+        self, family: int, shard: int, of: int
+    ) -> List[Tuple[int, QScanRecord]]:
+        zmap = self.zmap_v4 if family == 4 else self.zmap_v6
+        targets = self._zmap_compatible(zmap)
+        lo, hi = shard_block_bounds(len(targets), shard, of)
+        scanner = self._qscanner(f"nosni{family}", source_v6=family == 6)
+        scanner.seek(lo)
         return [
-            scanner.scan(record.address, None, TargetSource.ZMAP_DNS)
-            for record in self._zmap_compatible(self.zmap_v4)
+            (lo + i, scanner.scan(record.address, None, TargetSource.ZMAP_DNS))
+            for i, record in enumerate(targets[lo:hi])
         ]
 
-    @cached_property
-    def qscan_nosni_v6(self) -> List[QScanRecord]:
-        scanner = self._qscanner("nosni6", source_v6=True)
-        return [
-            scanner.scan(record.address, None, TargetSource.ZMAP_DNS)
-            for record in self._zmap_compatible(self.zmap_v6)
-        ]
-
-    def _scan_sni(self, family: int) -> List[QScanRecord]:
-        scanner = self._qscanner(f"sni{family}", source_v6=family == 6)
+    def _sorted_sni_targets(
+        self, family: int
+    ) -> List[Tuple[Address, str, TargetSource]]:
         targets = self.sni_targets_v4 if family == 4 else self.sni_targets_v6
-        records = []
+        ordered = []
         for (address, domain), sources in sorted(
             targets.items(), key=lambda item: (str(item[0][0]), item[0][1])
         ):
             source = sorted(sources, key=lambda s: s.value)[0]
-            record = scanner.scan(address, domain, source)
-            records.append(record)
-        return records
+            ordered.append((address, domain, source))
+        return ordered
+
+    def _compute_qscan_sni(
+        self, family: int, shard: int, of: int
+    ) -> List[Tuple[int, QScanRecord]]:
+        targets = self._sorted_sni_targets(family)
+        lo, hi = aligned_block_bounds([a for a, _, _ in targets], shard, of)
+        scanner = self._qscanner(f"sni{family}", source_v6=family == 6)
+        scanner.seek(lo)
+        return [
+            (lo + i, scanner.scan(address, domain, source))
+            for i, (address, domain, source) in enumerate(targets[lo:hi])
+        ]
+
+    @cached_property
+    def qscan_nosni_v4(self) -> List[QScanRecord]:
+        return self._stage("qscan_nosni_v4")
+
+    @cached_property
+    def qscan_nosni_v6(self) -> List[QScanRecord]:
+        return self._stage("qscan_nosni_v6")
 
     @cached_property
     def qscan_sni_v4(self) -> List[QScanRecord]:
-        return self._scan_sni(4)
+        return self._stage("qscan_sni_v4")
 
     @cached_property
     def qscan_sni_v6(self) -> List[QScanRecord]:
-        return self._scan_sni(6)
+        return self._stage("qscan_sni_v6")
 
     def sni_records_for_source(
         self, family: int, source: TargetSource
@@ -348,6 +553,57 @@ class Campaign:
         return [r for r in records if (r.address, r.sni) in wanted]
 
 
+# Shard-aware compute functions, keyed by stage name.  The engine's
+# worker processes resolve these against their local world replica.
+_STAGE_COMPUTE: Dict[str, Callable[[Campaign, int, int], List]] = {
+    "zmap_v4": Campaign._compute_zmap_v4,
+    "zmap_v6": Campaign._compute_zmap_v6,
+    "syn_v4": Campaign._compute_syn_v4,
+    "syn_v6": Campaign._compute_syn_v6,
+    "goscanner_nosni_v4": lambda c, s, n: c._compute_goscanner_nosni(4, s, n),
+    "goscanner_nosni_v6": lambda c, s, n: c._compute_goscanner_nosni(6, s, n),
+    "goscanner_sni_v4": lambda c, s, n: c._compute_goscanner_sni(4, s, n),
+    "goscanner_sni_v6": lambda c, s, n: c._compute_goscanner_sni(6, s, n),
+    "qscan_nosni_v4": lambda c, s, n: c._compute_qscan_nosni(4, s, n),
+    "qscan_nosni_v6": lambda c, s, n: c._compute_qscan_nosni(6, s, n),
+    "qscan_sni_v4": lambda c, s, n: c._compute_qscan_sni(4, s, n),
+    "qscan_sni_v6": lambda c, s, n: c._compute_qscan_sni(6, s, n),
+}
+
+# Parent-computed values shipped to shard workers so dependencies are
+# computed once, not once per worker.
+_STAGE_DEPS: Dict[str, Tuple[str, ...]] = {
+    "zmap_v4": (),
+    "zmap_v6": ("ipv6_scan_input",),
+    "syn_v4": (),
+    "syn_v6": ("ipv6_scan_input",),
+    "goscanner_nosni_v4": ("syn_v4",),
+    "goscanner_nosni_v6": ("syn_v6",),
+    "goscanner_sni_v4": ("syn_v4", "dns_join"),
+    "goscanner_sni_v6": ("syn_v6", "dns_join"),
+    "qscan_nosni_v4": ("zmap_v4",),
+    "qscan_nosni_v6": ("zmap_v6",),
+    "qscan_sni_v4": ("sni_targets_v4",),
+    "qscan_sni_v6": ("sni_targets_v6",),
+}
+
+# Canonical execution order for full-campaign runs (dependencies first).
+_STAGE_ORDER: Tuple[str, ...] = (
+    "zmap_v4",
+    "zmap_v6",
+    "syn_v4",
+    "syn_v6",
+    "goscanner_nosni_v4",
+    "goscanner_sni_v4",
+    "goscanner_nosni_v6",
+    "goscanner_sni_v6",
+    "qscan_nosni_v4",
+    "qscan_nosni_v6",
+    "qscan_sni_v4",
+    "qscan_sni_v6",
+)
+
+
 _CAMPAIGNS: Dict[Tuple, Campaign] = {}
 
 
@@ -357,8 +613,15 @@ def get_campaign(
     seed: int = 0,
     fast_crypto: bool = True,
     max_domains_per_address: int = 25,
+    workers: Optional[int] = None,
+    cache_dir: Optional[object] = None,
 ) -> Campaign:
-    """Memoised campaign accessor shared by tests and benchmarks."""
+    """Memoised campaign accessor shared by tests and benchmarks.
+
+    ``workers`` and ``cache_dir`` only take effect when the campaign
+    for this configuration is first constructed; subsequent calls
+    return the memoised instance unchanged.
+    """
     config = CampaignConfig(
         week=week,
         scale=scale or Scale(),
@@ -368,5 +631,5 @@ def get_campaign(
     )
     key = config.cache_key()
     if key not in _CAMPAIGNS:
-        _CAMPAIGNS[key] = Campaign(config)
+        _CAMPAIGNS[key] = Campaign(config, workers=workers, cache_dir=cache_dir)
     return _CAMPAIGNS[key]

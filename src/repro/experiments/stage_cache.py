@@ -1,0 +1,124 @@
+"""Persistent on-disk cache for campaign scan stages.
+
+Every stage of a :class:`~repro.experiments.campaign.Campaign` is a
+pure function of the campaign configuration, so completed stages can
+be reused across processes and sessions.  Records are pickled one
+stage per file under ``<root>/campaigns/<config-hash>/<stage>.pkl``;
+the config hash covers every configuration field (via
+``CampaignConfig.cache_key``) plus an explicit format version, so a
+change to either invalidates the whole entry rather than serving stale
+records.
+
+The cache is strictly an optimisation: corrupt, truncated or
+version-skewed files are discarded and the stage is recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["CampaignStageCache", "CACHE_VERSION", "default_cache_root"]
+
+# Bump whenever the record schema or stage semantics change; old
+# entries are then invalidated automatically.
+CACHE_VERSION = 1
+
+
+def default_cache_root() -> Path:
+    """The default cache location: ``.cache`` under the working tree,
+    overridable with the ``REPRO_CACHE_DIR`` environment variable."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".cache"))
+
+
+class CampaignStageCache:
+    """Content-keyed stage cache for one campaign configuration."""
+
+    def __init__(self, root, config):
+        self._key = config.cache_key()
+        digest = hashlib.sha256(
+            repr((CACHE_VERSION, self._key)).encode()
+        ).hexdigest()[:16]
+        self._dir = Path(root) / "campaigns" / digest
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def _path(self, stage: str) -> Path:
+        return self._dir / f"{stage}.pkl"
+
+    def load(self, stage: str) -> Optional[object]:
+        """Return the cached records for a stage, or None on any miss."""
+        path = self._path(stage)
+        try:
+            with open(path, "rb") as stream:
+                payload = pickle.load(stream)
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            IndexError,
+            ValueError,
+        ):
+            # Truncated or corrupt entries are misses, not errors.
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_VERSION
+            or payload.get("key") != self._key
+            or payload.get("stage") != stage
+        ):
+            # Version or key skew: drop the stale entry explicitly.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["records"]
+
+    def store(self, stage: str, records) -> None:
+        """Persist one stage's records (atomic rename, best effort)."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._write_meta()
+        payload = {
+            "version": CACHE_VERSION,
+            "key": self._key,
+            "stage": stage,
+            "records": records,
+        }
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+            with os.fdopen(fd, "wb") as stream:
+                pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(stage))
+        except OSError:
+            pass  # a read-only cache directory never fails the scan
+
+    def _write_meta(self) -> None:
+        """Human-readable record of what this entry caches."""
+        meta = self._dir / "meta.json"
+        if meta.exists():
+            return
+        try:
+            meta.write_text(
+                json.dumps(
+                    {"cache_version": CACHE_VERSION, "config": repr(self._key)},
+                    indent=2,
+                )
+                + "\n"
+            )
+        except OSError:
+            pass

@@ -1,0 +1,5 @@
+"""Sharded parallel execution of campaign scan stages."""
+
+from repro.parallel.engine import ScanEngine
+
+__all__ = ["ScanEngine"]

@@ -1,0 +1,132 @@
+"""The parallel scan execution engine.
+
+ZMap scales by handing each scanning process one shard of the same
+cyclic-group address permutation; the stateful QScanner/Goscanner
+loops are embarrassingly parallel across targets.  This engine applies
+both schemes to the simulated campaign:
+
+- every worker process builds its own deterministic world replica from
+  the campaign configuration (``(week, scale, seed, ...)``), so no
+  simulated state is shared between processes,
+- stage *inputs* that were already computed in the parent (target
+  lists, DNS joins) are shipped to the workers with each task and
+  injected into the replica's lazy-stage slots, so dependencies are
+  never recomputed per worker,
+- every worker returns ``(position, record)`` pairs, where positions
+  are either cyclic-permutation walk positions (ZMap sweeps) or flat
+  target-list indices (stateful loops); the merged, position-sorted
+  output is byte-identical to a serial scan.
+
+The pool is lazy and persistent: world replicas are built once per
+worker process and reused for every subsequent stage of the same
+campaign.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ScanEngine", "default_worker_count"]
+
+# Worker-process state: the campaign configuration arrives through the
+# pool initializer; the world replica is built lazily on the first
+# task so pool startup stays cheap.
+_WORKER_CONFIG = None
+_WORKER_CAMPAIGN = None
+
+
+def default_worker_count() -> int:
+    """Worker count from ``REPRO_WORKERS`` or the CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _init_worker(config) -> None:
+    global _WORKER_CONFIG, _WORKER_CAMPAIGN
+    _WORKER_CONFIG = config
+    _WORKER_CAMPAIGN = None
+
+
+def _replica():
+    """The per-process campaign replica (world rebuilt on first use)."""
+    global _WORKER_CAMPAIGN
+    if _WORKER_CAMPAIGN is None:
+        from repro.experiments.campaign import Campaign
+
+        _WORKER_CAMPAIGN = Campaign(_WORKER_CONFIG)
+    return _WORKER_CAMPAIGN
+
+
+def _run_shard(task) -> List[Tuple[int, object]]:
+    """Pool task: compute one shard of one stage on the local replica."""
+    stage, shard, of, deps = task
+    campaign = _replica()
+    # Inject parent-computed dependencies into the replica's lazy
+    # slots (cached_property stores results in the instance __dict__),
+    # so e.g. a qscan shard does not re-run the goscanner stages.
+    for name, value in deps.items():
+        campaign.__dict__[name] = value
+    return campaign.compute_stage_shard(stage, shard, of)
+
+
+class ScanEngine:
+    """A persistent worker pool executing campaign stages in shards."""
+
+    def __init__(self, config, workers: Optional[int] = None):
+        self._config = config
+        self.workers = max(1, workers if workers is not None else default_worker_count())
+        self._pool = None
+
+    # -- pool lifecycle -------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context("spawn")
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self._config,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ScanEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best effort; explicit close() is preferred
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution ---------------------------------------------------------------
+    def run_stage(
+        self, stage: str, deps: Optional[Dict[str, object]] = None
+    ) -> List[object]:
+        """Run one stage across all workers and merge deterministically."""
+        deps = deps or {}
+        shards = self.workers
+        tasks = [(stage, shard, shards, deps) for shard in range(shards)]
+        pool = self._ensure_pool()
+        tagged: List[Tuple[int, object]] = []
+        for part in pool.map(_run_shard, tasks, chunksize=1):
+            tagged.extend(part)
+        tagged.sort(key=lambda item: item[0])
+        return [record for _, record in tagged]

@@ -1,0 +1,164 @@
+"""Scan-engine performance benchmarks (``quicrepro bench`` / ``make bench``).
+
+Measures the three rates the scan pipeline's throughput is built from
+and the end-to-end campaign wall-clock under each acceleration:
+
+- **probes/sec** — stateless ZMap QUIC probes over the IPv4 space,
+- **handshakes/sec** — stateful QScanner handshakes against
+  QUIC-capable targets,
+- **campaign wall-clock** — every scan stage of a weekly campaign,
+  serial vs. sharded-parallel (cold) and cold vs. warm persistent
+  stage cache.
+
+Results are written to ``BENCH_scan.json``.  All numbers are honest
+wall-clock measurements on the current machine; the parallel speedup
+in particular depends on the available cores (reported alongside).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.experiments.campaign import Campaign, CampaignConfig
+from repro.internet.providers import Scale
+
+__all__ = ["run_benchmarks", "write_benchmarks", "DEFAULT_BENCH_SCALE"]
+
+# Small enough for a minutes-scale benchmark run in pure Python, large
+# enough that per-stage setup cost does not dominate.
+DEFAULT_BENCH_SCALE = Scale(addresses=20_000, ases=200, domains=20_000)
+
+
+def _time(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def _bench_probe_rate(campaign: Campaign) -> Dict[str, float]:
+    """Stateless ZMap QUIC probe throughput over the IPv4 space."""
+    scanner = campaign._zmap_scanner(4)
+    space = campaign.world.ipv4_space
+    records, elapsed = _time(lambda: scanner.scan_ipv4_space(space))
+    probes = space.num_addresses
+    return {
+        "probes": probes,
+        "responses": len(records),
+        "seconds": elapsed,
+        "probes_per_sec": probes / elapsed if elapsed else 0.0,
+    }
+
+
+def _bench_handshake_rate(campaign: Campaign) -> Dict[str, float]:
+    """Stateful QScanner handshake throughput over responsive targets."""
+    targets = campaign._zmap_compatible(campaign.zmap_v4)
+    scanner = campaign._qscanner("bench", source_v6=False)
+    records, elapsed = _time(
+        lambda: [scanner.scan(record.address, None) for record in targets]
+    )
+    return {
+        "handshakes": len(records),
+        "seconds": elapsed,
+        "handshakes_per_sec": len(records) / elapsed if elapsed else 0.0,
+    }
+
+
+def run_benchmarks(
+    week: int = 18,
+    seed: int = 0,
+    scale: Optional[Scale] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+) -> Dict:
+    """Run every benchmark scenario and return the result document.
+
+    Campaign objects are constructed directly (not via the module-level
+    memo) so each scenario really recomputes its stages.
+    """
+    from repro.parallel.engine import default_worker_count
+
+    scale = scale or DEFAULT_BENCH_SCALE
+    # At least two workers so the parallel scenario actually exercises
+    # the sharded engine, even on a single-core machine (where the
+    # recorded speedup will honestly be < 1).
+    workers = workers or max(2, default_worker_count())
+    config = CampaignConfig(week=week, scale=scale, seed=seed)
+
+    # -- serial cold run (also the baseline for both speedups) -------------
+    serial = Campaign(config)
+    _, world_seconds = _time(lambda: serial.world)
+    serial_counts, serial_seconds = _time(serial.run_all_stages)
+
+    # -- microbenchmarks on the warm serial campaign -----------------------
+    probe = _bench_probe_rate(serial)
+    handshake = _bench_handshake_rate(serial)
+
+    # -- parallel cold run -------------------------------------------------
+    parallel = Campaign(config, workers=workers)
+    _ = parallel.world  # built before timing, same as the serial run
+    try:
+        _, parallel_seconds = _time(parallel.run_all_stages)
+    finally:
+        parallel.close()
+
+    # -- persistent cache: cold (populating) then warm ---------------------
+    own_tmp = cache_dir is None
+    cache_root = Path(tempfile.mkdtemp(prefix="repro-bench-")) if own_tmp else Path(cache_dir)
+    try:
+        cold = Campaign(config, cache_dir=cache_root)
+        _ = cold.world
+        _, cache_cold_seconds = _time(cold.run_all_stages)
+        warm = Campaign(config, cache_dir=cache_root)
+        warm_counts, cache_warm_seconds = _time(warm.run_all_stages)
+    finally:
+        if own_tmp:
+            shutil.rmtree(cache_root, ignore_errors=True)
+    assert warm_counts == serial_counts, "warm cache returned different records"
+
+    return {
+        "benchmark": "scan-engine",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "scale": {
+            "addresses": scale.addresses,
+            "ases": scale.ases,
+            "domains": scale.domains,
+        },
+        "week": week,
+        "seed": seed,
+        "zmap_probe_rate": probe,
+        "qscanner_handshake_rate": handshake,
+        "campaign": {
+            "stage_record_counts": serial_counts,
+            "world_build_seconds": round(world_seconds, 3),
+            "serial_cold_seconds": round(serial_seconds, 3),
+            "parallel_cold_seconds": round(parallel_seconds, 3),
+            "parallel_speedup": round(serial_seconds / parallel_seconds, 2)
+            if parallel_seconds
+            else None,
+            "cache_cold_seconds": round(cache_cold_seconds, 3),
+            "cache_warm_seconds": round(cache_warm_seconds, 3),
+            "warm_cache_speedup": round(serial_seconds / cache_warm_seconds, 2)
+            if cache_warm_seconds
+            else None,
+        },
+    }
+
+
+def write_benchmarks(path: Path, **kwargs) -> Dict:
+    """Run the benchmarks and write the JSON document to ``path``."""
+    path = Path(path)
+    # Fail on an unwritable destination now, not after minutes of
+    # benchmarking.
+    path.parent.mkdir(parents=True, exist_ok=True)
+    results = run_benchmarks(**kwargs)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return results

@@ -212,10 +212,14 @@ class QuicClientConnection:
         token = b""
         dcid_override: Optional[bytes] = None
         retry_seen = False
+        # The reported handshake RTT spans the whole connection attempt,
+        # including any Version Negotiation or Retry round trips.
+        start = self._network.now
         for attempt in range(3):
             try:
                 return self._handshake(
-                    version, vn_seen, token=token, dcid_override=dcid_override
+                    version, vn_seen, token=token, dcid_override=dcid_override,
+                    start=start,
                 )
             except _VersionNegotiationReceived as vn:
                 vn_seen = True
@@ -242,8 +246,10 @@ class QuicClientConnection:
         vn_seen: bool,
         token: bytes = b"",
         dcid_override: Optional[bytes] = None,
+        start: Optional[float] = None,
     ) -> QuicHandshakeResult:
-        start = self._network.now
+        if start is None:
+            start = self._network.now
         dcid = dcid_override if dcid_override is not None else self._rng.token(8)
         scid = self._rng.token(8)
         initial_keys = derive_initial_keys(dcid, version)
@@ -320,7 +326,9 @@ class QuicClientConnection:
                 tls=tls.result,
                 transport_params=tls.result.peer_transport_params,
                 streams={sid: bytes(buf) for sid, buf in streams.items()},
-                handshake_rtt=self._network.now - start,
+                # Quantized to nanoseconds: the virtual clock accumulates
+                # float additions, so raw differences depend on scan order.
+                handshake_rtt=round(self._network.now - start, 9),
                 time_to_first_byte=first_byte_time,
                 version_negotiation_seen=vn_seen,
                 early_data_sent=early_sent,

@@ -262,11 +262,7 @@ def decode_frames(payload: bytes) -> List[Frame]:
         while not buf.eof():
             frame_type = buf.pull_varint()
             if frame_type == 0x00:
-                length = 1
-                while not buf.eof() and payload[buf.position] == 0:
-                    buf.pull_uint8()
-                    length += 1
-                frames.append(PaddingFrame(length=length))
+                frames.append(PaddingFrame(length=1 + buf.skip_zero_run()))
             elif frame_type == 0x01:
                 frames.append(PingFrame())
             elif frame_type in (0x02, 0x03):

@@ -15,8 +15,10 @@ suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.crypto.aead import AeadAes128Gcm, header_mask_aes
+from repro.crypto.gcm import xor_bytes
 from repro.crypto.hkdf import hkdf_expand_label, hkdf_extract
 from repro.quic.versions import QUIC_V1
 
@@ -53,8 +55,7 @@ class DirectionKeys:
         return header_mask_aes(self.hp, sample)
 
     def nonce(self, packet_number: int) -> bytes:
-        pn_bytes = packet_number.to_bytes(12, "big")
-        return bytes(a ^ b for a, b in zip(self.iv, pn_bytes))
+        return xor_bytes(self.iv, packet_number.to_bytes(12, "big"))
 
 
 @dataclass
@@ -71,8 +72,14 @@ def _direction(secret: bytes) -> DirectionKeys:
     )
 
 
+@lru_cache(maxsize=4096)
 def derive_initial_keys(dcid: bytes, version: int = QUIC_V1) -> InitialKeys:
-    """Derive client and server Initial keys from the original DCID."""
+    """Derive client and server Initial keys from the original DCID.
+
+    Memoised on (DCID, version): the client and the simulated server
+    each derive the same ladder for every connection, so the second
+    derivation — and any retransmission — is a dictionary lookup.
+    """
     initial_secret = hkdf_extract(_salt_for_version(version), dcid)
     client_secret = hkdf_expand_label(initial_secret, b"client in", b"", 32)
     server_secret = hkdf_expand_label(initial_secret, b"server in", b"", 32)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.crypto.aead import AeadError
+from repro.crypto.gcm import xor_bytes
 from repro.quic.packet import (
     PacketDecodeError,
     PacketType,
@@ -36,8 +37,7 @@ class ProtectionKeys:
     header_mask: Callable[[bytes], bytes]  # (sample) -> 5 bytes
 
     def nonce(self, packet_number: int) -> bytes:
-        pn_bytes = packet_number.to_bytes(len(self.iv), "big")
-        return bytes(a ^ b for a, b in zip(self.iv, pn_bytes))
+        return xor_bytes(self.iv, packet_number.to_bytes(len(self.iv), "big"))
 
 
 @dataclass

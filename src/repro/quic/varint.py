@@ -87,8 +87,20 @@ class Buffer:
         return int.from_bytes(self.pull_bytes(4), "big")
 
     def pull_varint(self) -> int:
-        value, self._pos = decode_varint(bytes(self._data), self._pos)
+        value, self._pos = decode_varint(self._data, self._pos)
         return value
+
+    def skip_zero_run(self) -> int:
+        """Advance past consecutive zero bytes; returns how many.
+
+        Fast path for QUIC PADDING frames (type 0x00): Initial packets
+        are padded to 1200 bytes, so decoding them byte-by-byte costs a
+        Python-level loop iteration per pad byte.  The C-level strip
+        below handles the whole run at once.
+        """
+        run = self.remaining - len(self._data[self._pos :].lstrip(b"\x00"))
+        self._pos += run
+        return run
 
     # -- writing -----------------------------------------------------------
     def push_bytes(self, data: bytes) -> None:

@@ -11,7 +11,7 @@ address space.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 from repro.crypto.rand import DeterministicRandom
 
@@ -87,6 +87,26 @@ class CyclicGroupPermutation:
             if current <= self.size:
                 yield current - 1  # map [1, size] onto [0, size)
             current = (current * g) % p
+
+    def iter_shard(self, shard: int, of: int) -> Iterator[Tuple[int, int]]:
+        """Walk one of ``of`` interleaved sub-cycles (ZMap's sharding).
+
+        Shard ``i`` visits cycle positions ``i, i + of, i + 2*of, ...``
+        by starting at ``start * g^i`` and stepping with ``g^of`` — the
+        same trick ZMap uses to split a sweep across independent
+        processes.  Yields ``(position, index)`` pairs so merged shard
+        output can be re-ordered into the serial visit order; the union
+        of all shards partitions ``range(size)`` exactly.
+        """
+        if not 0 <= shard < of:
+            raise ValueError(f"shard {shard} out of range for {of} shards")
+        p, g = self._p, self._generator
+        current = (self._start * pow(g, shard, p)) % p
+        step = pow(g, of, p)
+        for position in range(shard, p - 1, of):
+            if current <= self.size:
+                yield position, current - 1
+            current = (current * step) % p
 
     def __len__(self) -> int:
         return self.size

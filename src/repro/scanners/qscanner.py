@@ -84,6 +84,15 @@ class QScanner:
         self._rng = DeterministicRandom(config.seed)
         self._counter = 0
 
+    def seek(self, counter: int) -> None:
+        """Position the per-target rng counter.
+
+        Shard workers scanning the slice ``targets[lo:hi]`` call
+        ``seek(lo)`` so each target gets the same child generator it
+        would get in a serial scan of the full list.
+        """
+        self._counter = counter
+
     def scan(
         self,
         address: Address,

@@ -18,7 +18,7 @@ Faithful to the paper's §3.1 design:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.rand import DeterministicRandom
 from repro.netsim.addresses import Address, IPv4Address, IPv6Address, Prefix
@@ -76,27 +76,49 @@ class ZmapQuicScanner:
 
     def scan_ipv4_space(self, space: Prefix) -> List[ZmapQuicRecord]:
         """Sweep an entire IPv4 prefix in ZMap's permuted order."""
+        return [record for _, record in self.scan_ipv4_space_shard(space, 0, 1)]
+
+    def scan_ipv4_space_shard(
+        self, space: Prefix, shard: int, of: int
+    ) -> List[Tuple[int, ZmapQuicRecord]]:
+        """Sweep one permutation shard; returns (position, record) pairs.
+
+        Shard workers walk interleaved sub-cycles of the same
+        permutation, so concatenating all shards and sorting by
+        position reproduces the serial sweep record-for-record.
+        """
         rng = DeterministicRandom(self.seed)
         permutation = CyclicGroupPermutation(space.num_addresses, rng.child("perm"))
-        targets = (space.address_at(index) for index in permutation)
+        targets = (
+            (position, space.address_at(index))
+            for position, index in permutation.iter_shard(shard, of)
+        )
         return self._probe_all(targets, rng)
 
     def scan_targets(self, targets: Iterable[Address]) -> List[ZmapQuicRecord]:
         """Scan an explicit target list (IPv6 hitlist mode)."""
+        return [record for _, record in self.scan_targets_shard(targets, 0)]
+
+    def scan_targets_shard(
+        self, targets: Iterable[Address], base_position: int
+    ) -> List[Tuple[int, ZmapQuicRecord]]:
+        """Scan a contiguous slice of a target list, tagging positions."""
         rng = DeterministicRandom(self.seed)
-        return self._probe_all(targets, rng)
+        return self._probe_all(
+            ((base_position + i, target) for i, target in enumerate(targets)), rng
+        )
 
     def _probe_all(
-        self, targets: Iterable[Address], rng: DeterministicRandom
-    ) -> List[ZmapQuicRecord]:
+        self, targets: Iterable[Tuple[int, Address]], rng: DeterministicRandom
+    ) -> List[Tuple[int, ZmapQuicRecord]]:
         socket = self.network.client_socket(self.source_address)
         dcid = rng.token(8)
         scid = rng.token(8)
         probe = build_probe(dcid, scid, padded=self.padded)
-        records: List[ZmapQuicRecord] = []
+        records: List[Tuple[int, ZmapQuicRecord]] = []
         start = self.network.now
         inter_probe_gap = 1.0 / self.pps if self.pps else 0.0
-        for target in targets:
+        for position, target in targets:
             if self.blocklist.is_blocked(target):
                 continue
             if inter_probe_gap:
@@ -111,7 +133,12 @@ class ZmapQuicScanner:
             except PacketDecodeError:
                 continue
             records.append(
-                ZmapQuicRecord(address=source[0], versions=tuple(vn.supported_versions))
+                (
+                    position,
+                    ZmapQuicRecord(
+                        address=source[0], versions=tuple(vn.supported_versions)
+                    ),
+                )
             )
         self.last_scan_duration = self.network.now - start
         return records

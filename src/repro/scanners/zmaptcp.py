@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List
+from typing import Iterable, List, Tuple
 
 from repro.netsim.addresses import Address, Prefix
 from repro.netsim.blocklist import Blocklist
@@ -25,18 +25,39 @@ class ZmapTcpScanner:
     seed: object = "zmap-tcp"
 
     def scan_ipv4_space(self, space: Prefix) -> List[SynRecord]:
+        return [record for _, record in self.scan_ipv4_space_shard(space, 0, 1)]
+
+    def scan_ipv4_space_shard(
+        self, space: Prefix, shard: int, of: int
+    ) -> List[Tuple[int, SynRecord]]:
+        """Sweep one permutation shard; returns (position, record) pairs."""
         rng = DeterministicRandom(self.seed)
         permutation = CyclicGroupPermutation(space.num_addresses, rng.child("perm"))
-        return self._probe_all(space.address_at(index) for index in permutation)
+        return self._probe_all(
+            (position, space.address_at(index))
+            for position, index in permutation.iter_shard(shard, of)
+        )
 
     def scan_targets(self, targets: Iterable[Address]) -> List[SynRecord]:
-        return self._probe_all(targets)
+        return [record for _, record in self.scan_targets_shard(targets, 0)]
 
-    def _probe_all(self, targets: Iterable[Address]) -> List[SynRecord]:
-        records: List[SynRecord] = []
-        for target in targets:
+    def scan_targets_shard(
+        self, targets: Iterable[Address], base_position: int
+    ) -> List[Tuple[int, SynRecord]]:
+        """Scan a contiguous slice of a target list, tagging positions."""
+        return self._probe_all(
+            (base_position + i, target) for i, target in enumerate(targets)
+        )
+
+    def _probe_all(
+        self, targets: Iterable[Tuple[int, Address]]
+    ) -> List[Tuple[int, SynRecord]]:
+        records: List[Tuple[int, SynRecord]] = []
+        for position, target in targets:
             if self.blocklist.is_blocked(target):
                 continue
             if self.network.syn_probe(target, self.port):
-                records.append(SynRecord(address=target, port=self.port, open=True))
+                records.append(
+                    (position, SynRecord(address=target, port=self.port, open=True))
+                )
         return records

@@ -1,0 +1,179 @@
+"""Tests for the sharded parallel scan engine and the stage cache.
+
+Covers the three guarantees the engine is built on:
+
+1. sharding the cyclic-group permutation partitions the address space
+   exactly (no duplicates, no gaps, any shard count),
+2. a parallel campaign produces record-for-record identical output to
+   a serial one,
+3. the persistent stage cache round-trips records, is keyed on the
+   full configuration (including ``scan_timeout``), and discards
+   version-skewed or corrupt entries instead of serving them.
+"""
+
+import pickle
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandom
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignConfig,
+    aligned_block_bounds,
+    shard_block_bounds,
+)
+from repro.experiments import stage_cache
+from repro.experiments.stage_cache import CampaignStageCache
+from repro.internet.providers import Scale
+from repro.scanners.permutation import CyclicGroupPermutation
+
+from tests.conftest import TINY_SCALE
+
+
+# -- permutation sharding ------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", [10, 97, 1000, 4096])
+@pytest.mark.parametrize("seed", ["a", "b"])
+@pytest.mark.parametrize("shards", [1, 2, 3, 7])
+def test_shards_partition_exactly(size, seed, shards):
+    """The union of all shards is the full space: no dups, no gaps."""
+    rngs = [DeterministicRandom(seed) for _ in range(shards + 1)]
+    serial = list(CyclicGroupPermutation(size, rngs[0]))
+    seen = {}
+    for shard in range(shards):
+        permutation = CyclicGroupPermutation(size, rngs[shard + 1])
+        for position, index in permutation.iter_shard(shard, shards):
+            assert position not in seen, "duplicate cycle position across shards"
+            seen[position] = index
+    assert sorted(seen.values()) == sorted(range(size))
+    merged = [index for _, index in sorted(seen.items())]
+    assert merged == serial, "merged shard order differs from serial order"
+
+
+def test_shard_out_of_range():
+    permutation = CyclicGroupPermutation(100, DeterministicRandom("x"))
+    with pytest.raises(ValueError):
+        list(permutation.iter_shard(3, 3))
+
+
+def test_block_bounds_partition():
+    for count in (0, 1, 10, 101):
+        for of in (1, 2, 3, 8):
+            cuts = [shard_block_bounds(count, shard, of) for shard in range(of)]
+            assert cuts[0][0] == 0 and cuts[-1][1] == count
+            for (_, hi), (lo, _) in zip(cuts, cuts[1:]):
+                assert hi == lo
+
+
+def test_aligned_block_bounds_never_split_runs():
+    keys = ["a", "a", "a", "b", "c", "c", "d", "d", "d", "d"]
+    for of in (2, 3, 4):
+        covered = []
+        for shard in range(of):
+            lo, hi = aligned_block_bounds(keys, shard, of)
+            if lo < hi:
+                # A run of equal keys never crosses a cut.
+                assert lo == 0 or keys[lo] != keys[lo - 1]
+                assert hi == len(keys) or keys[hi] != keys[hi - 1]
+            covered.extend(range(lo, hi))
+        assert covered == list(range(len(keys)))
+
+
+# -- parallel == serial -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def parallel_campaign(tiny_campaign):
+    campaign = Campaign(tiny_campaign.config, workers=3)
+    yield campaign
+    campaign.close()
+
+
+@pytest.mark.parametrize(
+    "stage",
+    [
+        "zmap_v4",  # permutation-sharded IPv4 sweep
+        "syn_v6",  # block-sharded target list
+        "goscanner_sni_v4",  # aligned shards + rng seek
+        "qscan_sni_v4",  # aligned shards + target sources
+    ],
+)
+def test_parallel_output_identical_to_serial(tiny_campaign, parallel_campaign, stage):
+    serial = getattr(tiny_campaign, stage)
+    parallel = getattr(parallel_campaign, stage)
+    assert len(parallel) == len(serial)
+    assert parallel == serial
+
+
+# -- stage cache --------------------------------------------------------------
+
+
+def _config(**overrides):
+    return CampaignConfig(week=18, scale=TINY_SCALE, seed=7, **overrides)
+
+
+def test_cache_key_covers_every_field():
+    names = [name for name, _ in _config().cache_key()]
+    assert "scan_timeout" in names  # regression: used to be omitted
+    import dataclasses
+
+    assert names == [f.name for f in dataclasses.fields(CampaignConfig)]
+
+
+def test_cache_round_trip(tmp_path):
+    cache = CampaignStageCache(tmp_path, _config())
+    records = [{"address": "192.0.2.1", "versions": [1]}]
+    assert cache.load("zmap_v4") is None
+    cache.store("zmap_v4", records)
+    assert cache.load("zmap_v4") == records
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_separates_configs(tmp_path):
+    a = CampaignStageCache(tmp_path, _config())
+    b = CampaignStageCache(tmp_path, _config(scan_timeout=9.0))
+    a.store("zmap_v4", ["a-records"])
+    assert b.load("zmap_v4") is None, "scan_timeout must key the cache"
+    assert a.directory != b.directory
+
+
+def test_cache_rejects_version_skew(tmp_path, monkeypatch):
+    cache = CampaignStageCache(tmp_path, _config())
+    cache.store("syn_v4", [1, 2, 3])
+    monkeypatch.setattr(stage_cache, "CACHE_VERSION", stage_cache.CACHE_VERSION + 1)
+    assert cache.load("syn_v4") is None
+    assert not (cache.directory / "syn_v4.pkl").exists(), "stale entry not dropped"
+
+
+def test_cache_rejects_corrupt_file(tmp_path):
+    cache = CampaignStageCache(tmp_path, _config())
+    cache.store("syn_v4", [1, 2, 3])
+    (cache.directory / "syn_v4.pkl").write_bytes(b"\x80garbage")
+    assert cache.load("syn_v4") is None
+
+
+def test_cache_rejects_wrong_stage_payload(tmp_path):
+    cache = CampaignStageCache(tmp_path, _config())
+    cache.store("syn_v4", [1])
+    payload = pickle.loads((cache.directory / "syn_v4.pkl").read_bytes())
+    payload["stage"] = "zmap_v4"
+    (cache.directory / "syn_v4.pkl").write_bytes(pickle.dumps(payload))
+    assert cache.load("syn_v4") is None
+
+
+def test_campaign_warm_cache_round_trip(tmp_path):
+    """A second campaign with the same cache dir replays stages from disk."""
+    config = CampaignConfig(
+        week=18, scale=Scale(addresses=2_000, ases=50, domains=2_000), seed=3
+    )
+    cold = Campaign(config, cache_dir=tmp_path)
+    cold_records = cold.zmap_v4
+    assert cold.stage_cache.misses > 0
+
+    warm = Campaign(config, cache_dir=tmp_path)
+    warm_records = warm.zmap_v4
+    assert warm_records == cold_records
+    assert warm.stage_cache.hits == 1
+    # The warm campaign served the stage without building a world.
+    assert warm._world is None
