@@ -1,10 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench report interop clean
+.PHONY: test docs-check bench report artefacts interop clean
 
-test:
+test: docs-check
 	$(PYTHON) -m pytest -x -q
+
+# Validates intra-repo markdown links + module docstring presence.
+docs-check:
+	$(PYTHON) -m pytest -x -q tests/test_docs.py
 
 bench:
 	$(PYTHON) -m repro bench --output BENCH_scan.json
@@ -12,9 +16,12 @@ bench:
 report:
 	$(PYTHON) -m repro report
 
+artefacts:
+	$(PYTHON) -m repro artefacts
+
 interop:
 	$(PYTHON) -m repro interop
 
 clean:
-	rm -rf .cache BENCH_scan.json
+	rm -rf .cache BENCH_scan.json metrics.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -6,12 +6,19 @@ Subcommands:
 - ``scan``        — run a full weekly campaign and print Tables 1/3/4,
 - ``experiment``  — regenerate one paper artefact (T1-T6, F3-F9, A1-A7, E1),
 - ``interop``     — run the client x server x case interop matrix,
-- ``report``      — regenerate everything (the EXPERIMENTS.md content),
+- ``report``      — run a campaign and render the observability scan
+  report (per-stage execution, discovery summary, outcome taxonomy);
+  writes the machine-readable ``metrics.json`` next to the stage
+  cache (or ``--metrics-out``) and, with ``--trace``, a JSONL event
+  trace — see ``docs/OBSERVABILITY.md``,
+- ``artefacts``   — regenerate every table and figure (the
+  EXPERIMENTS.md content),
 - ``bench``       — run the scan-engine benchmarks, write BENCH_scan.json.
 
 ``--workers N`` shards scan stages across a process pool (ZMap-style
-permutation sharding; identical output to a serial run) and
-``--cache-dir DIR`` persists completed stages on disk for reuse.
+permutation sharding; identical output — records *and* merged metrics
+— to a serial run) and ``--cache-dir DIR`` persists completed stages
+on disk for reuse.
 """
 
 from __future__ import annotations
@@ -162,12 +169,35 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_artefacts(args) -> int:
     campaign = _campaign(args)
     for experiment_id, runner in EXPERIMENTS.items():
         print(runner(campaign).render())
         print()
     print(ablation_crypto(seed=args.seed).render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import time
+
+    from repro.observability.report import build_scan_report, write_metrics_json
+
+    campaign = _campaign(args)
+    if args.trace:
+        campaign.tracer.sample_rate = args.trace_sample
+    start = time.perf_counter()
+    campaign.run_all_stages()
+    total = time.perf_counter() - start
+    campaign.close()
+    print(build_scan_report(campaign, total_seconds=total))
+    metrics_path = write_metrics_json(
+        campaign, args.metrics_out if args.metrics_out else None
+    )
+    print(f"\nwrote {metrics_path}")
+    if args.trace:
+        count = campaign.tracer.dump_jsonl(args.trace)
+        print(f"wrote {count} trace events to {args.trace}")
     return 0
 
 
@@ -236,9 +266,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_common(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
 
-    report_parser = subparsers.add_parser("report", help="regenerate every table and figure")
+    report_parser = subparsers.add_parser(
+        "report",
+        help="run a campaign and render the observability scan report + metrics.json",
+    )
     _add_common(report_parser)
+    report_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="where to write metrics.json (default: next to the stage cache)",
+    )
+    report_parser.add_argument(
+        "--trace",
+        default=None,
+        help="dump the structured event trace as JSONL to this path",
+    )
+    report_parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="deterministic trace sampling rate in [0,1] (default 1.0)",
+    )
     report_parser.set_defaults(func=_cmd_report)
+
+    artefacts_parser = subparsers.add_parser(
+        "artefacts", help="regenerate every table and figure"
+    )
+    _add_common(artefacts_parser)
+    artefacts_parser.set_defaults(func=_cmd_artefacts)
 
     interop_parser = subparsers.add_parser(
         "interop", help="run the client x server x case interop matrix"

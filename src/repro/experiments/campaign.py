@@ -22,11 +22,21 @@ Two optional accelerations sit underneath the lazy properties:
 - a :class:`~repro.experiments.stage_cache.CampaignStageCache`
   (``cache_dir``) persists completed stages on disk so repeated runs
   skip them entirely (warm runs never even build the world).
+
+Observability: every campaign owns a
+:class:`~repro.observability.metrics.MetricsRegistry` and an
+:class:`~repro.observability.tracing.EventTracer`.  The stage wrappers
+install them as *current* while a stage computes (so the scanners and
+engines record into them), account per-stage record counts, cache
+hits/misses and wall times, and — in parallel runs — merge the shard
+workers' metric snapshots back in.  ``repro report`` renders the
+result (see :mod:`repro.observability.report`).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -35,6 +45,8 @@ from repro.analysis.joins import DnsJoin, join_dns_addresses
 from repro.internet.generator import World, build_world
 from repro.internet.providers import Scale
 from repro.netsim.addresses import Address, IPv6Address
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.observability.tracing import EventTracer, use_tracer
 from repro.quic.versions import DRAFT_29, DRAFT_32, DRAFT_34, QSCANNER_SUPPORTED, QUIC_V1
 from repro.scanners.dnsscan import DnsScanner
 from repro.scanners.goscanner import Goscanner, GoscannerConfig
@@ -128,12 +140,20 @@ class Campaign:
         world: Optional[World] = None,
         workers: Optional[int] = None,
         cache_dir: Optional[object] = None,
+        tracer: Optional[EventTracer] = None,
     ):
         self.config = config
         self._world = world
         self._workers = max(1, workers or 1)
         self._engine = None
         self._cache = None
+        # Every campaign owns its metrics so concurrent campaigns in
+        # one process (tests, benchmarks) never mix telemetry.  The
+        # registry is installed as *current* around each stage, so the
+        # scanners pick it up without constructor plumbing; shard
+        # workers record into fresh registries that merge back here.
+        self.metrics = MetricsRegistry()
+        self.tracer = tracer if tracer is not None else EventTracer(0.0)
         if cache_dir is not None:
             from repro.experiments.stage_cache import CampaignStageCache
 
@@ -147,11 +167,15 @@ class Campaign:
         construction at all.
         """
         if self._world is None:
+            start = time.perf_counter()
             self._world = build_world(
                 week=self.config.week,
                 scale=self.config.scale,
                 seed=self.config.seed,
                 fast_crypto=self.config.fast_crypto,
+            )
+            self.metrics.gauge("campaign.world_build_seconds", volatile=True).set(
+                round(time.perf_counter() - start, 6)
             )
         return self._world
 
@@ -174,28 +198,70 @@ class Campaign:
     # stream in any way.
 
     def _stage(self, name: str) -> List:
+        start = time.perf_counter()
+        cache_state = "off" if self._cache is None else "miss"
+        records: Optional[List] = None
         if self._cache is not None:
             cached = self._cache.load(name)
             if cached is not None:
-                return cached
-        if self._workers > 1 and name in _STAGE_COMPUTE:
-            records = self._engine_run(name)
-        else:
-            records = [record for _, record in self.compute_stage_shard(name, 0, 1)]
-        if self._cache is not None:
-            self._cache.store(name, records)
+                records, cache_state = cached, "hit"
+        if records is None:
+            if self._workers > 1 and name in _STAGE_COMPUTE:
+                records = self._engine_run(name)
+            else:
+                with use_metrics(self.metrics), use_tracer(self.tracer):
+                    records = [
+                        record for _, record in self.compute_stage_shard(name, 0, 1)
+                    ]
+            if self._cache is not None:
+                self._cache.store(name, records)
+        self._account_stage(name, len(records), cache_state, start)
         return records
 
     def _plain_stage(self, name: str, compute: Callable[[], object]):
         """A cacheable but unsharded stage (DNS, derived target lists)."""
+        start = time.perf_counter()
+        cache_state = "off" if self._cache is None else "miss"
+        value = None
         if self._cache is not None:
             cached = self._cache.load(name)
             if cached is not None:
-                return cached
-        value = compute()
-        if self._cache is not None:
-            self._cache.store(name, value)
+                value, cache_state = cached, "hit"
+        if value is None:
+            with use_metrics(self.metrics), use_tracer(self.tracer):
+                value = compute()
+            if self._cache is not None:
+                self._cache.store(name, value)
+        self._account_stage(
+            name, len(value) if hasattr(value, "__len__") else None, cache_state, start
+        )
         return value
+
+    def _account_stage(
+        self, name: str, records: Optional[int], cache_state: str, start: float
+    ) -> None:
+        """Per-stage bookkeeping: record counts, cache result, wall time.
+
+        Record and cache counters are deterministic for a given cache
+        state; wall times are volatile (excluded from ``metrics.json``).
+        """
+        if records is not None:
+            self.metrics.counter("campaign.stage_records", stage=name).inc(records)
+        if cache_state != "off":
+            self.metrics.counter(
+                "campaign.stage_cache", result=cache_state, stage=name
+            ).inc()
+        elapsed = round(time.perf_counter() - start, 6)
+        self.metrics.gauge("campaign.stage_seconds", volatile=True, stage=name).set(
+            elapsed
+        )
+        self.tracer.event(
+            "scan.stage",
+            stage=name,
+            records=records,
+            cache=cache_state,
+            seconds=elapsed,
+        )
 
     def _engine_run(self, name: str) -> List:
         from repro.parallel import ScanEngine
@@ -203,7 +269,9 @@ class Campaign:
         if self._engine is None:
             self._engine = ScanEngine(self.config, self._workers)
         deps = {dep: getattr(self, dep) for dep in _STAGE_DEPS[name]}
-        return self._engine.run_stage(name, deps)
+        return self._engine.run_stage(
+            name, deps, metrics=self.metrics, tracer=self.tracer
+        )
 
     def compute_stage_shard(self, name: str, shard: int, of: int) -> List[Tuple[int, object]]:
         """Compute one shard of a stage (the engine's worker entry point)."""

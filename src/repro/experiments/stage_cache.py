@@ -27,7 +27,8 @@ __all__ = ["CampaignStageCache", "CACHE_VERSION", "default_cache_root"]
 
 # Bump whenever the record schema or stage semantics change; old
 # entries are then invalidated automatically.
-CACHE_VERSION = 1
+# v2: QScanRecord gained wire-cost fields (retry_seen, datagrams_*).
+CACHE_VERSION = 2
 
 
 def default_cache_root() -> Path:

@@ -1,0 +1,48 @@
+"""Campaign observability: metrics, event tracing, scan reports.
+
+The measurement pipeline's own telemetry is a first-class artefact —
+the paper's evaluation is built on exactly this kind of bookkeeping
+(targets per discovery method, handshake failure taxonomies, success
+timelines).  This package provides it in three layers:
+
+- :mod:`repro.observability.metrics` — counters, gauges and
+  fixed-bucket histograms with snapshots that merge exactly across
+  the :mod:`repro.parallel` worker pool,
+- :mod:`repro.observability.tracing` — deterministic-sampled,
+  span-style structured events dumped as JSONL,
+- :mod:`repro.observability.report` — the ``repro report`` renderer:
+  a human-readable per-stage scan report plus the machine-readable
+  ``metrics.json`` written next to the stage cache.
+
+See ``docs/OBSERVABILITY.md`` for the metric name schema and how to
+read a report against the paper's Tables 1/3/4.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    metric_key,
+    parse_metric_key,
+    set_metrics,
+    use_metrics,
+)
+from repro.observability.tracing import EventTracer, get_tracer, set_tracer, use_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EventTracer",
+    "metric_key",
+    "parse_metric_key",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]

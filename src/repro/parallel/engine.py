@@ -20,6 +20,13 @@ both schemes to the simulated campaign:
 The pool is lazy and persistent: world replicas are built once per
 worker process and reused for every subsequent stage of the same
 campaign.
+
+Observability rides along with each task: a worker computes its shard
+under a *fresh* metrics registry and tracer, and ships the registry
+snapshot plus the drained trace events back with the records.  The
+parent merges snapshots in shard order — counter and histogram merges
+are exact integer sums (see :mod:`repro.observability.metrics`), so
+the merged campaign metrics are identical to a serial run's.
 """
 
 from __future__ import annotations
@@ -27,6 +34,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 from typing import Dict, List, Optional, Tuple
+
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.observability.tracing import EventTracer, use_tracer
 
 __all__ = ["ScanEngine", "default_worker_count"]
 
@@ -64,16 +74,26 @@ def _replica():
     return _WORKER_CAMPAIGN
 
 
-def _run_shard(task) -> List[Tuple[int, object]]:
-    """Pool task: compute one shard of one stage on the local replica."""
-    stage, shard, of, deps = task
+def _run_shard(task) -> Tuple[List[Tuple[int, object]], Dict, List[Dict]]:
+    """Pool task: compute one shard of one stage on the local replica.
+
+    Returns the shard's ``(position, record)`` pairs plus the shard's
+    metric snapshot and trace events, recorded into a registry/tracer
+    that exists only for this task (the replica's own accumulated
+    state never leaks into the result).
+    """
+    stage, shard, of, deps, trace_rate = task
     campaign = _replica()
     # Inject parent-computed dependencies into the replica's lazy
     # slots (cached_property stores results in the instance __dict__),
     # so e.g. a qscan shard does not re-run the goscanner stages.
     for name, value in deps.items():
         campaign.__dict__[name] = value
-    return campaign.compute_stage_shard(stage, shard, of)
+    registry = MetricsRegistry()
+    tracer = EventTracer(sample_rate=trace_rate)
+    with use_metrics(registry), use_tracer(tracer):
+        pairs = campaign.compute_stage_shard(stage, shard, of)
+    return pairs, registry.snapshot(), tracer.drain()
 
 
 class ScanEngine:
@@ -118,15 +138,29 @@ class ScanEngine:
 
     # -- execution ---------------------------------------------------------------
     def run_stage(
-        self, stage: str, deps: Optional[Dict[str, object]] = None
+        self,
+        stage: str,
+        deps: Optional[Dict[str, object]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[EventTracer] = None,
     ) -> List[object]:
-        """Run one stage across all workers and merge deterministically."""
+        """Run one stage across all workers and merge deterministically.
+
+        When ``metrics``/``tracer`` are given, each shard's metric
+        snapshot is merged in (in shard order; the merge is exact, so
+        totals equal a serial run's) and its trace events appended.
+        """
         deps = deps or {}
         shards = self.workers
-        tasks = [(stage, shard, shards, deps) for shard in range(shards)]
+        trace_rate = tracer.sample_rate if tracer is not None else 0.0
+        tasks = [(stage, shard, shards, deps, trace_rate) for shard in range(shards)]
         pool = self._ensure_pool()
         tagged: List[Tuple[int, object]] = []
-        for part in pool.map(_run_shard, tasks, chunksize=1):
-            tagged.extend(part)
+        for pairs, snapshot, events in pool.map(_run_shard, tasks, chunksize=1):
+            tagged.extend(pairs)
+            if metrics is not None:
+                metrics.merge_snapshot(snapshot)
+            if tracer is not None and events:
+                tracer.extend(events)
         tagged.sort(key=lambda item: item[0])
         return [record for _, record in tagged]

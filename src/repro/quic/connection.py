@@ -170,6 +170,11 @@ class QuicHandshakeResult:
     time_to_first_byte: Optional[float] = None
     version_negotiation_seen: bool = False
     early_data_sent: bool = False
+    # Observability: what the connection cost on the wire (counted
+    # across every attempt, including VN/Retry restarts).
+    retry_seen: bool = False
+    datagrams_sent: int = 0
+    datagrams_received: int = 0
 
     @property
     def early_data_accepted(self) -> bool:
@@ -197,6 +202,20 @@ class QuicClientConnection:
         self._remote = (remote_address, remote_port)
         self._config = config
         self._rng = rng or DeterministicRandom("quic-client")
+        # Per-connection wire tallies, reset by connect(); surfaced on
+        # QuicHandshakeResult for the QScanner's metrics.
+        self._datagrams_sent = 0
+        self._datagrams_received = 0
+
+    @property
+    def datagrams_sent(self) -> int:
+        """Datagrams sent by the last connect() attempt (failed ones too)."""
+        return self._datagrams_sent
+
+    @property
+    def datagrams_received(self) -> int:
+        """Datagrams received by the last connect() attempt."""
+        return self._datagrams_received
 
     # -- public API -----------------------------------------------------------
     def connect(self) -> QuicHandshakeResult:
@@ -212,6 +231,8 @@ class QuicClientConnection:
         token = b""
         dcid_override: Optional[bytes] = None
         retry_seen = False
+        self._datagrams_sent = 0
+        self._datagrams_received = 0
         # The reported handshake RTT spans the whole connection attempt,
         # including any Version Negotiation or Retry round trips.
         start = self._network.now
@@ -219,7 +240,7 @@ class QuicClientConnection:
             try:
                 return self._handshake(
                     version, vn_seen, token=token, dcid_override=dcid_override,
-                    start=start,
+                    start=start, retry_seen=retry_seen,
                 )
             except _VersionNegotiationReceived as vn:
                 vn_seen = True
@@ -247,6 +268,7 @@ class QuicClientConnection:
         token: bytes = b"",
         dcid_override: Optional[bytes] = None,
         start: Optional[float] = None,
+        retry_seen: bool = False,
     ) -> QuicHandshakeResult:
         if start is None:
             start = self._network.now
@@ -299,6 +321,7 @@ class QuicClientConnection:
                 )
                 packet = packet + early_packet
                 early_sent = True
+        self._datagrams_sent += 1
         self._socket.send(self._remote[0], self._remote[1], packet)
 
         crypto_initial = _CryptoStream()
@@ -332,6 +355,9 @@ class QuicClientConnection:
                 time_to_first_byte=first_byte_time,
                 version_negotiation_seen=vn_seen,
                 early_data_sent=early_sent,
+                retry_seen=retry_seen,
+                datagrams_sent=self._datagrams_sent,
+                datagrams_received=self._datagrams_received,
             )
 
         while True:
@@ -346,6 +372,7 @@ class QuicClientConnection:
                     return build_result()
                 raise HandshakeTimeout()
             _source, datagram = received
+            self._datagrams_received += 1
 
             offset = 0
             while offset < len(datagram):
@@ -507,6 +534,7 @@ class QuicClientConnection:
             else:
                 datagrams.append(app_packet)
         for datagram in datagrams:
+            self._datagrams_sent += 1
             self._socket.send(self._remote[0], self._remote[1], datagram)
 
 

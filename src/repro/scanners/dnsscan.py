@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
 from repro.dns.resolver import Resolver
+from repro.observability.metrics import get_metrics
 from repro.scanners.results import DnsScanRecord
 
 __all__ = ["DnsScanner"]
@@ -23,6 +24,7 @@ class DnsScanner:
 
     def scan_list(self, list_name: str, domains: Iterable[str]) -> List[DnsScanRecord]:
         records: List[DnsScanRecord] = []
+        with_a = with_aaaa = with_https = 0
         for domain in domains:
             result = self.resolver.resolve(domain, ("A", "AAAA", "HTTPS", "SVCB"))
             alpn: List[str] = []
@@ -44,6 +46,14 @@ class DnsScanner:
                     has_https_rr=result.has_https_rr,
                 )
             )
+            with_a += bool(result.ipv4_addresses)
+            with_aaaa += bool(result.ipv6_addresses)
+            with_https += bool(result.has_https_rr)
+        metrics = get_metrics()
+        metrics.counter("dns.domains_resolved", list=list_name).inc(len(records))
+        metrics.counter("dns.with_a", list=list_name).inc(with_a)
+        metrics.counter("dns.with_aaaa", list=list_name).inc(with_aaaa)
+        metrics.counter("dns.with_https_rr", list=list_name).inc(with_https)
         return records
 
     def scan_lists(

@@ -18,6 +18,8 @@ from repro.http.altsvc import parse_alt_svc
 from repro.http.h1 import HttpParseError, HttpRequest, HttpResponse
 from repro.netsim.addresses import Address
 from repro.netsim.topology import Network
+from repro.observability.metrics import get_metrics
+from repro.observability.tracing import get_tracer
 from repro.scanners.results import GoscannerRecord
 from repro.server.tcp443 import LEGACY_TLS12_CIPHER
 from repro.tls.alerts import AlertError
@@ -49,6 +51,10 @@ class Goscanner:
         self._config = config
         self._rng = DeterministicRandom(config.seed)
         self._counter = 0
+        # Handles resolved once per scanner against the current registry
+        # (the campaign installs its own around each stage).
+        self._metrics = get_metrics()
+        self._time_histogram = self._metrics.histogram("tls.handshake_time_seconds")
 
     def seek(self, counter: int) -> None:
         """Position the per-target rng counter.
@@ -60,6 +66,31 @@ class Goscanner:
         self._counter = counter
 
     def scan(self, address: Address, sni: Optional[str], port: int = 443) -> GoscannerRecord:
+        """Scan one target; never raises — failures land in ``record.error``."""
+        start = self._network.now
+        with get_tracer().span("tls.handshake", target=str(address)) as span:
+            record = self._scan(address, sni, port)
+            span.tag(outcome=self._outcome(record), sni=record.sni)
+        self._observe(record, simulated_seconds=round(self._network.now - start, 9))
+        return record
+
+    @staticmethod
+    def _outcome(record: GoscannerRecord) -> str:
+        """The outcome class tag: error string or success-<tls-version>."""
+        if record.error is not None:
+            return record.error
+        return f"success-{(record.tls_version or 'unknown').lower()}"
+
+    def _observe(self, record: GoscannerRecord, simulated_seconds: float) -> None:
+        metrics = self._metrics
+        metrics.counter("tls.handshakes", outcome=self._outcome(record)).inc()
+        if record.alt_svc:
+            metrics.counter("tls.alt_svc_found").inc()
+        if record.http_status is not None:
+            metrics.counter("tls.http_responses", status=record.http_status).inc()
+        self._time_histogram.observe(simulated_seconds)
+
+    def _scan(self, address: Address, sni: Optional[str], port: int = 443) -> GoscannerRecord:
         record = GoscannerRecord(address=address, sni=sni)
         self._counter += 1
         rng = self._rng.child(self._counter)

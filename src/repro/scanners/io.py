@@ -107,6 +107,9 @@ def dump_record(record) -> dict:
             "server_header": record.server_header,
             "handshake_rtt": record.handshake_rtt,
             "version_negotiation_seen": record.version_negotiation_seen,
+            "retry_seen": record.retry_seen,
+            "datagrams_sent": record.datagrams_sent,
+            "datagrams_received": record.datagrams_received,
             "resumption_supported": record.resumption_supported,
             "early_data_supported": record.early_data_supported,
         }
@@ -192,6 +195,9 @@ def load_record(obj: dict):
             server_header=obj["server_header"],
             handshake_rtt=obj["handshake_rtt"],
             version_negotiation_seen=obj["version_negotiation_seen"],
+            retry_seen=obj.get("retry_seen", False),
+            datagrams_sent=obj.get("datagrams_sent", 0),
+            datagrams_received=obj.get("datagrams_received", 0),
             resumption_supported=obj.get("resumption_supported"),
             early_data_supported=obj.get("early_data_supported"),
         )

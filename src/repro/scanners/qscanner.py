@@ -24,6 +24,8 @@ from repro.crypto.rand import DeterministicRandom
 from repro.http import h3
 from repro.netsim.addresses import Address
 from repro.netsim.topology import Network
+from repro.observability.metrics import DEFAULT_COUNT_BUCKETS, get_metrics
+from repro.observability.tracing import get_tracer
 from repro.quic.connection import (
     HandshakeTimeout,
     QuicClientConfig,
@@ -83,6 +85,14 @@ class QScanner:
         self._config = config
         self._rng = DeterministicRandom(config.seed)
         self._counter = 0
+        # Metric handles resolve once against the registry current at
+        # construction time (the campaign installs its own around each
+        # stage), so the per-scan cost is one dict-free update.
+        self._metrics = get_metrics()
+        self._rtt_histogram = self._metrics.histogram("quic.handshake_rtt_seconds")
+        self._datagrams_histogram = self._metrics.histogram(
+            "quic.datagrams_per_connection", buckets=DEFAULT_COUNT_BUCKETS
+        )
 
     def seek(self, counter: int) -> None:
         """Position the per-target rng counter.
@@ -101,6 +111,43 @@ class QScanner:
         port: int = 443,
     ) -> QScanRecord:
         """Scan one target; never raises — outcomes are classified."""
+        with get_tracer().span("quic.handshake", target=str(address)) as span:
+            record = self._scan(address, sni, source, port)
+            span.tag(
+                outcome=record.outcome.value,
+                sni=record.sni,
+                version=record.quic_version,
+                error_code=record.error_code,
+                datagrams=record.datagrams_sent + record.datagrams_received,
+            )
+        self._observe(record)
+        return record
+
+    def _observe(self, record: QScanRecord) -> None:
+        """Record the Table-3-style bookkeeping for one scan."""
+        metrics = self._metrics
+        metrics.counter("quic.handshakes", outcome=record.outcome.value).inc()
+        if record.error_code is not None:
+            metrics.counter("quic.close_codes", code=f"0x{record.error_code:x}").inc()
+        if record.version_negotiation_seen or record.outcome is QScanOutcome.VERSION_MISMATCH:
+            metrics.counter("quic.version_negotiation_seen").inc()
+        if record.retry_seen:
+            metrics.counter("quic.retry_received").inc()
+        if record.quic_version is not None:
+            metrics.counter("quic.negotiated_version", version=f"0x{record.quic_version:08x}").inc()
+        if record.handshake_rtt is not None:
+            self._rtt_histogram.observe(record.handshake_rtt)
+        self._datagrams_histogram.observe(
+            record.datagrams_sent + record.datagrams_received
+        )
+
+    def _scan(
+        self,
+        address: Address,
+        sni: Optional[str],
+        source: TargetSource,
+        port: int,
+    ) -> QScanRecord:
         record = QScanRecord(address=address, sni=sni, source=source)
         self._counter += 1
         rng = self._rng.child(self._counter)
@@ -136,9 +183,11 @@ class QScanner:
             result = connection.connect()
         except VersionMismatchError:
             record.outcome = QScanOutcome.VERSION_MISMATCH
+            self._record_wire_cost(record, connection)
             return record
         except HandshakeTimeout:
             record.outcome = QScanOutcome.TIMEOUT
+            self._record_wire_cost(record, connection)
             return record
         except QuicError as error:
             record.error_code = error.error_code
@@ -147,12 +196,16 @@ class QScanner:
                 record.outcome = QScanOutcome.CRYPTO_ERROR_0X128
             else:
                 record.outcome = QScanOutcome.OTHER
+            self._record_wire_cost(record, connection)
             return record
 
         record.outcome = QScanOutcome.SUCCESS
         record.quic_version = result.version
         record.handshake_rtt = result.handshake_rtt
         record.version_negotiation_seen = result.version_negotiation_seen
+        record.retry_seen = result.retry_seen
+        record.datagrams_sent = result.datagrams_sent
+        record.datagrams_received = result.datagrams_received
         tls = result.tls
         record.tls_version = tls.tls_version
         record.cipher_suite = tls.cipher_suite
@@ -187,6 +240,12 @@ class QScanner:
         if self._config.test_resumption:
             self._probe_resumption(record, result, quic_config, address, port, rng)
         return record
+
+    @staticmethod
+    def _record_wire_cost(record: QScanRecord, connection: QuicClientConnection) -> None:
+        """Wire tallies for failed attempts (no result object exists)."""
+        record.datagrams_sent = connection.datagrams_sent
+        record.datagrams_received = connection.datagrams_received
 
     def _probe_resumption(
         self,

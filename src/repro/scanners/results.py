@@ -123,6 +123,11 @@ class QScanRecord:
     server_header: Optional[str] = None
     handshake_rtt: Optional[float] = None
     version_negotiation_seen: bool = False
+    # Wire cost of the connection attempt (all VN/Retry restarts
+    # included) — the observability layer histograms these.
+    retry_seen: bool = False
+    datagrams_sent: int = 0
+    datagrams_received: int = 0
     # Extension E1 (resumption probing): None when not tested.
     resumption_supported: Optional[bool] = None
     early_data_supported: Optional[bool] = None

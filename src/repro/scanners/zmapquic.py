@@ -24,6 +24,7 @@ from repro.crypto.rand import DeterministicRandom
 from repro.netsim.addresses import Address, IPv4Address, IPv6Address, Prefix
 from repro.netsim.blocklist import Blocklist
 from repro.netsim.topology import Network
+from repro.observability.metrics import get_metrics
 from repro.quic.packet import PacketDecodeError, decode_version_negotiation
 from repro.quic.versions import force_negotiation_version
 from repro.scanners.permutation import CyclicGroupPermutation
@@ -118,9 +119,17 @@ class ZmapQuicScanner:
         records: List[Tuple[int, ZmapQuicRecord]] = []
         start = self.network.now
         inter_probe_gap = 1.0 / self.pps if self.pps else 0.0
+        # The probe loop is the hottest path in the pipeline: tally into
+        # locals and flush to the metrics registry once at the end.
+        probes = blocked = malformed = 0
+        family: Optional[int] = None
         for position, target in targets:
+            if family is None:
+                family = target.version
             if self.blocklist.is_blocked(target):
+                blocked += 1
                 continue
+            probes += 1
             if inter_probe_gap:
                 self.network.advance_to(self.network.now + inter_probe_gap)
             socket.send(target, self.port, probe)
@@ -131,6 +140,7 @@ class ZmapQuicScanner:
             try:
                 vn = decode_version_negotiation(datagram)
             except PacketDecodeError:
+                malformed += 1
                 continue
             records.append(
                 (
@@ -141,4 +151,11 @@ class ZmapQuicScanner:
                 )
             )
         self.last_scan_duration = self.network.now - start
+        if family is not None:
+            metrics = get_metrics()
+            metrics.counter("zmap.quic.probes", family=family).inc(probes)
+            metrics.counter("zmap.quic.blocked", family=family).inc(blocked)
+            metrics.counter("zmap.quic.responses", family=family).inc(len(records))
+            if malformed:
+                metrics.counter("zmap.quic.malformed", family=family).inc(malformed)
         return records

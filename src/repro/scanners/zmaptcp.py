@@ -8,6 +8,7 @@ from typing import Iterable, List, Tuple
 from repro.netsim.addresses import Address, Prefix
 from repro.netsim.blocklist import Blocklist
 from repro.netsim.topology import Network
+from repro.observability.metrics import get_metrics
 from repro.crypto.rand import DeterministicRandom
 from repro.scanners.permutation import CyclicGroupPermutation
 from repro.scanners.results import SynRecord
@@ -53,11 +54,23 @@ class ZmapTcpScanner:
         self, targets: Iterable[Tuple[int, Address]]
     ) -> List[Tuple[int, SynRecord]]:
         records: List[Tuple[int, SynRecord]] = []
+        # Hot path: tally locally, flush once at the end.
+        probes = blocked = 0
+        family = None
         for position, target in targets:
+            if family is None:
+                family = target.version
             if self.blocklist.is_blocked(target):
+                blocked += 1
                 continue
+            probes += 1
             if self.network.syn_probe(target, self.port):
                 records.append(
                     (position, SynRecord(address=target, port=self.port, open=True))
                 )
+        if family is not None:
+            metrics = get_metrics()
+            metrics.counter("zmap.tcp.probes", family=family).inc(probes)
+            metrics.counter("zmap.tcp.blocked", family=family).inc(blocked)
+            metrics.counter("zmap.tcp.open", family=family).inc(len(records))
         return records

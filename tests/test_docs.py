@@ -1,0 +1,74 @@
+"""Documentation hygiene: docstring presence and markdown link validity.
+
+Run standalone as ``make docs-check``; also part of the default suite.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+MARKDOWN_FILES = sorted(
+    list(REPO_ROOT.glob("*.md")) + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+# [text](target) — target captured; images share the same syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Fenced code blocks must not contribute false links.
+_FENCE = re.compile(r"^(```|~~~)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _module_files():
+    return sorted(SRC_ROOT.rglob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", _module_files(), ids=lambda p: str(p.relative_to(SRC_ROOT))
+)
+def test_every_module_has_a_docstring(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    assert ast.get_docstring(tree), (
+        f"{path.relative_to(REPO_ROOT)} is missing a module docstring"
+    )
+
+
+def _markdown_links(path):
+    """(line_number, target) pairs outside fenced code blocks."""
+    links = []
+    fenced = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        for match in _LINK.finditer(line):
+            links.append((number, match.group(1)))
+    return links
+
+
+@pytest.mark.parametrize("path", MARKDOWN_FILES, ids=lambda p: p.name)
+def test_intra_repo_markdown_links_resolve(path):
+    broken = []
+    for number, target in _markdown_links(path):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            broken.append(f"{path.name}:{number} -> {target}")
+    assert not broken, "broken intra-repo links:\n" + "\n".join(broken)
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for name in ("docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md"):
+        assert (REPO_ROOT / name).exists(), f"{name} is missing"
+        assert name in readme, f"README.md does not link {name}"
