@@ -1,14 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench report artefacts interop clean
+.PHONY: test docs-check bench report artefacts interop chaos chaos-smoke clean
 
-test: docs-check
+# chaos-smoke keeps the fault-injection/degradation path exercised on
+# every `make test` run (the full suite includes tests/test_resilience.py).
+test: docs-check chaos-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Validates intra-repo markdown links + module docstring presence.
 docs-check:
 	$(PYTHON) -m pytest -x -q tests/test_docs.py
+
+# Full chaos campaign under the default fault profile.
+chaos:
+	$(PYTHON) -m repro chaos --profile flaky-edge --scale 50000 --seed 7 --retries 3
+
+# Fast end-to-end chaos smoke on a tiny world (nonzero exit on any
+# total stage failure).
+chaos-smoke:
+	$(PYTHON) -m repro chaos --profile flaky-edge --scale 200000 --seed 23 --retries 2
 
 bench:
 	$(PYTHON) -m repro bench --output BENCH_scan.json

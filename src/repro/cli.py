@@ -13,7 +13,12 @@ Subcommands:
   trace — see ``docs/OBSERVABILITY.md``,
 - ``artefacts``   — regenerate every table and figure (the
   EXPERIMENTS.md content),
-- ``bench``       — run the scan-engine benchmarks, write BENCH_scan.json.
+- ``bench``       — run the scan-engine benchmarks, write BENCH_scan.json,
+- ``chaos``       — run a campaign under a named fault profile (see
+  ``repro.netsim.faults``) with scanner retries enabled and render the
+  resilience report — stage health, faults injected, retry tallies;
+  exits nonzero only when a stage failed completely (partial results
+  degrade gracefully) — see ``docs/RESILIENCE.md``.
 
 ``--workers N`` shards scan stages across a process pool (ZMap-style
 permutation sharding; identical output — records *and* merged metrics
@@ -151,7 +156,7 @@ def _cmd_scan(args) -> int:
         }
         for name, count in written.items():
             print(f"wrote {count:>7} records to {directory / name}")
-    return 0
+    return 1 if campaign.failed_stages() else 0
 
 
 def _cmd_experiment(args) -> int:
@@ -198,7 +203,42 @@ def _cmd_report(args) -> int:
     if args.trace:
         count = campaign.tracer.dump_jsonl(args.trace)
         print(f"wrote {count} trace events to {args.trace}")
-    return 0
+    return 1 if campaign.failed_stages() else 0
+
+
+def _cmd_chaos(args) -> int:
+    import time
+
+    from repro.experiments.campaign import Campaign, CampaignConfig
+    from repro.netsim.faults import get_profile
+    from repro.observability.report import build_resilience_report, write_metrics_json
+    from repro.scanners.retry import RetryPolicy
+
+    try:
+        profile = get_profile(args.profile)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    config = CampaignConfig(
+        week=args.week,
+        scale=Scale(
+            addresses=args.scale, ases=max(1, args.scale // 50), domains=args.scale
+        ),
+        seed=args.seed,
+        fast_crypto=not args.real_crypto,
+        fault_profile=profile.name,
+        retry=RetryPolicy(attempts=max(1, args.retries)),
+    )
+    campaign = Campaign(config, workers=args.workers, cache_dir=args.cache_dir)
+    start = time.perf_counter()
+    campaign.run_all_stages()
+    total = time.perf_counter() - start
+    campaign.close()
+    print(build_resilience_report(campaign, total_seconds=total))
+    if args.metrics_out:
+        path = write_metrics_json(campaign, args.metrics_out)
+        print(f"\nwrote {path}")
+    return 1 if campaign.failed_stages() else 0
 
 
 def _cmd_bench(args) -> int:
@@ -317,6 +357,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     bench_parser.add_argument("--output", default="BENCH_scan.json")
     bench_parser.set_defaults(func=_cmd_bench)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run a campaign under a fault profile, render the resilience report",
+    )
+    _add_common(chaos_parser)
+    chaos_parser.add_argument(
+        "--profile",
+        default="flaky-edge",
+        help="fault profile: flaky-edge, rate-limited, hostile-middlebox, brownout",
+    )
+    chaos_parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="scanner retry attempts per target (default 3; 1 disables retries)",
+    )
+    chaos_parser.add_argument(
+        "--metrics-out", default=None, help="also write metrics.json to this path"
+    )
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

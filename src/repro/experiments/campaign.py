@@ -36,12 +36,14 @@ result (see :mod:`repro.observability.report`).
 from __future__ import annotations
 
 import dataclasses
+import sys
 import time
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.joins import DnsJoin, join_dns_addresses
+from repro.crypto.rand import derive_seed
 from repro.internet.generator import World, build_world
 from repro.internet.providers import Scale
 from repro.netsim.addresses import Address, IPv6Address
@@ -59,6 +61,7 @@ from repro.scanners.results import (
     TargetSource,
     ZmapQuicRecord,
 )
+from repro.scanners.retry import RetryPolicy
 from repro.scanners.zmapquic import ZmapQuicScanner
 from repro.scanners.zmaptcp import ZmapTcpScanner
 from repro.dns.resolver import Resolver
@@ -68,6 +71,7 @@ from repro.tls.extensions import GROUP_SIM, GROUP_X25519
 __all__ = [
     "CampaignConfig",
     "Campaign",
+    "StageHealth",
     "get_campaign",
     "COMPATIBLE_ALPN_TOKENS",
     "shard_block_bounds",
@@ -89,6 +93,11 @@ class CampaignConfig:
     max_domains_per_address: int = 25
     qscanner_versions: Tuple[int, ...] = (DRAFT_29, DRAFT_32, DRAFT_34, QUIC_V1)
     scan_timeout: float = 3.0
+    # Resilience knobs: a named fault profile from repro.netsim.faults
+    # (None = no injected faults) and the scanners' shared retry
+    # policy (the default never retries — baseline runs unchanged).
+    fault_profile: Optional[str] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def cache_key(self) -> Tuple:
         """A hashable key covering *every* configuration field.
@@ -131,6 +140,26 @@ def aligned_block_bounds(keys: Sequence, shard: int, of: int) -> Tuple[int, int]
     return align(lo), align(hi)
 
 
+@dataclass
+class StageHealth:
+    """Outcome of one stage's execution (graceful-degradation contract).
+
+    ``success``: every shard completed; ``degraded``: at least one
+    shard failed but others survived (partial records); ``failed``:
+    the stage produced nothing (serial exception, or every shard
+    failed).  Degraded and failed stages are never written to the
+    persistent cache, and downstream stages still run on whatever
+    records survived.
+    """
+
+    stage: str
+    status: str = "success"  # success | degraded | failed
+    error: Optional[str] = None
+    shards: int = 1
+    shards_failed: int = 0
+    records: int = 0
+
+
 class Campaign:
     """Lazily executed scan campaign for one week."""
 
@@ -154,10 +183,16 @@ class Campaign:
         # workers record into fresh registries that merge back here.
         self.metrics = MetricsRegistry()
         self.tracer = tracer if tracer is not None else EventTracer(0.0)
+        # Per-stage execution outcomes (see StageHealth); populated as
+        # stages run so callers can distinguish clean, degraded and
+        # failed runs after the fact.
+        self.stage_health: Dict[str, StageHealth] = {}
         if cache_dir is not None:
             from repro.experiments.stage_cache import CampaignStageCache
 
-            self._cache = CampaignStageCache(cache_dir, config)
+            self._cache = CampaignStageCache(
+                cache_dir, config, metrics=self.metrics, tracer=self.tracer
+            )
 
     @property
     def world(self) -> World:
@@ -174,10 +209,31 @@ class Campaign:
                 seed=self.config.seed,
                 fast_crypto=self.config.fast_crypto,
             )
+            if self.config.fault_profile:
+                self._apply_fault_profile(self._world)
             self.metrics.gauge("campaign.world_build_seconds", volatile=True).set(
                 round(time.perf_counter() - start, 6)
             )
         return self._world
+
+    def _apply_fault_profile(self, world: World) -> None:
+        """Attach the configured fault profile to the freshly built world.
+
+        The selection seed derives from the campaign seed and profile
+        name only, so serial runs, shard workers' replicas and repeat
+        runs all fault the exact same hosts.
+        """
+        from repro.netsim.faults import apply_profile, get_profile
+
+        profile = get_profile(self.config.fault_profile)
+        counts = apply_profile(
+            world.network,
+            [deployment.address for deployment in world.deployments],
+            profile,
+            derive_seed("faults", self.config.seed, profile.name),
+        )
+        for kind in sorted(counts):
+            self.metrics.gauge("faults.hosts", fault=kind).set(counts[kind])
 
     @property
     def stage_cache(self):
@@ -201,56 +257,116 @@ class Campaign:
         start = time.perf_counter()
         cache_state = "off" if self._cache is None else "miss"
         records: Optional[List] = None
+        health: Optional[StageHealth] = None
         if self._cache is not None:
             cached = self._cache.load(name)
             if cached is not None:
                 records, cache_state = cached, "hit"
         if records is None:
             if self._workers > 1 and name in _STAGE_COMPUTE:
-                records = self._engine_run(name)
+                records, health = self._engine_run(name)
             else:
-                with use_metrics(self.metrics), use_tracer(self.tracer):
-                    records = [
-                        record for _, record in self.compute_stage_shard(name, 0, 1)
-                    ]
-            if self._cache is not None:
+                records, health = self._serial_compute(name)
+            # Partial or empty results must never poison future runs:
+            # only fully successful stages are persisted.
+            if self._cache is not None and health.status == "success":
                 self._cache.store(name, records)
-        self._account_stage(name, len(records), cache_state, start)
+        if health is None:
+            health = StageHealth(stage=name)
+        health.records = len(records)
+        self.stage_health[name] = health
+        self._account_stage(name, len(records), cache_state, start, health)
         return records
 
-    def _plain_stage(self, name: str, compute: Callable[[], object]):
+    def _serial_compute(self, name: str) -> Tuple[List, StageHealth]:
+        """Compute a stage in-process, degrading gracefully on failure."""
+        with use_metrics(self.metrics), use_tracer(self.tracer):
+            try:
+                records = [
+                    record for _, record in self.compute_stage_shard(name, 0, 1)
+                ]
+            except Exception as exc:
+                return [], StageHealth(
+                    stage=name,
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                    shards=1,
+                    shards_failed=1,
+                )
+        return records, StageHealth(stage=name)
+
+    def _plain_stage(
+        self,
+        name: str,
+        compute: Callable[[], object],
+        empty: Callable[[], object] = list,
+    ):
         """A cacheable but unsharded stage (DNS, derived target lists)."""
         start = time.perf_counter()
         cache_state = "off" if self._cache is None else "miss"
         value = None
+        health: Optional[StageHealth] = None
         if self._cache is not None:
             cached = self._cache.load(name)
             if cached is not None:
                 value, cache_state = cached, "hit"
         if value is None:
             with use_metrics(self.metrics), use_tracer(self.tracer):
-                value = compute()
-            if self._cache is not None:
+                try:
+                    value = compute()
+                    health = StageHealth(stage=name)
+                except Exception as exc:
+                    value = empty()
+                    health = StageHealth(
+                        stage=name,
+                        status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                        shards=1,
+                        shards_failed=1,
+                    )
+            if self._cache is not None and health.status == "success":
                 self._cache.store(name, value)
-        self._account_stage(
-            name, len(value) if hasattr(value, "__len__") else None, cache_state, start
-        )
+        if health is None:
+            health = StageHealth(stage=name)
+        count = len(value) if hasattr(value, "__len__") else None
+        health.records = count or 0
+        self.stage_health[name] = health
+        self._account_stage(name, count, cache_state, start, health)
         return value
 
     def _account_stage(
-        self, name: str, records: Optional[int], cache_state: str, start: float
+        self,
+        name: str,
+        records: Optional[int],
+        cache_state: str,
+        start: float,
+        health: Optional[StageHealth] = None,
     ) -> None:
         """Per-stage bookkeeping: record counts, cache result, wall time.
 
         Record and cache counters are deterministic for a given cache
         state; wall times are volatile (excluded from ``metrics.json``).
+        Non-success outcomes additionally emit a ``campaign.stage_status``
+        counter and a stderr warning; healthy runs' metrics stay
+        byte-identical to pre-degradation builds.
         """
+        status = health.status if health is not None else "success"
         if records is not None:
             self.metrics.counter("campaign.stage_records", stage=name).inc(records)
         if cache_state != "off":
             self.metrics.counter(
                 "campaign.stage_cache", result=cache_state, stage=name
             ).inc()
+        if status != "success":
+            self.metrics.counter(
+                "campaign.stage_status", stage=name, status=status
+            ).inc()
+            print(
+                f"warning: stage {name} {status}"
+                f" ({health.shards_failed}/{health.shards} shards failed):"
+                f" {health.error}",
+                file=sys.stderr,
+            )
         elapsed = round(time.perf_counter() - start, 6)
         self.metrics.gauge("campaign.stage_seconds", volatile=True, stage=name).set(
             elapsed
@@ -261,20 +377,51 @@ class Campaign:
             records=records,
             cache=cache_state,
             seconds=elapsed,
+            status=status,
         )
 
-    def _engine_run(self, name: str) -> List:
+    def _engine_run(self, name: str) -> Tuple[List, StageHealth]:
         from repro.parallel import ScanEngine
 
         if self._engine is None:
             self._engine = ScanEngine(self.config, self._workers)
         deps = {dep: getattr(self, dep) for dep in _STAGE_DEPS[name]}
-        return self._engine.run_stage(
+        records, errors = self._engine.run_stage(
             name, deps, metrics=self.metrics, tracer=self.tracer
         )
+        shards = self._engine.workers
+        if not errors:
+            status = "success"
+        elif len(errors) >= shards:
+            status = "failed"
+        else:
+            status = "degraded"
+        return records, StageHealth(
+            stage=name,
+            status=status,
+            error="; ".join(errors) or None,
+            shards=shards,
+            shards_failed=len(errors),
+        )
+
+    def failed_stages(self) -> List[str]:
+        """Stages that produced nothing at all (total failure)."""
+        return [n for n, h in self.stage_health.items() if h.status == "failed"]
+
+    def degraded_stages(self) -> List[str]:
+        """Stages that completed with partial records."""
+        return [n for n, h in self.stage_health.items() if h.status == "degraded"]
 
     def compute_stage_shard(self, name: str, shard: int, of: int) -> List[Tuple[int, object]]:
         """Compute one shard of a stage (the engine's worker entry point)."""
+        # Resolve dependencies *before* opening this stage's fault
+        # epoch: in serial runs a dependency may itself compute here
+        # (under its own epoch), so the order guarantees this stage's
+        # traffic always starts on a freshly keyed epoch — exactly as
+        # a shard worker (whose deps arrive precomputed) sees it.
+        for dep in _STAGE_DEPS.get(name, ()):
+            getattr(self, dep)
+        self.world.network.begin_fault_epoch(name)
         return _STAGE_COMPUTE[name](self, shard, of)
 
     def run_all_stages(self) -> Dict[str, int]:
@@ -301,10 +448,10 @@ class Campaign:
     @cached_property
     def dns_records(self) -> Dict[str, List[DnsScanRecord]]:
         def compute():
-            scanner = DnsScanner(Resolver(self.world.zones))
+            scanner = DnsScanner(Resolver(self.world.zones), retry=self.config.retry)
             return scanner.scan_lists(self.world.input_lists.lists)
 
-        return self._plain_stage("dns_records", compute)
+        return self._plain_stage("dns_records", compute, empty=dict)
 
     @cached_property
     def all_dns_records(self) -> List[DnsScanRecord]:
@@ -326,6 +473,7 @@ class Campaign:
             self.world.scanner_v4 if family == 4 else self.world.scanner_v6,
             blocklist=self.world.blocklist,
             seed=(label, self.config.seed, self.config.week),
+            retry=self.config.retry,
         )
 
     def _compute_zmap_v4(self, shard: int, of: int) -> List[Tuple[int, ZmapQuicRecord]]:
@@ -361,6 +509,7 @@ class Campaign:
             self.world.network,
             blocklist=self.world.blocklist,
             seed=(label, self.config.seed, self.config.week),
+            retry=self.config.retry,
         )
 
     @cached_property
@@ -389,6 +538,7 @@ class Campaign:
             GoscannerConfig(
                 timeout=self.config.scan_timeout,
                 seed=("goscanner", label, self.config.seed, self.config.week),
+                retry=self.config.retry,
                 **self._crypto_kwargs(),
             ),
         )
@@ -550,6 +700,7 @@ class Campaign:
                 timeout=self.config.scan_timeout,
                 fast_initial_protection=self.config.fast_crypto,
                 seed=("qscanner", label, self.config.seed, self.config.week),
+                retry=self.config.retry,
                 **self._crypto_kwargs(),
             ),
         )
@@ -683,6 +834,8 @@ def get_campaign(
     max_domains_per_address: int = 25,
     workers: Optional[int] = None,
     cache_dir: Optional[object] = None,
+    fault_profile: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Campaign:
     """Memoised campaign accessor shared by tests and benchmarks.
 
@@ -696,6 +849,8 @@ def get_campaign(
         seed=seed,
         fast_crypto=fast_crypto,
         max_domains_per_address=max_domains_per_address,
+        fault_profile=fault_profile,
+        retry=retry if retry is not None else RetryPolicy(),
     )
     key = config.cache_key()
     if key not in _CAMPAIGNS:

@@ -9,8 +9,15 @@ the config hash covers every configuration field (via
 change to either invalidates the whole entry rather than serving stale
 records.
 
-The cache is strictly an optimisation: corrupt, truncated or
-version-skewed files are discarded and the stage is recomputed.
+The cache is strictly an optimisation, and every failure mode is
+non-fatal:
+
+- corrupt, truncated or version-skewed entries are discarded (and
+  counted in the ``cache.corrupt_discarded`` metric, with a trace
+  event, so degraded caches show up in ``repro report``),
+- store failures — disk full, unwritable cache root — are logged,
+  counted in ``cache.store_failures``, and the campaign simply
+  continues uncached.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import hashlib
 import json
 import os
 import pickle
+import sys
 import tempfile
 from pathlib import Path
 from typing import Optional
@@ -28,7 +36,18 @@ __all__ = ["CampaignStageCache", "CACHE_VERSION", "default_cache_root"]
 # Bump whenever the record schema or stage semantics change; old
 # entries are then invalidated automatically.
 # v2: QScanRecord gained wire-cost fields (retry_seen, datagrams_*).
-CACHE_VERSION = 2
+# v3: QScanRecord/GoscannerRecord gained the retry `attempts` field.
+CACHE_VERSION = 3
+
+# Everything that makes a cache entry unreadable rather than absent.
+_CORRUPT_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+)
 
 
 def default_cache_root() -> Path:
@@ -40,7 +59,7 @@ def default_cache_root() -> Path:
 class CampaignStageCache:
     """Content-keyed stage cache for one campaign configuration."""
 
-    def __init__(self, root, config):
+    def __init__(self, root, config, metrics=None, tracer=None):
         self._key = config.cache_key()
         digest = hashlib.sha256(
             repr((CACHE_VERSION, self._key)).encode()
@@ -48,6 +67,10 @@ class CampaignStageCache:
         self._dir = Path(root) / "campaigns" / digest
         self.hits = 0
         self.misses = 0
+        self.corrupt_discarded = 0
+        self.store_failures = 0
+        self._metrics = metrics
+        self._tracer = tracer
 
     @property
     def directory(self) -> Path:
@@ -56,22 +79,44 @@ class CampaignStageCache:
     def _path(self, stage: str) -> Path:
         return self._dir / f"{stage}.pkl"
 
+    def _note_discard(self, stage: str, reason: str) -> None:
+        """Account one unusable cache entry (corrupt or version skew)."""
+        self.corrupt_discarded += 1
+        if self._metrics is not None:
+            self._metrics.counter("cache.corrupt_discarded", reason=reason).inc()
+        if self._tracer is not None:
+            self._tracer.event("cache.corrupt", stage=stage, reason=reason)
+
+    def _note_store_failure(self, stage: str, error: Exception) -> None:
+        self.store_failures += 1
+        if self._metrics is not None:
+            self._metrics.counter("cache.store_failures").inc()
+        if self._tracer is not None:
+            self._tracer.event(
+                "cache.store_failed", stage=stage, error=type(error).__name__
+            )
+        print(
+            f"warning: stage cache store failed for {stage!r}: {error}",
+            file=sys.stderr,
+        )
+
     def load(self, stage: str) -> Optional[object]:
         """Return the cached records for a stage, or None on any miss."""
         path = self._path(stage)
         try:
             with open(path, "rb") as stream:
                 payload = pickle.load(stream)
-        except (
-            OSError,
-            pickle.UnpicklingError,
-            EOFError,
-            AttributeError,
-            ImportError,
-            IndexError,
-            ValueError,
-        ):
-            # Truncated or corrupt entries are misses, not errors.
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except _CORRUPT_ERRORS + (OSError,):
+            # Truncated or corrupt entries are misses, not errors — but
+            # they are counted and dropped so they cannot recur.
+            self._note_discard(stage, "corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
             self.misses += 1
             return None
         if (
@@ -81,6 +126,7 @@ class CampaignStageCache:
             or payload.get("stage") != stage
         ):
             # Version or key skew: drop the stale entry explicitly.
+            self._note_discard(stage, "skew")
             try:
                 path.unlink()
             except OSError:
@@ -91,35 +137,40 @@ class CampaignStageCache:
         return payload["records"]
 
     def store(self, stage: str, records) -> None:
-        """Persist one stage's records (atomic rename, best effort)."""
-        self._dir.mkdir(parents=True, exist_ok=True)
-        self._write_meta()
+        """Persist one stage's records (atomic rename, never fatal)."""
         payload = {
             "version": CACHE_VERSION,
             "key": self._key,
             "stage": stage,
             "records": records,
         }
+        tmp = None
         try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self._write_meta()
             fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
             with os.fdopen(fd, "wb") as stream:
                 pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, self._path(stage))
-        except OSError:
-            pass  # a read-only cache directory never fails the scan
+        except (OSError, pickle.PicklingError, AttributeError, TypeError) as error:
+            # Disk full or unwritable root never fails the scan — the
+            # campaign continues uncached.
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            self._note_store_failure(stage, error)
 
     def _write_meta(self) -> None:
         """Human-readable record of what this entry caches."""
         meta = self._dir / "meta.json"
         if meta.exists():
             return
-        try:
-            meta.write_text(
-                json.dumps(
-                    {"cache_version": CACHE_VERSION, "config": repr(self._key)},
-                    indent=2,
-                )
-                + "\n"
+        meta.write_text(
+            json.dumps(
+                {"cache_version": CACHE_VERSION, "config": repr(self._key)},
+                indent=2,
             )
-        except OSError:
-            pass
+            + "\n"
+        )

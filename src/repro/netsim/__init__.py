@@ -10,13 +10,17 @@ simulated one (see DESIGN.md §2).  The substrate provides:
   registration, UDP datagram delivery, TCP-like stream sessions, a
   virtual clock, loss/latency conditions and middleboxes,
 - :mod:`repro.netsim.blocklist` — scan exclusion lists (Appendix A
-  ethics: the paper filters a local blocklist).
+  ethics: the paper filters a local blocklist),
+- :mod:`repro.netsim.faults` — composable, deterministic fault
+  profiles (burst loss, rate limits, UDP blackholes, truncation,
+  corruption, flapping, crashes) for chaos campaigns.
 """
 
 from repro.netsim.addresses import IPv4Address, IPv6Address, Prefix
 from repro.netsim.asn import AutonomousSystem, AsRegistry
 from repro.netsim.blocklist import Blocklist
-from repro.netsim.topology import Network, UdpEndpoint
+from repro.netsim.faults import PROFILES, FaultProfile, apply_profile, get_profile
+from repro.netsim.topology import Network, NetworkConditions, UdpEndpoint
 
 __all__ = [
     "IPv4Address",
@@ -26,5 +30,10 @@ __all__ = [
     "AsRegistry",
     "Blocklist",
     "Network",
+    "NetworkConditions",
     "UdpEndpoint",
+    "FaultProfile",
+    "PROFILES",
+    "apply_profile",
+    "get_profile",
 ]

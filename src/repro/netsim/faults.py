@@ -1,0 +1,476 @@
+"""Composable, deterministic fault injection for the simulated Internet.
+
+The paper's measurements are dominated by failure — 34.5 % of QScanner
+targets time out, hosts rate-limit probes, middleboxes block UDP — yet
+the base simulation only models uniform loss and fully-silent hosts.
+This module adds the realistic failure modes as *fault specs* attached
+to a host's :class:`~repro.netsim.topology.NetworkConditions`:
+
+- :class:`BurstLoss` — two-state (Gilbert) burst/tail loss,
+- :class:`RateLimit` — token bucket; exhausted buckets drop datagrams
+  the way an ICMP administratively-prohibited filter would,
+- :class:`UdpBlackhole` — a middlebox that blocks UDP but leaves TCP
+  working (the paper's TCP-reachable/QUIC-unreachable population),
+- :class:`Truncate` — datagram truncation (broken path MTU handling),
+- :class:`Corrupt` — in-flight bit corruption,
+- :class:`Flap` — the host disappears and reappears in windows on the
+  virtual clock (UDP and TCP),
+- :class:`Crash` — the server dies mid-handshake after a datagram
+  budget and never answers again (within the stage).
+
+Determinism contract (the invariant the parallel engine relies on):
+fault behaviour for a host is a pure function of the campaign fault
+seed, the *stage epoch* and the host's own traffic sequence — never of
+global virtual time or other hosts' traffic.  The network instantiates
+per-host fault state lazily inside each stage epoch
+(:meth:`~repro.netsim.topology.Network.begin_fault_epoch`), seeds it
+from ``(fault_seed, epoch, address, spec index)``, and time-based
+faults measure *host-local* time from the first datagram the host sees
+in the epoch.  Because the engine's shard boundaries never split one
+host's traffic, serial and ``--workers N`` runs replay identical fault
+decisions, record for record.
+
+Profiles (:data:`PROFILES`) bundle fault specs with host fractions;
+:func:`apply_profile` selects the affected hosts by seeded hash so the
+assignment is stable under any iteration order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.crypto.rand import DeterministicRandom, derive_seed
+from repro.netsim.addresses import Address
+
+__all__ = [
+    "FaultSpec",
+    "HostFault",
+    "BurstLoss",
+    "RateLimit",
+    "UdpBlackhole",
+    "Truncate",
+    "Corrupt",
+    "Flap",
+    "Crash",
+    "ProfileEntry",
+    "FaultProfile",
+    "PROFILES",
+    "get_profile",
+    "apply_profile",
+]
+
+
+# -- per-host fault state ------------------------------------------------------
+
+
+class HostFault:
+    """Live fault state for one host within one stage epoch.
+
+    Subclasses override the hooks they care about.  UDP hooks return
+    ``(verdict, data)``: ``verdict`` is ``None`` for untouched delivery
+    or a short action label (counted in the ``faults.injected`` metric);
+    ``data=None`` means the datagram is consumed.  TCP hooks return
+    whether the operation is allowed.
+
+    ``local_time`` anchors time-based behaviour to the first event the
+    host sees in the epoch, keeping fault decisions independent of the
+    global clock (which differs between serial and sharded runs).
+    """
+
+    def __init__(self, kind: str, rng: DeterministicRandom):
+        self.kind = kind
+        self._rng = rng
+        self._t0: Optional[float] = None
+
+    def local_time(self, now: float) -> float:
+        if self._t0 is None:
+            self._t0 = now
+        return now - self._t0
+
+    # -- UDP -------------------------------------------------------------------
+    def on_send(self, now: float, data: bytes):
+        """A datagram arriving at the host (scanner -> server)."""
+        return None, data
+
+    def on_reply(self, now: float, data: bytes):
+        """A datagram leaving the host (server -> scanner)."""
+        return None, data
+
+    # -- TCP -------------------------------------------------------------------
+    def tcp_syn(self, now: float) -> bool:
+        """Whether a SYN probe elicits a SYN/ACK."""
+        return True
+
+    def tcp_open(self, now: float) -> bool:
+        """Whether a full TCP connect succeeds."""
+        return True
+
+    def tcp_data(self, now: float) -> bool:
+        """Whether session data (either direction) gets through."""
+        return True
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Immutable template for a fault; instantiated per host per epoch."""
+
+    kind = "fault"
+
+    def instantiate(self, rng: DeterministicRandom) -> HostFault:
+        raise NotImplementedError
+
+
+class _BurstLossState(HostFault):
+    def __init__(self, spec: "BurstLoss", rng: DeterministicRandom):
+        super().__init__(spec.kind, rng)
+        self._spec = spec
+        self._bursting = False
+
+    def _step(self) -> bool:
+        if self._bursting:
+            if self._rng.random() < self._spec.exit_probability:
+                self._bursting = False
+        elif self._rng.random() < self._spec.enter_probability:
+            self._bursting = True
+        return self._bursting
+
+    def on_send(self, now: float, data: bytes):
+        if self._step():
+            return "burst-drop", None
+        return None, data
+
+    def on_reply(self, now: float, data: bytes):
+        if self._step():
+            return "burst-drop", None
+        return None, data
+
+
+@dataclass(frozen=True)
+class BurstLoss(FaultSpec):
+    """Gilbert-model burst loss: correlated drops, unlike uniform loss."""
+
+    kind = "burst-loss"
+    enter_probability: float = 0.15
+    exit_probability: float = 0.4
+
+    def instantiate(self, rng: DeterministicRandom) -> HostFault:
+        return _BurstLossState(self, rng)
+
+
+class _RateLimitState(HostFault):
+    def __init__(self, spec: "RateLimit", rng: DeterministicRandom):
+        super().__init__(spec.kind, rng)
+        self._spec = spec
+        self._tokens = float(spec.capacity)
+        self._last = 0.0
+
+    def _take(self, now: float) -> bool:
+        local = self.local_time(now)
+        self._tokens = min(
+            float(self._spec.capacity),
+            self._tokens + (local - self._last) * self._spec.refill_per_second,
+        )
+        self._last = local
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def on_send(self, now: float, data: bytes):
+        if not self._take(now):
+            # The filter consumes the datagram; on the real Internet an
+            # ICMP administratively-prohibited reply would come back.
+            return "admin-prohibited", None
+        return None, data
+
+    def tcp_syn(self, now: float) -> bool:
+        return self._take(now)
+
+    def tcp_open(self, now: float) -> bool:
+        return self._take(now)
+
+
+@dataclass(frozen=True)
+class RateLimit(FaultSpec):
+    """Token-bucket rate limiting with administratively-prohibited drops."""
+
+    kind = "rate-limit"
+    capacity: int = 8
+    refill_per_second: float = 2.0
+
+    def instantiate(self, rng: DeterministicRandom) -> HostFault:
+        return _RateLimitState(self, rng)
+
+
+class _UdpBlackholeState(HostFault):
+    def on_send(self, now: float, data: bytes):
+        return "udp-blocked", None
+
+    def on_reply(self, now: float, data: bytes):
+        return "udp-blocked", None
+
+
+@dataclass(frozen=True)
+class UdpBlackhole(FaultSpec):
+    """A middlebox blocking all UDP while TCP stays reachable."""
+
+    kind = "udp-blackhole"
+
+    def instantiate(self, rng: DeterministicRandom) -> HostFault:
+        return _UdpBlackholeState(self.kind, rng)
+
+
+class _TruncateState(HostFault):
+    def __init__(self, spec: "Truncate", rng: DeterministicRandom):
+        super().__init__(spec.kind, rng)
+        self._spec = spec
+
+    def _maybe(self, data: bytes):
+        if (
+            len(data) > self._spec.keep_bytes
+            and self._rng.random() < self._spec.probability
+        ):
+            return "truncated", data[: self._spec.keep_bytes]
+        return None, data
+
+    def on_send(self, now: float, data: bytes):
+        return self._maybe(data)
+
+    def on_reply(self, now: float, data: bytes):
+        return self._maybe(data)
+
+
+@dataclass(frozen=True)
+class Truncate(FaultSpec):
+    """Datagram truncation (broken path-MTU handling on the path)."""
+
+    kind = "truncate"
+    probability: float = 0.3
+    keep_bytes: int = 200
+
+    def instantiate(self, rng: DeterministicRandom) -> HostFault:
+        return _TruncateState(self, rng)
+
+
+class _CorruptState(HostFault):
+    def __init__(self, spec: "Corrupt", rng: DeterministicRandom):
+        super().__init__(spec.kind, rng)
+        self._spec = spec
+
+    def _maybe(self, data: bytes):
+        if data and self._rng.random() < self._spec.probability:
+            position = self._rng.randrange(len(data))
+            corrupted = bytearray(data)
+            corrupted[position] ^= 0xFF
+            return "corrupted", bytes(corrupted)
+        return None, data
+
+    def on_send(self, now: float, data: bytes):
+        return self._maybe(data)
+
+    def on_reply(self, now: float, data: bytes):
+        return self._maybe(data)
+
+
+@dataclass(frozen=True)
+class Corrupt(FaultSpec):
+    """In-flight bit corruption: one byte of the datagram is flipped."""
+
+    kind = "corrupt"
+    probability: float = 0.3
+
+    def instantiate(self, rng: DeterministicRandom) -> HostFault:
+        return _CorruptState(self, rng)
+
+
+class _FlapState(HostFault):
+    def __init__(self, spec: "Flap", rng: DeterministicRandom):
+        super().__init__(spec.kind, rng)
+        self._spec = spec
+        period = spec.up_seconds + spec.down_seconds
+        self._phase = self._rng.random() * period
+
+    def _up(self, now: float) -> bool:
+        period = self._spec.up_seconds + self._spec.down_seconds
+        position = (self._phase + self.local_time(now)) % period
+        return position < self._spec.up_seconds
+
+    def on_send(self, now: float, data: bytes):
+        if not self._up(now):
+            return "flap-down", None
+        return None, data
+
+    def on_reply(self, now: float, data: bytes):
+        if not self._up(now):
+            return "flap-down", None
+        return None, data
+
+    def tcp_syn(self, now: float) -> bool:
+        return self._up(now)
+
+    def tcp_open(self, now: float) -> bool:
+        return self._up(now)
+
+    def tcp_data(self, now: float) -> bool:
+        return self._up(now)
+
+
+@dataclass(frozen=True)
+class Flap(FaultSpec):
+    """The host alternates between reachable and dark windows."""
+
+    kind = "flap"
+    up_seconds: float = 4.0
+    down_seconds: float = 2.0
+
+    def instantiate(self, rng: DeterministicRandom) -> HostFault:
+        return _FlapState(self, rng)
+
+
+class _CrashState(HostFault):
+    def __init__(self, spec: "Crash", rng: DeterministicRandom):
+        super().__init__(spec.kind, rng)
+        self._spec = spec
+        self._seen = 0
+
+    def _alive(self) -> bool:
+        return self._seen <= self._spec.after_datagrams
+
+    def on_send(self, now: float, data: bytes):
+        self._seen += 1
+        if not self._alive():
+            return "crashed", None
+        return None, data
+
+    def tcp_open(self, now: float) -> bool:
+        self._seen += 1
+        return self._alive()
+
+    def tcp_data(self, now: float) -> bool:
+        self._seen += 1
+        return self._alive()
+
+
+@dataclass(frozen=True)
+class Crash(FaultSpec):
+    """Mid-handshake server crash: dies after a datagram budget."""
+
+    kind = "crash"
+    after_datagrams: int = 2
+
+    def instantiate(self, rng: DeterministicRandom) -> HostFault:
+        return _CrashState(self, rng)
+
+
+# -- profiles ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One fault applied to a seeded fraction of the hosts."""
+
+    fraction: float
+    spec: FaultSpec
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named bundle of fault specs with host fractions."""
+
+    name: str
+    description: str
+    entries: Tuple[ProfileEntry, ...]
+
+
+PROFILES: Dict[str, FaultProfile] = {
+    profile.name: profile
+    for profile in (
+        FaultProfile(
+            name="flaky-edge",
+            description=(
+                "Bursty edge loss, flapping hosts and occasional datagram "
+                "truncation — the default chaos profile."
+            ),
+            entries=(
+                ProfileEntry(0.20, BurstLoss()),
+                ProfileEntry(0.10, Flap()),
+                ProfileEntry(0.05, Truncate()),
+            ),
+        ),
+        FaultProfile(
+            name="rate-limited",
+            description="A third of hosts sit behind token-bucket rate limits.",
+            entries=(ProfileEntry(0.33, RateLimit()),),
+        ),
+        FaultProfile(
+            name="hostile-middlebox",
+            description=(
+                "UDP-blocking middleboxes plus corrupting/truncating paths "
+                "(the TCP-works/QUIC-fails population)."
+            ),
+            entries=(
+                ProfileEntry(0.15, UdpBlackhole()),
+                ProfileEntry(0.10, Corrupt()),
+                ProfileEntry(0.10, Truncate()),
+            ),
+        ),
+        FaultProfile(
+            name="brownout",
+            description="Mid-handshake server crashes and long dark windows.",
+            entries=(
+                ProfileEntry(0.15, Crash()),
+                ProfileEntry(0.20, Flap(up_seconds=2.0, down_seconds=4.0)),
+            ),
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> FaultProfile:
+    """Look up a profile by name; raises with the catalogue on miss."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {name!r}; available: {', '.join(sorted(PROFILES))}"
+        ) from None
+
+
+def _selected(seed: int, profile: FaultProfile, index: int, address: Address) -> bool:
+    entry = profile.entries[index]
+    score = derive_seed(seed, profile.name, index, str(address)) % 1_000_000
+    return score < entry.fraction * 1_000_000
+
+
+def apply_profile(
+    network,
+    addresses: Iterable[Address],
+    profile: FaultProfile,
+    seed: int,
+) -> Dict[str, int]:
+    """Attach a profile's fault specs to hosts on ``network``.
+
+    Host selection hashes ``(seed, profile, entry index, address)`` so
+    the assignment is a pure function of the campaign fault seed —
+    independent of iteration order and identical in every worker
+    replica.  Returns per-fault-kind host counts.
+    """
+    network.configure_faults(seed)
+    counts: Dict[str, int] = {}
+    for entry in profile.entries:
+        counts.setdefault(entry.spec.kind, 0)
+    for address in addresses:
+        specs = []
+        for index, entry in enumerate(profile.entries):
+            if _selected(seed, profile, index, address):
+                specs.append(entry.spec)
+                counts[entry.spec.kind] += 1
+        if specs:
+            base = network.conditions_for(address)
+            network.set_conditions(
+                address,
+                dataclasses.replace(base, faults=base.faults + tuple(specs)),
+            )
+    return counts

@@ -13,6 +13,14 @@ TCP is modelled at the session level (connect / ordered byte stream /
 close); there is no segment-level simulation because nothing in the
 paper's analysis depends on TCP internals beyond the SYN scan and an
 ordered stream for TLS.
+
+Fault injection: a host's (or prefix's) :class:`NetworkConditions` may
+carry :class:`~repro.netsim.faults.FaultSpec` templates.  The network
+instantiates per-host fault state lazily inside the current *stage
+epoch* (:meth:`Network.begin_fault_epoch`) and consults it on every
+datagram and TCP operation.  Fault decisions depend only on the fault
+seed, the epoch and the host's own traffic — see
+:mod:`repro.netsim.faults` for the determinism contract.
 """
 
 from __future__ import annotations
@@ -23,7 +31,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.crypto.rand import DeterministicRandom
-from repro.netsim.addresses import Address
+from repro.netsim.addresses import Address, Prefix
+from repro.observability.metrics import get_metrics
 
 __all__ = [
     "NetworkConditions",
@@ -43,6 +52,9 @@ class NetworkConditions:
     rtt: float = 0.05  # seconds
     loss: float = 0.0  # probability a datagram (either direction) is lost
     silent: bool = False  # host drops everything (scan timeout)
+    # Fault templates (see repro.netsim.faults); instantiated per host
+    # per stage epoch by the network.  Empty for the baseline paths.
+    faults: Tuple = ()
 
 
 @dataclass
@@ -53,6 +65,7 @@ class TrafficStats:
     bytes_sent: int = 0
     datagrams_delivered: int = 0
     syn_sent: int = 0
+    faults_injected: int = 0
 
     def record_send(self, size: int) -> None:
         self.datagrams_sent += 1
@@ -147,6 +160,8 @@ class TcpSession:
         if self.closed:
             raise ConnectionError("session closed")
         self._network.stats.record_send(len(data))
+        if not self._network.tcp_data_allowed(self.server_address[0]):
+            return  # bytes vanish mid-session; the peer never replies
         self._listener.data_received(self, data)
 
     def receive(self, timeout: float) -> Optional[bytes]:
@@ -167,6 +182,8 @@ class TcpSession:
 
     # -- server side ----------------------------------------------------------
     def reply(self, data: bytes) -> None:
+        if not self._network.tcp_data_allowed(self.server_address[0]):
+            return
         arrival = self._network.now + self._conditions.rtt / 2
         self._to_client.append((arrival, self._network.next_seq(), data))
 
@@ -184,10 +201,16 @@ class Network:
         self._udp: Dict[Tuple[Address, int], UdpEndpoint] = {}
         self._tcp: Dict[Tuple[Address, int], TcpListener] = {}
         self._conditions: Dict[Address, NetworkConditions] = {}
+        self._prefix_conditions: List[Tuple[Prefix, NetworkConditions]] = []
         self._default_conditions = NetworkConditions()
         self._ephemeral = itertools.count(49152)
         self._seq = itertools.count()
         self._client_sockets: Dict[Tuple[Address, int], ClientUdpSocket] = {}
+        # Fault-injection state: per-host fault instances, scoped to the
+        # current stage epoch (see repro.netsim.faults).
+        self._fault_seed: int = 0
+        self._fault_epoch: str = "root"
+        self._fault_states: Dict[Tuple[Address, int], object] = {}
 
     # -- registration ----------------------------------------------------------
     def bind_udp(self, address: Address, port: int, endpoint: UdpEndpoint) -> None:
@@ -199,8 +222,59 @@ class Network:
     def set_conditions(self, address: Address, conditions: NetworkConditions) -> None:
         self._conditions[address] = conditions
 
+    def set_prefix_conditions(self, prefix: Prefix, conditions: NetworkConditions) -> None:
+        """Conditions for every host in a prefix (host entries win)."""
+        self._prefix_conditions.append((prefix, conditions))
+
     def conditions_for(self, address: Address) -> NetworkConditions:
-        return self._conditions.get(address, self._default_conditions)
+        conditions = self._conditions.get(address)
+        if conditions is not None:
+            return conditions
+        for prefix, prefix_conditions in self._prefix_conditions:
+            if prefix.contains(address):
+                return prefix_conditions
+        return self._default_conditions
+
+    # -- fault injection -------------------------------------------------------
+    def configure_faults(self, seed: int) -> None:
+        """Set the fault seed; clears any live per-host fault state."""
+        self._fault_seed = seed
+        self._fault_states.clear()
+
+    def begin_fault_epoch(self, label: str) -> None:
+        """Reset per-host fault state at a stage boundary.
+
+        Each campaign stage runs in its own epoch, so a host's fault
+        behaviour within a stage depends only on its own traffic there —
+        the property that makes sharded runs replay serial decisions.
+        """
+        if label != self._fault_epoch:
+            self._fault_epoch = label
+            self._fault_states.clear()
+
+    def _active_faults(
+        self, address: Address, conditions: Optional[NetworkConditions] = None
+    ) -> Tuple:
+        if conditions is None:
+            conditions = self.conditions_for(address)
+        if not conditions.faults:
+            return ()
+        states = []
+        for index, spec in enumerate(conditions.faults):
+            key = (address, index)
+            state = self._fault_states.get(key)
+            if state is None:
+                rng = DeterministicRandom(
+                    (self._fault_seed, self._fault_epoch, str(address), index)
+                )
+                state = spec.instantiate(rng)
+                self._fault_states[key] = state
+            states.append(state)
+        return tuple(states)
+
+    def _fault_injected(self, kind: str, action: str) -> None:
+        self.stats.faults_injected += 1
+        get_metrics().counter("faults.injected", fault=kind, action=action).inc()
 
     def udp_bound(self, address: Address, port: int) -> bool:
         return (address, port) in self._udp
@@ -237,12 +311,25 @@ class Network:
             return
         if conditions.loss and self._rng.random() < conditions.loss:
             return
+        faults = self._active_faults(destination[0], conditions)
+        for fault in faults:
+            verdict, data = fault.on_send(self.now, data)
+            if verdict is not None:
+                self._fault_injected(fault.kind, verdict)
+            if data is None:
+                return
         self.stats.datagrams_delivered += 1
         send_time = self.now
 
         def reply(response: bytes) -> None:
             if conditions.loss and self._rng.random() < conditions.loss:
                 return
+            for fault in faults:
+                verdict, response = fault.on_reply(send_time, response)
+                if verdict is not None:
+                    self._fault_injected(fault.kind, verdict)
+                if response is None:
+                    return
             client = self._client_sockets.get(source)
             if client is not None:
                 client._enqueue(send_time + conditions.rtt, destination, response)
@@ -259,7 +346,19 @@ class Network:
             return False
         if conditions.loss and self._rng.random() < conditions.loss:
             return False
+        for fault in self._active_faults(destination, conditions):
+            if not fault.tcp_syn(self.now):
+                self._fault_injected(fault.kind, "syn-drop")
+                return False
         return (destination, port) in self._tcp
+
+    def tcp_data_allowed(self, address: Address) -> bool:
+        """Whether session data to/from ``address`` gets through faults."""
+        for fault in self._active_faults(address):
+            if not fault.tcp_data(self.now):
+                self._fault_injected(fault.kind, "tcp-drop")
+                return False
+        return True
 
     def connect_tcp(
         self, client_address: Address, destination: Address, port: int
@@ -268,6 +367,10 @@ class Network:
         conditions = self.conditions_for(destination)
         if listener is None or conditions.silent:
             return None
+        for fault in self._active_faults(destination, conditions):
+            if not fault.tcp_open(self.now):
+                self._fault_injected(fault.kind, "connect-refused")
+                return None
         session = TcpSession(
             self,
             listener,

@@ -42,6 +42,7 @@ from repro.scanners.results import QScanOutcome
 
 __all__ = [
     "build_scan_report",
+    "build_resilience_report",
     "metrics_document",
     "render_metrics_json",
     "write_metrics_json",
@@ -49,7 +50,8 @@ __all__ = [
     "stage_targets",
 ]
 
-METRICS_FORMAT_VERSION = 1
+# v2: the config block gained fault_profile and retry.
+METRICS_FORMAT_VERSION = 2
 
 # Outcome column order follows paper Table 3.
 _T3_OUTCOMES = (
@@ -207,9 +209,25 @@ def build_scan_report(campaign, total_seconds: Optional[float] = None) -> str:
     )
     cache = campaign.stage_cache
     if cache is not None:
-        lines.append(
+        cache_line = (
             f"stage cache: {cache.hits} hits / {cache.misses} misses "
             f"({cache.directory})"
+        )
+        if cache.corrupt_discarded:
+            cache_line += f", {cache.corrupt_discarded} corrupt entries discarded"
+        if cache.store_failures:
+            cache_line += f", {cache.store_failures} store failures"
+        lines.append(cache_line)
+    unhealthy = [
+        health
+        for health in campaign.stage_health.values()
+        if health.status != "success"
+    ]
+    for health in unhealthy:
+        lines.append(
+            f"stage health: {health.stage} {health.status} "
+            f"({health.shards_failed}/{health.shards} shards failed): "
+            f"{health.error}"
         )
     lines.append("")
 
@@ -282,6 +300,112 @@ def build_scan_report(campaign, total_seconds: Optional[float] = None) -> str:
     return "\n".join(lines)
 
 
+def build_resilience_report(campaign, total_seconds: Optional[float] = None) -> str:
+    """Render the ``repro chaos`` resilience report.
+
+    Summarises how a campaign behaved under an active fault profile:
+    per-stage health (success/degraded/failed), the faults the network
+    actually injected, the scanners' retry/give-up tallies, and the
+    resulting Table-3 outcome mix — ending with a one-line verdict
+    matching the CLI exit code (nonzero only on total stage failure).
+    """
+    config = campaign.config
+    lines: List[str] = []
+    lines.append(
+        f"resilience report — profile {config.fault_profile or 'none'}, "
+        f"week {config.week}, seed {config.seed}, "
+        f"retry attempts {config.retry.attempts}"
+    )
+    if total_seconds is not None:
+        lines.append(f"campaign wall time: {total_seconds:.3f}s")
+    lines.append("")
+
+    # -- fault host assignment ------------------------------------------------
+    fault_hosts = []
+    for key, gauge in sorted(campaign.metrics.snapshot()["gauges"].items()):
+        name, labels = parse_metric_key(key)
+        if name == "faults.hosts":
+            fault_hosts.append((labels.get("fault", "?"), int(gauge)))
+    if fault_hosts:
+        lines.append(
+            render_table(
+                ("fault", "hosts"), fault_hosts, title="faulted hosts by kind"
+            )
+        )
+        lines.append("")
+
+    # -- per-stage health -----------------------------------------------------
+    health_rows = []
+    for name, health in campaign.stage_health.items():
+        health_rows.append(
+            (
+                name,
+                health.status,
+                health.records,
+                f"{health.shards - health.shards_failed}/{health.shards}",
+                health.error or "-",
+            )
+        )
+    lines.append(
+        render_table(
+            ("stage", "status", "records", "shards ok", "error"),
+            health_rows,
+            title="stage health",
+        )
+    )
+    lines.append("")
+
+    # -- injected faults ------------------------------------------------------
+    injected = sorted(_counter_section(campaign, "faults").items())
+    if injected:
+        lines.append(
+            render_table(
+                ("fault counter", "value"), injected, title="faults injected"
+            )
+        )
+        lines.append("")
+
+    # -- retries and give-ups -------------------------------------------------
+    retry_rows = []
+    for key, value in sorted(campaign.metrics.snapshot()["counters"].items()):
+        name, _ = parse_metric_key(key)
+        if name.endswith(".retries") or name.endswith(".giveups"):
+            retry_rows.append((key, value))
+    if retry_rows:
+        lines.append(
+            render_table(
+                ("retry counter", "value"), retry_rows, title="retries and give-ups"
+            )
+        )
+        lines.append("")
+
+    # -- outcome mix under faults ---------------------------------------------
+    headers = ("scan", "family", "targets") + tuple(
+        outcome.value for outcome in _T3_OUTCOMES
+    )
+    lines.append(
+        render_table(
+            headers,
+            _qscan_outcome_rows(campaign),
+            title="stateful QUIC handshake outcomes (Table 3 taxonomy)",
+        )
+    )
+    lines.append("")
+
+    failed = campaign.failed_stages()
+    degraded = campaign.degraded_stages()
+    if failed:
+        lines.append(f"verdict: FAILED — stages with no output: {', '.join(failed)}")
+    elif degraded:
+        lines.append(
+            f"verdict: DEGRADED — partial stages: {', '.join(degraded)} "
+            "(campaign completed)"
+        )
+    else:
+        lines.append("verdict: OK — every stage completed under the fault profile")
+    return "\n".join(lines)
+
+
 def metrics_document(campaign) -> Dict:
     """The deterministic ``metrics.json`` document for a campaign.
 
@@ -305,6 +429,15 @@ def metrics_document(campaign) -> Dict:
             "max_domains_per_address": config.max_domains_per_address,
             "qscanner_versions": [f"0x{v:08x}" for v in config.qscanner_versions],
             "scan_timeout": config.scan_timeout,
+            "fault_profile": config.fault_profile,
+            "retry": {
+                "attempts": config.retry.attempts,
+                "base_delay": config.retry.base_delay,
+                "multiplier": config.retry.multiplier,
+                "max_delay": config.retry.max_delay,
+                "jitter": config.retry.jitter,
+                "deadline": config.retry.deadline,
+            },
         },
         "metrics": campaign.metrics.snapshot(include_volatile=False),
     }

@@ -74,13 +74,15 @@ def _replica():
     return _WORKER_CAMPAIGN
 
 
-def _run_shard(task) -> Tuple[List[Tuple[int, object]], Dict, List[Dict]]:
+def _run_shard(task) -> Tuple[List[Tuple[int, object]], Dict, List[Dict], Optional[str]]:
     """Pool task: compute one shard of one stage on the local replica.
 
     Returns the shard's ``(position, record)`` pairs plus the shard's
     metric snapshot and trace events, recorded into a registry/tracer
     that exists only for this task (the replica's own accumulated
-    state never leaks into the result).
+    state never leaks into the result).  A raising shard is captured as
+    the fourth element instead of crashing the pool — the parent
+    degrades the stage to the surviving shards' records.
     """
     stage, shard, of, deps, trace_rate = task
     campaign = _replica()
@@ -91,9 +93,14 @@ def _run_shard(task) -> Tuple[List[Tuple[int, object]], Dict, List[Dict]]:
         campaign.__dict__[name] = value
     registry = MetricsRegistry()
     tracer = EventTracer(sample_rate=trace_rate)
+    error: Optional[str] = None
     with use_metrics(registry), use_tracer(tracer):
-        pairs = campaign.compute_stage_shard(stage, shard, of)
-    return pairs, registry.snapshot(), tracer.drain()
+        try:
+            pairs = campaign.compute_stage_shard(stage, shard, of)
+        except Exception as exc:
+            pairs = []
+            error = f"shard {shard}/{of}: {type(exc).__name__}: {exc}"
+    return pairs, registry.snapshot(), tracer.drain(), error
 
 
 class ScanEngine:
@@ -143,12 +150,17 @@ class ScanEngine:
         deps: Optional[Dict[str, object]] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[EventTracer] = None,
-    ) -> List[object]:
+    ) -> Tuple[List[object], List[str]]:
         """Run one stage across all workers and merge deterministically.
 
         When ``metrics``/``tracer`` are given, each shard's metric
         snapshot is merged in (in shard order; the merge is exact, so
         totals equal a serial run's) and its trace events appended.
+
+        Returns ``(records, errors)``: records from every *surviving*
+        shard in serial order, plus one error string per failed shard
+        (a failed shard contributes neither records nor metrics, so a
+        healthy run's output is untouched by the error channel).
         """
         deps = deps or {}
         shards = self.workers
@@ -156,11 +168,15 @@ class ScanEngine:
         tasks = [(stage, shard, shards, deps, trace_rate) for shard in range(shards)]
         pool = self._ensure_pool()
         tagged: List[Tuple[int, object]] = []
-        for pairs, snapshot, events in pool.map(_run_shard, tasks, chunksize=1):
+        errors: List[str] = []
+        for pairs, snapshot, events, error in pool.map(_run_shard, tasks, chunksize=1):
+            if error is not None:
+                errors.append(error)
+                continue
             tagged.extend(pairs)
             if metrics is not None:
                 metrics.merge_snapshot(snapshot)
             if tracer is not None and events:
                 tracer.extend(events)
         tagged.sort(key=lambda item: item[0])
-        return [record for _, record in tagged]
+        return [record for _, record in tagged], errors

@@ -8,12 +8,13 @@ deployment publishes SVCB).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.dns.resolver import Resolver
 from repro.observability.metrics import get_metrics
 from repro.scanners.results import DnsScanRecord
+from repro.scanners.retry import RetryPolicy
 
 __all__ = ["DnsScanner"]
 
@@ -21,12 +22,35 @@ __all__ = ["DnsScanner"]
 @dataclass
 class DnsScanner:
     resolver: Resolver
+    # Resolver-failure retry policy (default: no retries).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def _resolve(self, domain: str, record_types) -> Optional[object]:
+        """Resolve with retries; None when every attempt failed."""
+        metrics = get_metrics()
+        attempt = 1
+        while True:
+            try:
+                return self.resolver.resolve(domain, record_types)
+            except Exception:
+                if not (self.retry.enabled and attempt < self.retry.attempts):
+                    metrics.counter("dns.giveups").inc()
+                    return None
+                attempt += 1
+                metrics.counter("dns.retries").inc()
 
     def scan_list(self, list_name: str, domains: Iterable[str]) -> List[DnsScanRecord]:
         records: List[DnsScanRecord] = []
         with_a = with_aaaa = with_https = 0
         for domain in domains:
-            result = self.resolver.resolve(domain, ("A", "AAAA", "HTTPS", "SVCB"))
+            result = self._resolve(domain, ("A", "AAAA", "HTTPS", "SVCB"))
+            if result is None:
+                # Degraded record: the domain stays in the output with
+                # no resolutions (downstream joins simply skip it).
+                records.append(
+                    DnsScanRecord(domain=domain, source_list=list_name)
+                )
+                continue
             alpn: List[str] = []
             v4hints = []
             v6hints = []

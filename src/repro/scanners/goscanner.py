@@ -21,6 +21,7 @@ from repro.netsim.topology import Network
 from repro.observability.metrics import get_metrics
 from repro.observability.tracing import get_tracer
 from repro.scanners.results import GoscannerRecord
+from repro.scanners.retry import RetryPolicy
 from repro.server.tcp443 import LEGACY_TLS12_CIPHER
 from repro.tls.alerts import AlertError
 from repro.tls.engine import TlsClientConfig, TlsClientSession
@@ -40,6 +41,8 @@ class GoscannerConfig:
     timeout: float = 3.0
     request_path: str = "/"
     seed: object = "goscanner"
+    # Retry/backoff policy; default attempts=1 keeps baselines intact.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 class Goscanner:
@@ -65,11 +68,39 @@ class Goscanner:
         """
         self._counter = counter
 
+    # Timeout-class errors are retryable; alerts and protocol errors
+    # are definitive answers from the server.
+    _RETRYABLE_ERRORS = frozenset({"connect-timeout", "timeout"})
+
     def scan(self, address: Address, sni: Optional[str], port: int = 443) -> GoscannerRecord:
         """Scan one target; never raises — failures land in ``record.error``."""
+        self._counter += 1
+        counter = self._counter
+        policy = self._config.retry
         start = self._network.now
         with get_tracer().span("tls.handshake", target=str(address)) as span:
-            record = self._scan(address, sni, port)
+            record = self._scan(address, sni, port, self._rng.child(counter))
+            attempts = 1
+            if policy.enabled and record.error in self._RETRYABLE_ERRORS:
+                jitter_rng = self._rng.child(counter, "retry-jitter")
+                while (
+                    attempts < policy.attempts
+                    and record.error in self._RETRYABLE_ERRORS
+                ):
+                    delay = policy.backoff(attempts, jitter_rng)
+                    if not policy.within_deadline(
+                        self._network.now - start + delay
+                    ):
+                        break
+                    self._network.advance_to(self._network.now + delay)
+                    record = self._scan(
+                        address, sni, port, self._rng.child(counter, "retry", attempts)
+                    )
+                    attempts += 1
+                    self._metrics.counter("tls.retries").inc()
+                if record.error in self._RETRYABLE_ERRORS:
+                    self._metrics.counter("tls.giveups").inc()
+            record.attempts = attempts
             span.tag(outcome=self._outcome(record), sni=record.sni)
         self._observe(record, simulated_seconds=round(self._network.now - start, 9))
         return record
@@ -90,10 +121,14 @@ class Goscanner:
             metrics.counter("tls.http_responses", status=record.http_status).inc()
         self._time_histogram.observe(simulated_seconds)
 
-    def _scan(self, address: Address, sni: Optional[str], port: int = 443) -> GoscannerRecord:
+    def _scan(
+        self,
+        address: Address,
+        sni: Optional[str],
+        port: int,
+        rng: DeterministicRandom,
+    ) -> GoscannerRecord:
         record = GoscannerRecord(address=address, sni=sni)
-        self._counter += 1
-        rng = self._rng.child(self._counter)
         session = self._network.connect_tcp(self._source, address, port)
         if session is None:
             record.error = "connect-timeout"
@@ -150,6 +185,9 @@ class Goscanner:
             self._http_request(session, records, record, sni)
         except AlertError as alert:
             record.error = f"alert-{int(alert.description)}"
+        except Exception as error:  # garbled bytes from a faulty path
+            record.error = f"protocol-error:{type(error).__name__}"
+            record.success = False
         finally:
             session.close()
         return record

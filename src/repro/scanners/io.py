@@ -79,6 +79,7 @@ def dump_record(record) -> dict:
                 for e in record.alt_svc
             ],
             "error": record.error,
+            "attempts": record.attempts,
         }
     if isinstance(record, QScanRecord):
         return {
@@ -110,6 +111,7 @@ def dump_record(record) -> dict:
             "retry_seen": record.retry_seen,
             "datagrams_sent": record.datagrams_sent,
             "datagrams_received": record.datagrams_received,
+            "attempts": record.attempts,
             "resumption_supported": record.resumption_supported,
             "early_data_supported": record.early_data_supported,
         }
@@ -168,6 +170,7 @@ def load_record(obj: dict):
                 for e in obj["alt_svc"]
             ),
             error=obj["error"],
+            attempts=obj.get("attempts", 1),
         )
     if kind == "qscan":
         return QScanRecord(
@@ -198,6 +201,7 @@ def load_record(obj: dict):
             retry_seen=obj.get("retry_seen", False),
             datagrams_sent=obj.get("datagrams_sent", 0),
             datagrams_received=obj.get("datagrams_received", 0),
+            attempts=obj.get("attempts", 1),
             resumption_supported=obj.get("resumption_supported"),
             early_data_supported=obj.get("early_data_supported"),
         )

@@ -36,6 +36,7 @@ from repro.quic.errors import CRYPTO_ERROR_HANDSHAKE_FAILURE, QuicError
 from repro.quic.transport_params import TransportParameters
 from repro.quic.versions import QSCANNER_SUPPORTED, QUIC_V1, alpn_for_version
 from repro.scanners.results import QScanOutcome, QScanRecord, TargetSource
+from repro.scanners.retry import RetryPolicy
 from repro.tls.certificates import Certificate
 from repro.tls.engine import TlsClientConfig
 
@@ -74,6 +75,10 @@ class QScannerConfig:
     # connection, recording support on the scan record.
     test_resumption: bool = False
     seed: object = "qscanner"
+    # Retry/backoff policy; the default (attempts=1) never retries, so
+    # baseline campaigns are unchanged.  Timeouts are the only
+    # retryable outcome — every other class is a definitive answer.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 class QScanner:
@@ -110,9 +115,47 @@ class QScanner:
         source: TargetSource = TargetSource.ZMAP_DNS,
         port: int = 443,
     ) -> QScanRecord:
-        """Scan one target; never raises — outcomes are classified."""
+        """Scan one target; never raises — outcomes are classified.
+
+        With a retry-enabled policy, timeout outcomes are retried with
+        deterministic backoff (virtual time only) until the attempt or
+        deadline budget is spent; wire-cost tallies accumulate across
+        every attempt, matching what the target actually received.
+        """
+        self._counter += 1
+        counter = self._counter
+        policy = self._config.retry
         with get_tracer().span("quic.handshake", target=str(address)) as span:
-            record = self._scan(address, sni, source, port)
+            start = self._network.now
+            record = self._scan(address, sni, source, port, self._rng.child(counter))
+            attempts = 1
+            if policy.enabled and record.outcome is QScanOutcome.TIMEOUT:
+                jitter_rng = self._rng.child(counter, "retry-jitter")
+                while (
+                    attempts < policy.attempts
+                    and record.outcome is QScanOutcome.TIMEOUT
+                ):
+                    delay = policy.backoff(attempts, jitter_rng)
+                    if not policy.within_deadline(
+                        self._network.now - start + delay
+                    ):
+                        break
+                    self._network.advance_to(self._network.now + delay)
+                    retried = self._scan(
+                        address,
+                        sni,
+                        source,
+                        port,
+                        self._rng.child(counter, "retry", attempts),
+                    )
+                    retried.datagrams_sent += record.datagrams_sent
+                    retried.datagrams_received += record.datagrams_received
+                    record = retried
+                    attempts += 1
+                    self._metrics.counter("quic.retries").inc()
+                if record.outcome is QScanOutcome.TIMEOUT:
+                    self._metrics.counter("quic.giveups").inc()
+            record.attempts = attempts
             span.tag(
                 outcome=record.outcome.value,
                 sni=record.sni,
@@ -147,10 +190,9 @@ class QScanner:
         sni: Optional[str],
         source: TargetSource,
         port: int,
+        rng: DeterministicRandom,
     ) -> QScanRecord:
         record = QScanRecord(address=address, sni=sni, source=source)
-        self._counter += 1
-        rng = self._rng.child(self._counter)
 
         streams: Dict[int, bytes] = {}
         if self._config.http3_head_request:
@@ -196,6 +238,13 @@ class QScanner:
                 record.outcome = QScanOutcome.CRYPTO_ERROR_0X128
             else:
                 record.outcome = QScanOutcome.OTHER
+            self._record_wire_cost(record, connection)
+            return record
+        except Exception as error:  # corrupted/truncated datagrams etc.
+            # Faulty paths can hand the client undecodable bytes; the
+            # scanner classifies rather than crashing the stage.
+            record.outcome = QScanOutcome.OTHER
+            record.error_reason = f"protocol-error:{type(error).__name__}"
             self._record_wire_cost(record, connection)
             return record
 
@@ -284,7 +333,7 @@ class QScanner:
         )
         try:
             resumed = connection.connect()
-        except (VersionMismatchError, HandshakeTimeout, QuicError):
+        except Exception:  # any failure mode: resumption unsupported
             record.resumption_supported = False
             record.early_data_supported = False
             return

@@ -82,6 +82,8 @@ class GoscannerRecord:
     server_header: Optional[str] = None
     alt_svc: Tuple[AltSvcEntry, ...] = ()
     error: Optional[str] = None
+    # Connection attempts spent on this target (1 = no retries).
+    attempts: int = 1
 
 
 class QScanOutcome(str, Enum):
@@ -128,6 +130,9 @@ class QScanRecord:
     retry_seen: bool = False
     datagrams_sent: int = 0
     datagrams_received: int = 0
+    # Connection attempts spent on this target (1 = no retries); wire
+    # tallies above accumulate across every attempt.
+    attempts: int = 1
     # Extension E1 (resumption probing): None when not tested.
     resumption_supported: Optional[bool] = None
     early_data_supported: Optional[bool] = None

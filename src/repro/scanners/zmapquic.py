@@ -29,6 +29,7 @@ from repro.quic.packet import PacketDecodeError, decode_version_negotiation
 from repro.quic.versions import force_negotiation_version
 from repro.scanners.permutation import CyclicGroupPermutation
 from repro.scanners.results import ZmapQuicRecord
+from repro.scanners.retry import RetryPolicy
 
 __all__ = ["ZmapQuicScanner", "build_probe"]
 
@@ -73,6 +74,8 @@ class ZmapQuicScanner:
     # (§3.1).  None disables pacing (instantaneous sweep).
     pps: Optional[float] = None
     seed: object = "zmap-quic"
+    # Re-probe policy for unresponsive targets (default: no retries).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     last_scan_duration: float = field(default=0.0, compare=False)
 
     def scan_ipv4_space(self, space: Prefix) -> List[ZmapQuicRecord]:
@@ -119,9 +122,10 @@ class ZmapQuicScanner:
         records: List[Tuple[int, ZmapQuicRecord]] = []
         start = self.network.now
         inter_probe_gap = 1.0 / self.pps if self.pps else 0.0
+        policy = self.retry
         # The probe loop is the hottest path in the pipeline: tally into
         # locals and flush to the metrics registry once at the end.
-        probes = blocked = malformed = 0
+        probes = blocked = malformed = retries = giveups = 0
         family: Optional[int] = None
         for position, target in targets:
             if family is None:
@@ -132,8 +136,31 @@ class ZmapQuicScanner:
             probes += 1
             if inter_probe_gap:
                 self.network.advance_to(self.network.now + inter_probe_gap)
+            target_start = self.network.now
             socket.send(target, self.port, probe)
             received = socket.receive(self.timeout) if socket.pending() else None
+            if received is None and policy.enabled:
+                # Re-probe with deterministic backoff; the jitter rng is
+                # keyed by absolute walk position, so shard workers
+                # replay the serial schedule exactly.
+                jitter_rng = rng.child("retry", position)
+                for retry_index in range(1, policy.attempts):
+                    delay = policy.backoff(retry_index, jitter_rng)
+                    if not policy.within_deadline(
+                        self.network.now - target_start + delay
+                    ):
+                        break
+                    self.network.advance_to(self.network.now + delay)
+                    probes += 1
+                    retries += 1
+                    socket.send(target, self.port, probe)
+                    received = (
+                        socket.receive(self.timeout) if socket.pending() else None
+                    )
+                    if received is not None:
+                        break
+                if received is None:
+                    giveups += 1
             if received is None:
                 continue
             source, datagram = received
@@ -158,4 +185,8 @@ class ZmapQuicScanner:
             metrics.counter("zmap.quic.responses", family=family).inc(len(records))
             if malformed:
                 metrics.counter("zmap.quic.malformed", family=family).inc(malformed)
+            if retries:
+                metrics.counter("zmap.quic.retries", family=family).inc(retries)
+            if giveups:
+                metrics.counter("zmap.quic.giveups", family=family).inc(giveups)
         return records

@@ -12,6 +12,7 @@ from repro.observability.metrics import get_metrics
 from repro.crypto.rand import DeterministicRandom
 from repro.scanners.permutation import CyclicGroupPermutation
 from repro.scanners.results import SynRecord
+from repro.scanners.retry import RetryPolicy
 
 __all__ = ["ZmapTcpScanner"]
 
@@ -24,6 +25,8 @@ class ZmapTcpScanner:
     blocklist: Blocklist = field(default_factory=Blocklist)
     port: int = 443
     seed: object = "zmap-tcp"
+    # Re-probe policy for unanswered SYNs (default: no retries).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def scan_ipv4_space(self, space: Prefix) -> List[SynRecord]:
         return [record for _, record in self.scan_ipv4_space_shard(space, 0, 1)]
@@ -54,8 +57,10 @@ class ZmapTcpScanner:
         self, targets: Iterable[Tuple[int, Address]]
     ) -> List[Tuple[int, SynRecord]]:
         records: List[Tuple[int, SynRecord]] = []
+        policy = self.retry
+        retry_rng = DeterministicRandom(self.seed) if policy.enabled else None
         # Hot path: tally locally, flush once at the end.
-        probes = blocked = 0
+        probes = blocked = retries = giveups = 0
         family = None
         for position, target in targets:
             if family is None:
@@ -64,7 +69,27 @@ class ZmapTcpScanner:
                 blocked += 1
                 continue
             probes += 1
-            if self.network.syn_probe(target, self.port):
+            open_port = self.network.syn_probe(target, self.port)
+            if not open_port and policy.enabled:
+                # Re-probe with position-keyed deterministic backoff so
+                # sharded sweeps replay the serial schedule.
+                target_start = self.network.now
+                jitter_rng = retry_rng.child("retry", position)
+                for retry_index in range(1, policy.attempts):
+                    delay = policy.backoff(retry_index, jitter_rng)
+                    if not policy.within_deadline(
+                        self.network.now - target_start + delay
+                    ):
+                        break
+                    self.network.advance_to(self.network.now + delay)
+                    probes += 1
+                    retries += 1
+                    open_port = self.network.syn_probe(target, self.port)
+                    if open_port:
+                        break
+                if not open_port:
+                    giveups += 1
+            if open_port:
                 records.append(
                     (position, SynRecord(address=target, port=self.port, open=True))
                 )
@@ -73,4 +98,8 @@ class ZmapTcpScanner:
             metrics.counter("zmap.tcp.probes", family=family).inc(probes)
             metrics.counter("zmap.tcp.blocked", family=family).inc(blocked)
             metrics.counter("zmap.tcp.open", family=family).inc(len(records))
+            if retries:
+                metrics.counter("zmap.tcp.retries", family=family).inc(retries)
+            if giveups:
+                metrics.counter("zmap.tcp.giveups", family=family).inc(giveups)
         return records

@@ -307,7 +307,7 @@ def test_write_metrics_json_round_trips(serial_and_parallel, tmp_path):
     serial, _, _, _ = serial_and_parallel
     path = write_metrics_json(serial, tmp_path / "metrics.json")
     document = json.loads(path.read_text())
-    assert document["format"] == 1
+    assert document["format"] == 2
     assert document["config"]["seed"] == 3
     assert document["metrics"]["volatile"] == []
     assert not document["metrics"]["gauges"]  # volatile-only gauges dropped
