@@ -1,11 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench report artefacts interop chaos chaos-smoke clean
+.PHONY: test docs-check bench report artefacts interop chaos chaos-smoke conform fuzz-smoke clean
 
-# chaos-smoke keeps the fault-injection/degradation path exercised on
-# every `make test` run (the full suite includes tests/test_resilience.py).
-test: docs-check chaos-smoke
+# chaos-smoke keeps the fault-injection/degradation path exercised and
+# fuzz-smoke the wire-format conformance suite on every `make test`
+# run (the full suite includes tests/test_resilience.py and
+# tests/test_conformance.py; deep fuzzing runs via `pytest -m slow_fuzz`).
+test: docs-check chaos-smoke fuzz-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Validates intra-repo markdown links + module docstring presence.
@@ -20,6 +22,15 @@ chaos:
 # total stage failure).
 chaos-smoke:
 	$(PYTHON) -m repro chaos --profile flaky-edge --scale 200000 --seed 23 --retries 2
+
+# Full conformance run: golden vectors + fuzzer + differential oracle.
+conform:
+	$(PYTHON) -m repro conform --seed 9000 --iterations 20000
+
+# Bounded fixed-seed conformance smoke (vectors + fuzz, no campaign
+# replay) — cheap enough to gate every `make test`.
+fuzz-smoke:
+	$(PYTHON) -m repro conform --seed 9000 --iterations 2000 --skip-differential
 
 bench:
 	$(PYTHON) -m repro bench --output BENCH_scan.json

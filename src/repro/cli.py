@@ -18,7 +18,12 @@ Subcommands:
   ``repro.netsim.faults``) with scanner retries enabled and render the
   resilience report — stage health, faults injected, retry tallies;
   exits nonzero only when a stage failed completely (partial results
-  degrade gracefully) — see ``docs/RESILIENCE.md``.
+  degrade gracefully) — see ``docs/RESILIENCE.md``,
+- ``conform``     — run the wire-format conformance suite: RFC golden
+  vectors, the deterministic mutation fuzzer over every parser entry
+  point, and the serial-vs-parallel differential oracle; exits nonzero
+  on any vector failure, parser crash, or campaign divergence — see
+  ``docs/CONFORMANCE.md``.
 
 ``--workers N`` shards scan stages across a process pool (ZMap-style
 permutation sharding; identical output — records *and* merged metrics
@@ -241,6 +246,42 @@ def _cmd_chaos(args) -> int:
     return 1 if campaign.failed_stages() else 0
 
 
+def _cmd_conform(args) -> int:
+    from repro.conformance import (
+        build_conformance_report,
+        run_differential,
+        run_fuzz,
+        run_fuzz_sharded,
+        run_vectors,
+        write_conformance_json,
+    )
+    from repro.observability.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    vectors = run_vectors(registry)
+    if args.workers > 1:
+        fuzz = run_fuzz_sharded(args.seed, args.iterations, shards=args.workers)
+    else:
+        fuzz = run_fuzz(args.seed, args.iterations)
+    registry.merge_snapshot(fuzz.registry.snapshot())
+    differential = None
+    if not args.skip_differential:
+        differential = run_differential(
+            seed=args.seed,
+            scale_addresses=args.diff_scale,
+            workers=args.diff_workers,
+        )
+    print(build_conformance_report(vectors, fuzz, differential, workers=args.workers))
+    if args.metrics_out:
+        path = write_conformance_json(
+            args.metrics_out, vectors, fuzz, differential, registry, workers=args.workers
+        )
+        print(f"\nwrote {path}")
+    from repro.conformance import conformance_ok
+
+    return 0 if conformance_ok(vectors, fuzz, differential) else 1
+
+
 def _cmd_bench(args) -> int:
     from pathlib import Path
 
@@ -378,6 +419,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--metrics-out", default=None, help="also write metrics.json to this path"
     )
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    conform_parser = subparsers.add_parser(
+        "conform",
+        help="run golden vectors, the deterministic fuzzer and the differential oracle",
+    )
+    conform_parser.add_argument(
+        "--seed", type=int, default=9000, help="fuzzer/differential seed (default 9000)"
+    )
+    conform_parser.add_argument(
+        "--iterations", type=int, default=2000, help="fuzz iterations (default 2000)"
+    )
+    conform_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fuzz shards; output is identical to a serial run (default 1)",
+    )
+    conform_parser.add_argument(
+        "--metrics-out", default=None, help="write the conformance JSON document here"
+    )
+    conform_parser.add_argument(
+        "--skip-differential",
+        action="store_true",
+        help="skip the serial-vs-parallel campaign replay (vectors + fuzz only)",
+    )
+    conform_parser.add_argument(
+        "--diff-scale",
+        type=int,
+        default=100_000,
+        help="differential world-scale divisor (default 100000)",
+    )
+    conform_parser.add_argument(
+        "--diff-workers",
+        type=int,
+        default=2,
+        help="worker count for the parallel side of the differential (default 2)",
+    )
+    conform_parser.set_defaults(func=_cmd_conform)
 
     args = parser.parse_args(argv)
     return args.func(args)

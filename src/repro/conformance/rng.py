@@ -1,0 +1,69 @@
+"""Seeded xorshift RNG for the deterministic fuzz harness.
+
+The fuzzer must reproduce a failure from ``(seed, iteration)`` alone —
+on any platform, any worker count, any Python version — so it cannot
+use :mod:`random` (whose Mersenne Twister stream is shared global
+state) and must derive every iteration's stream independently.  An
+xorshift64* generator is 20 lines, passes the statistical bar a
+mutation fuzzer needs, and splits cleanly: ``XorShift64.for_iteration``
+mixes the campaign seed and the iteration index through a SplitMix64
+finalizer, so iteration *i* produces the same mutations whether it ran
+serially or as part of any shard partition (the property the
+``--workers N`` conformance merge relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+__all__ = ["XorShift64"]
+
+_MASK = (1 << 64) - 1
+
+T = TypeVar("T")
+
+
+def _splitmix64(value: int) -> int:
+    """SplitMix64 finalizer: a cheap, well-mixed 64-bit hash."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK
+    return value ^ (value >> 31)
+
+
+class XorShift64:
+    """xorshift64* with SplitMix64 seeding (never a zero state)."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int):
+        self.state = _splitmix64(seed & _MASK) or 0x2545F4914F6CDD1D
+
+    @classmethod
+    def for_iteration(cls, seed: int, iteration: int) -> "XorShift64":
+        """The stream for one fuzz iteration, independent of sharding."""
+        return cls(_splitmix64(seed & _MASK) ^ _splitmix64((iteration + 1) & _MASK))
+
+    def next_u64(self) -> int:
+        x = self.state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK
+        x ^= (x >> 27)
+        self.state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK
+
+    def below(self, bound: int) -> int:
+        """A uniform-enough integer in ``[0, bound)``; bound >= 1."""
+        return self.next_u64() % bound
+
+    def chance(self, numerator: int, denominator: int) -> bool:
+        return self.below(denominator) < numerator
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return seq[self.below(len(seq))]
+
+    def bytes(self, count: int) -> bytes:
+        out = bytearray()
+        while len(out) < count:
+            out += self.next_u64().to_bytes(8, "big")
+        return bytes(out[:count])

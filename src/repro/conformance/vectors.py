@@ -1,0 +1,579 @@
+"""Golden wire-format vectors: the encode/decode ground truth.
+
+Every vector pins one encoder or decoder to bytes taken from a
+published specification — RFC 9001 Appendix A (Initial AEAD, Retry
+integrity tag, ChaCha20-Poly1305 short header), RFC 9000 Appendix A
+(varints) and §18 (transport parameters, re-keyed from the A.2
+ClientHello), RFC 7838 (Alt-Svc), RFC 9204 (QPACK), and the SVCB/HTTPS
+draft — or to a regression input a fuzzing run once surfaced.  The
+registry asserts both directions: encoding produces *exactly* those
+bytes, and decoding those bytes recovers *exactly* those values.
+
+A vector is a named zero-argument callable that raises
+``AssertionError`` (or any exception) on mismatch; :func:`run_vectors`
+executes the whole corpus, feeds ``conform.vectors_ok`` /
+``conform.vectors_fail`` into a :class:`MetricsRegistry`, and returns
+the failures.  ``repro conform`` and ``tests/test_conformance.py``
+both run the same corpus, so the CLI report can never pass while the
+test suite fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["GoldenVector", "VectorResult", "VECTORS", "run_vectors"]
+
+
+@dataclass(frozen=True)
+class GoldenVector:
+    """One pinned encode/decode assertion."""
+
+    name: str
+    group: str  # varint | quic-initial | packet | tparams | frames | ...
+    check: Callable[[], None]  # raises on mismatch
+
+
+@dataclass(frozen=True)
+class VectorResult:
+    name: str
+    group: str
+    error: Optional[str]  # None == passed
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _eq(actual, expected, what: str) -> None:
+    assert actual == expected, f"{what}: {actual!r} != {expected!r}"
+
+
+# ---------------------------------------------------------------------------
+# RFC 9000 Appendix A.1 — varints
+# ---------------------------------------------------------------------------
+
+# (canonical encoding hex, value)
+_VARINT_VECTORS: Tuple[Tuple[str, int], ...] = (
+    ("c2197c5eff14e88c", 151_288_809_941_952_652),
+    ("9d7f3e7d", 494_878_333),
+    ("7bbd", 15_293),
+    ("25", 37),
+)
+
+
+def _check_varint(hex_text: str, value: int) -> None:
+    from repro.quic.varint import decode_varint, encode_varint
+
+    wire = bytes.fromhex(hex_text)
+    _eq(decode_varint(wire, 0), (value, len(wire)), f"decode_varint({hex_text})")
+    _eq(encode_varint(value).hex(), hex_text, f"encode_varint({value})")
+
+
+# ---------------------------------------------------------------------------
+# RFC 9001 Appendix A — Initial AEAD, Retry, ChaCha20-Poly1305
+# ---------------------------------------------------------------------------
+
+_A_DCID = bytes.fromhex("8394c8f03e515708")
+_A_SCID = bytes.fromhex("f067a5502a4262b5")
+
+# The CRYPTO frame carrying the A.2 ClientHello (frame header included).
+_A2_CRYPTO_FRAME = bytes.fromhex(
+    "060040f1010000ed0303ebf8fa56f12939b9584a3896472ec40bb863cfd3e868"
+    "04fe3a47f06a2b69484c00000413011302010000c000000010000e00000b6578"
+    "616d706c652e636f6dff01000100000a00080006001d00170018001000070005"
+    "04616c706e000500050100000000003300260024001d00209370b2c9caa47fba"
+    "baf4559fedba753de171fa71f50f1ce15d43e994ec74d748002b000302030400"
+    "0d0010000e0403050306030203080408050806002d00020101001c0002400100"
+    "3900320408ffffffffffffffff05048000ffff07048000ffff08011001048000"
+    "75300901100f088394c8f03e5157080604"
+    "8000ffff"
+)
+
+
+def _initial_protection(direction):
+    from repro.quic.protection import ProtectionKeys
+
+    aead = direction.aead()
+    return ProtectionKeys(
+        seal=aead.seal, open=aead.open, iv=direction.iv, header_mask=direction.header_mask
+    )
+
+
+def _check_a1_key_schedule() -> None:
+    from repro.quic.initial_aead import derive_initial_keys
+
+    keys = derive_initial_keys(_A_DCID, 1)
+    _eq(keys.client.key.hex(), "1f369613dd76d5467730efcbe3b1a22d", "client key")
+    _eq(keys.client.iv.hex(), "fa044b2f42a3fd3b46fb255c", "client iv")
+    _eq(keys.client.hp.hex(), "9f50449e04a0e810283a1e9933adedd2", "client hp")
+    _eq(keys.server.key.hex(), "cf3a5331653c364c88f0f379b6067e37", "server key")
+    _eq(keys.server.iv.hex(), "0ac1493ca1905853b0bba03e", "server iv")
+    _eq(keys.server.hp.hex(), "c206b8d9b9f0f37644430b490eeaa314", "server hp")
+
+
+def _check_a2_client_initial() -> None:
+    from repro.quic.initial_aead import derive_initial_keys
+    from repro.quic.packet import PacketType
+    from repro.quic.protection import protect_long, unprotect
+
+    keys = _initial_protection(derive_initial_keys(_A_DCID, 1).client)
+    payload = _A2_CRYPTO_FRAME + bytes(1162 - len(_A2_CRYPTO_FRAME))
+    packet = protect_long(keys, PacketType.INITIAL, 1, _A_DCID, b"", 2, payload, pn_length=4)
+    _eq(len(packet), 1200, "A.2 packet length")
+    _eq(
+        packet[:64].hex(),
+        "c000000001088394c8f03e5157080000449e7b9aec34d1b1c98dd7689fb8ec11"
+        "d242b123dc9bd8bab936b47d92ec356c0bab7df5976d27cd449f63300099f399",
+        "A.2 protected prefix",
+    )
+    _eq(packet[-16:].hex(), "e221af44860018ab0856972e194cd934", "A.2 protected suffix")
+    plain = unprotect(packet, 0, keys)
+    _eq(plain.packet_number, 2, "A.2 packet number")
+    _eq(plain.payload, payload, "A.2 unprotected payload")
+    _eq(plain.packet_type, PacketType.INITIAL, "A.2 packet type")
+
+
+def _check_a3_server_initial() -> None:
+    from repro.quic.initial_aead import derive_initial_keys
+    from repro.quic.packet import PacketType
+    from repro.quic.protection import protect_long
+
+    keys = _initial_protection(derive_initial_keys(_A_DCID, 1).server)
+    payload = bytes.fromhex(
+        "02000000000600405a020000560303eefce7f7b37ba1d1632e96677825ddf739"
+        "88cfc79825df566dc5430b9a045a1200130100002e00330024001d00209d3c94"
+        "0d89690b84d08a60993c144eca684d1081287c834d5311bcf32bb9da1a002b00"
+        "020304"
+    )
+    packet = protect_long(
+        keys, PacketType.INITIAL, 1, b"", _A_SCID, 1, payload, pn_length=2
+    )
+    assert packet.hex().startswith(
+        "cf000000010008f067a5502a4262b5004075c0d95a482cd0991cd25b0aac406a"
+    ), f"A.3 protected prefix mismatch: {packet[:32].hex()}"
+
+
+_A4_RETRY_HEX = (
+    "ff000000010008f067a5502a4262b5746f6b656e04a265ba2eff4d829058fb3f0f2496ba"
+)
+
+
+def _check_a4_retry() -> None:
+    from repro.quic.packet import PacketDecodeError
+    from repro.quic.retry import decode_retry, encode_retry
+
+    packet = encode_retry(1, b"", _A_SCID, b"token", _A_DCID, first_byte_entropy=0x0F)
+    _eq(packet.hex(), _A4_RETRY_HEX, "A.4 Retry packet")
+    parsed = decode_retry(packet, original_dcid=_A_DCID)
+    _eq(parsed.version, 1, "A.4 version")
+    _eq(parsed.scid, _A_SCID, "A.4 SCID")
+    _eq(parsed.token, b"token", "A.4 token")
+    tampered = packet[:-1] + bytes([packet[-1] ^ 0x01])
+    try:
+        decode_retry(tampered, original_dcid=_A_DCID)
+    except PacketDecodeError:
+        pass
+    else:
+        raise AssertionError("tampered Retry integrity tag was accepted")
+
+
+def _check_a5_chacha_short_header() -> None:
+    from repro.crypto.aead import header_mask_chacha
+    from repro.crypto.chacha import ChaCha20Poly1305
+    from repro.quic.protection import ProtectionKeys, protect_short, unprotect
+
+    key = bytes.fromhex(
+        "c6d98ff3441c3fe1b2182094f69caa2ed4b716b65488960a7a984979fb23e1c8"
+    )
+    hp = bytes.fromhex(
+        "25a282b9e82f06f21f488917a4fc8f1b73573685608597d0efcb076b0ab7a7a4"
+    )
+    aead = ChaCha20Poly1305(key)
+    keys = ProtectionKeys(
+        seal=aead.seal,
+        open=aead.open,
+        iv=bytes.fromhex("e0459b3474bdd0e44a41c144"),
+        header_mask=lambda sample: header_mask_chacha(hp, sample),
+    )
+    packet = protect_short(keys, b"", 654_360_564, b"\x01", pn_length=3)
+    _eq(packet.hex(), "4cfe4189655e5cd55c41f69080575d7999c25a5bfb", "A.5 packet")
+    plain = unprotect(packet, 0, keys, largest_pn=654_360_563, short_header_dcid_length=0)
+    _eq(plain.packet_number, 654_360_564, "A.5 packet number")
+    _eq(plain.payload, b"\x01", "A.5 payload")
+
+
+# ---------------------------------------------------------------------------
+# Packet headers (RFC 9000 §17)
+# ---------------------------------------------------------------------------
+
+_VN_HEX = "aa00000000088394c8f03e51570808f067a5502a4262b500000001ff00001d"
+
+
+def _check_version_negotiation() -> None:
+    from repro.quic.packet import decode_version_negotiation, encode_version_negotiation
+
+    packet = encode_version_negotiation(
+        _A_DCID, _A_SCID, [1, 0xFF00001D], first_byte_entropy=0x2A
+    )
+    _eq(packet.hex(), _VN_HEX, "VN packet")
+    parsed = decode_version_negotiation(packet)
+    _eq(parsed.dcid, _A_DCID, "VN DCID")
+    _eq(parsed.scid, _A_SCID, "VN SCID")
+    _eq(parsed.supported_versions, [1, 0xFF00001D], "VN versions")
+
+
+def _check_long_header() -> None:
+    from repro.quic.packet import PacketType, decode_long_header, encode_long_header
+
+    # The unprotected A.2 client Initial header (RFC 9001 A.2).
+    header, pn_offset = encode_long_header(
+        PacketType.INITIAL, 1, _A_DCID, b"", 2, 1178, token=b"", packet_number_length=4
+    )
+    _eq(header.hex(), "c300000001088394c8f03e5157080000449e00000002", "A.2 header")
+    _eq(pn_offset, 18, "A.2 pn offset")
+    parsed = decode_long_header(header)
+    _eq(parsed.packet_type, PacketType.INITIAL, "long header type")
+    _eq(parsed.dcid, _A_DCID, "long header DCID")
+    _eq(parsed.payload_length, 1182, "long header length field")
+    _eq(parsed.header_offset, 18, "long header pn offset")
+
+
+# ---------------------------------------------------------------------------
+# Transport parameters (RFC 9000 §18, values from the A.2 ClientHello)
+# ---------------------------------------------------------------------------
+
+# The quic_transport_parameters extension body of the A.2 ClientHello.
+_A2_TPARAMS_HEX = (
+    "0408ffffffffffffffff05048000ffff07048000ffff080110"
+    "0104800075300901100f088394c8f03e51570806048000ffff"
+)
+
+# The same parameters re-encoded by this repository (ascending IDs,
+# minimal varints) — the canonical form `TransportParameters.encode`
+# must keep producing.
+_A2_TPARAMS_CANONICAL_HEX = (
+    "0104800075300408ffffffffffffffff05048000ffff06048000ffff"
+    "07048000ffff0801100901100f088394c8f03e515708"
+)
+
+
+def _check_transport_params() -> None:
+    from repro.quic.transport_params import TransportParameters
+
+    params = TransportParameters.decode(bytes.fromhex(_A2_TPARAMS_HEX))
+    _eq(params.initial_max_data, (1 << 62) - 1, "initial_max_data")
+    _eq(params.initial_max_stream_data_bidi_local, 65535, "bidi_local")
+    _eq(params.initial_max_stream_data_bidi_remote, 65535, "bidi_remote")
+    _eq(params.initial_max_stream_data_uni, 65535, "uni")
+    _eq(params.initial_max_streams_bidi, 16, "max_streams_bidi")
+    _eq(params.initial_max_streams_uni, 16, "max_streams_uni")
+    _eq(params.max_idle_timeout, 30000, "max_idle_timeout")
+    _eq(params.initial_source_connection_id, _A_DCID, "initial_scid")
+    _eq(params.encode().hex(), _A2_TPARAMS_CANONICAL_HEX, "canonical re-encoding")
+    _eq(TransportParameters.decode(params.encode()), params, "re-decode")
+
+
+# ---------------------------------------------------------------------------
+# QUIC frames (RFC 9000 §19)
+# ---------------------------------------------------------------------------
+
+_FRAMES_HEX = "0102632800000906000268691c41280000"
+
+
+def _check_frames() -> None:
+    from repro.quic.frames import (
+        AckFrame,
+        ConnectionCloseFrame,
+        CryptoFrame,
+        PingFrame,
+        decode_frames,
+        encode_frames,
+    )
+
+    frames = [
+        PingFrame(),
+        AckFrame(largest_acknowledged=9000, ack_delay=0, ranges=[(8991, 9000)]),
+        CryptoFrame(offset=0, data=b"hi"),
+        ConnectionCloseFrame(error_code=0x128, frame_type=0, reason=""),
+    ]
+    _eq(encode_frames(frames).hex(), _FRAMES_HEX, "frame encoding")
+    _eq(decode_frames(bytes.fromhex(_FRAMES_HEX)), frames, "frame decoding")
+
+
+# ---------------------------------------------------------------------------
+# Alt-Svc (RFC 7838)
+# ---------------------------------------------------------------------------
+
+
+def _check_altsvc() -> None:
+    from repro.http.altsvc import AltSvcEntry, format_alt_svc, h3_alpn_tokens, parse_alt_svc
+
+    header = 'h3-29=":443"; ma=86400, h3-27=":443"'
+    entries = parse_alt_svc(header)
+    _eq(
+        entries,
+        [
+            AltSvcEntry(alpn="h3-29", host="", port=443, max_age=86400),
+            AltSvcEntry(alpn="h3-27", host="", port=443, max_age=None),
+        ],
+        "Alt-Svc parse",
+    )
+    _eq(h3_alpn_tokens(entries), ["h3-29", "h3-27"], "h3 tokens")
+    _eq(format_alt_svc(entries), header, "Alt-Svc format")
+    _eq(parse_alt_svc(format_alt_svc(entries)), entries, "Alt-Svc round-trip")
+    _eq(parse_alt_svc("clear"), [], "Alt-Svc clear")
+    _eq(parse_alt_svc('h3%2D29=":443"')[0].alpn, "h3-29", "percent decoding")
+
+
+# ---------------------------------------------------------------------------
+# DNS names and HTTPS/SVCB RRs (draft-ietf-dnsop-svcb-https)
+# ---------------------------------------------------------------------------
+
+_DNS_NAME_HEX = "03777777076578616d706c6503636f6d00"
+_HTTPS_RDATA_HEX = "000100000100060268330268320003000201bb00040004c0000201"
+
+
+def _check_dns_name() -> None:
+    from repro.dns.records import decode_dns_name, encode_dns_name
+
+    _eq(encode_dns_name("www.example.com").hex(), _DNS_NAME_HEX, "name encoding")
+    _eq(
+        decode_dns_name(bytes.fromhex(_DNS_NAME_HEX)),
+        ("www.example.com", len(_DNS_NAME_HEX) // 2),
+        "name decoding",
+    )
+    _eq(encode_dns_name("."), b"\x00", "root encoding")
+    _eq(decode_dns_name(b"\x00"), (".", 1), "root decoding")
+
+
+def _check_https_rr() -> None:
+    from repro.dns.records import HttpsRecord, SvcParams
+    from repro.netsim.addresses import IPv4Address
+
+    record = HttpsRecord(
+        name="example.com",
+        priority=1,
+        target=".",
+        params=SvcParams(
+            alpn=("h3", "h2"), port=443, ipv4hint=(IPv4Address(0xC0000201),)
+        ),
+    )
+    _eq(record.encode_rdata().hex(), _HTTPS_RDATA_HEX, "HTTPS RDATA encoding")
+    parsed = HttpsRecord.decode_rdata("example.com", bytes.fromhex(_HTTPS_RDATA_HEX))
+    _eq(parsed, record, "HTTPS RDATA decoding")
+    assert not parsed.is_alias, "priority 1 is ServiceMode"
+    alias = HttpsRecord.decode_rdata(
+        "example.com", bytes([0, 0]) + bytes.fromhex("05616c696173076578616d706c6503636f6d00")
+    )
+    assert alias.is_alias and alias.target == "alias.example.com", "AliasMode record"
+
+
+# ---------------------------------------------------------------------------
+# QPACK (RFC 9204, static table + literals)
+# ---------------------------------------------------------------------------
+
+def _check_qpack() -> None:
+    from repro.http.qpack import decode_header_block, encode_header_block
+
+    headers = [
+        (":method", "GET"),      # static index 17 -> indexed field line
+        (":path", "/"),          # static index 1  -> indexed field line
+        ("x-quic", "9000"),      # literal name + literal value
+        ("age", "600"),          # static name reference + literal value
+    ]
+    expected_hex = "0000d1c126782d7175696304393030305203363030"
+    _eq(encode_header_block(headers).hex(), expected_hex, "QPACK encoding")
+    _eq(decode_header_block(bytes.fromhex(expected_hex)), headers, "QPACK decoding")
+
+
+# ---------------------------------------------------------------------------
+# TLS handshake messages and records (RFC 8446)
+# ---------------------------------------------------------------------------
+
+
+def _check_client_hello() -> None:
+    from repro.tls.messages import ClientHello, HandshakeType, iter_messages
+
+    framed = _A2_CRYPTO_FRAME[4:]  # strip the CRYPTO frame header (06 00 40f1)
+    messages = list(iter_messages(framed))
+    _eq(len(messages), 1, "one handshake message")
+    msg_type, body, raw = messages[0]
+    _eq(msg_type, HandshakeType.CLIENT_HELLO, "message type")
+    hello = ClientHello.decode(body)
+    _eq(
+        hello.random.hex(),
+        "ebf8fa56f12939b9584a3896472ec40bb863cfd3e86804fe3a47f06a2b69484c",
+        "ClientHello random",
+    )
+    _eq(hello.cipher_suites, [0x1301, 0x1302], "cipher suites")
+    _eq(hello.encode(), raw, "ClientHello re-encoding")
+
+
+def _check_tls_alert_record() -> None:
+    from repro.tls.alerts import AlertDescription, AlertError
+    from repro.tls.record import RecordLayer, encode_alert
+
+    wire = encode_alert(AlertDescription.HANDSHAKE_FAILURE)
+    _eq(wire.hex(), "15030300020228", "alert record encoding")
+    try:
+        RecordLayer().unwrap(wire)
+    except AlertError as error:
+        _eq(error.description, AlertDescription.HANDSHAKE_FAILURE, "alert description")
+        assert error.remote, "alert flagged remote"
+    else:
+        raise AssertionError("fatal alert did not raise AlertError")
+
+
+# ---------------------------------------------------------------------------
+# Regression vectors — inputs that once crashed a parser with an
+# unclassified exception before the decoders were hardened to raise
+# typed protocol errors.  Each pins the *typed* rejection.
+# ---------------------------------------------------------------------------
+
+
+def _expect_reject(parse: Callable[[], object], exc_type: type, what: str) -> None:
+    try:
+        parse()
+    except exc_type:
+        return
+    except Exception as error:  # pragma: no cover - the failure detail
+        raise AssertionError(
+            f"{what}: raised {type(error).__name__} instead of {exc_type.__name__}"
+        ) from error
+    raise AssertionError(f"{what}: accepted malformed input")
+
+
+def _check_regressions() -> None:
+    from repro.dns.records import DnsWireError, HttpsRecord, decode_dns_name
+    from repro.http.qpack import QpackError, decode_header_block
+    from repro.quic.frames import FrameDecodeError, decode_frames
+    from repro.quic.packet import PacketDecodeError, decode_short_header
+    from repro.quic.transport_params import TransportParameterError, TransportParameters
+    from repro.tls.alerts import AlertError
+    from repro.tls.messages import ClientHello, MessageDecodeError
+    from repro.tls.record import RecordLayer
+
+    # ACK frame whose first range underflows below packet number 0.
+    _expect_reject(
+        lambda: decode_frames(bytes.fromhex("020500000a")),
+        FrameDecodeError,
+        "ACK range underflow",
+    )
+    # Non-minimal varint encoding of frame type 0 (found by the fuzzer:
+    # it decoded as a second PADDING frame that coalesced with its
+    # neighbour on re-encode, breaking the round-trip oracle).
+    _expect_reject(
+        lambda: decode_frames(bytes.fromhex("014000")),
+        FrameDecodeError,
+        "non-minimal frame type",
+    )
+    # QPACK prefixed integer with unbounded continuation bytes.
+    _expect_reject(
+        lambda: decode_header_block(bytes.fromhex("0000ff" + "80" * 10 + "01")),
+        QpackError,
+        "QPACK integer overflow",
+    )
+    # Truncated QPACK string literal.
+    _expect_reject(
+        lambda: decode_header_block(bytes.fromhex("00005203")),
+        QpackError,
+        "QPACK truncated string",
+    )
+    # DNS label with the compression-pointer prefix inside RDATA.
+    _expect_reject(
+        lambda: decode_dns_name(bytes.fromhex("c00c")),
+        DnsWireError,
+        "DNS compression pointer",
+    )
+    # SVCB port SvcParam with the wrong length.
+    _expect_reject(
+        lambda: HttpsRecord.decode_rdata("x", bytes.fromhex("000100000300012a")),
+        DnsWireError,
+        "SVCB bad port length",
+    )
+    # Transport parameter whose declared length exceeds the payload.
+    _expect_reject(
+        lambda: TransportParameters.decode(bytes.fromhex("01020f")),
+        TransportParameterError,
+        "transport parameter truncation",
+    )
+    # ClientHello cut inside the random field.
+    _expect_reject(
+        lambda: ClientHello.decode(bytes.fromhex("0303ebf8fa56")),
+        MessageDecodeError,
+        "ClientHello truncated random",
+    )
+    # Short header too small to carry a connection ID.
+    _expect_reject(
+        lambda: decode_short_header(bytes.fromhex("4100"), 8),
+        PacketDecodeError,
+        "short header underrun",
+    )
+    # Fatal alert with a code outside the AlertDescription registry
+    # (used to raise a bare ValueError from the enum constructor).
+    try:
+        RecordLayer().unwrap(bytes.fromhex("1503030002 02aa".replace(" ", "")))
+    except AlertError as error:
+        _eq(int(error.description), 0xAA, "unknown alert code carried as int")
+    else:
+        raise AssertionError("unknown fatal alert was not raised")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def _varint_vector(hex_text: str, value: int) -> GoldenVector:
+    return GoldenVector(
+        name=f"varint-{hex_text}",
+        group="varint",
+        check=lambda: _check_varint(hex_text, value),
+    )
+
+
+VECTORS: Tuple[GoldenVector, ...] = tuple(
+    [_varint_vector(h, v) for h, v in _VARINT_VECTORS]
+    + [
+        GoldenVector("rfc9001-a1-key-schedule", "quic-initial", _check_a1_key_schedule),
+        GoldenVector("rfc9001-a2-client-initial", "quic-initial", _check_a2_client_initial),
+        GoldenVector("rfc9001-a3-server-initial", "quic-initial", _check_a3_server_initial),
+        GoldenVector("rfc9001-a4-retry", "quic-initial", _check_a4_retry),
+        GoldenVector("rfc9001-a5-chacha20", "quic-initial", _check_a5_chacha_short_header),
+        GoldenVector("version-negotiation", "packet", _check_version_negotiation),
+        GoldenVector("long-header-a2", "packet", _check_long_header),
+        GoldenVector("transport-params-a2", "tparams", _check_transport_params),
+        GoldenVector("frames-mixed", "frames", _check_frames),
+        GoldenVector("alt-svc-rfc7838", "altsvc", _check_altsvc),
+        GoldenVector("dns-name", "dns", _check_dns_name),
+        GoldenVector("https-rr", "dns", _check_https_rr),
+        GoldenVector("qpack-static-and-literal", "qpack", _check_qpack),
+        GoldenVector("tls-client-hello-a2", "tls", _check_client_hello),
+        GoldenVector("tls-alert-record", "tls", _check_tls_alert_record),
+        GoldenVector("regression-typed-rejects", "regression", _check_regressions),
+    ]
+)
+
+
+def run_vectors(registry=None) -> List[VectorResult]:
+    """Run the whole corpus; returns one result per vector.
+
+    When ``registry`` is given, ``conform.vectors_ok`` counts passing
+    vectors and ``conform.vectors_fail{group=...}`` the failures.
+    """
+    results: List[VectorResult] = []
+    for vector in VECTORS:
+        try:
+            vector.check()
+        except Exception as error:
+            detail = f"{type(error).__name__}: {error}"
+            results.append(VectorResult(vector.name, vector.group, detail))
+            if registry is not None:
+                registry.counter("conform.vectors_fail", group=vector.group).inc()
+        else:
+            results.append(VectorResult(vector.name, vector.group, None))
+            if registry is not None:
+                registry.counter("conform.vectors_ok").inc()
+    return results

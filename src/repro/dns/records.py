@@ -20,9 +20,14 @@ __all__ = [
     "SvcParams",
     "SvcbRecord",
     "HttpsRecord",
+    "DnsWireError",
     "encode_dns_name",
     "decode_dns_name",
 ]
+
+
+class DnsWireError(ValueError):
+    """Raised when DNS wire data (names, SVCB/HTTPS RDATA) is malformed."""
 
 # SvcParamKey registry values from the draft.
 _KEY_ALPN = 1
@@ -46,11 +51,28 @@ def encode_dns_name(name: str) -> bytes:
 def decode_dns_name(data: bytes, offset: int = 0) -> Tuple[str, int]:
     labels = []
     while True:
+        if offset >= len(data):
+            raise DnsWireError("truncated DNS name")
         length = data[offset]
         offset += 1
         if length == 0:
             break
-        labels.append(data[offset : offset + length].decode())
+        if length > 63:
+            # 0xC0.. compression pointers (and the reserved 0x40/0x80
+            # prefixes) are not valid inside RDATA target names.
+            raise DnsWireError(f"unsupported DNS label length {length}")
+        raw = data[offset : offset + length]
+        if len(raw) < length:
+            raise DnsWireError("truncated DNS label")
+        try:
+            label = raw.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise DnsWireError("non-ASCII bytes in DNS label") from exc
+        if "." in label:
+            # A dot inside a label would make the presentation form
+            # ambiguous (re-encoding would split it into two labels).
+            raise DnsWireError("DNS label contains a dot")
+        labels.append(label)
         offset += length
     return ".".join(labels) or ".", offset
 
@@ -110,27 +132,43 @@ class SvcParams:
         v6: List[IPv6Address] = []
         previous_key = -1
         while offset < len(data):
+            if offset + 4 > len(data):
+                raise DnsWireError("truncated SvcParam header")
             key = int.from_bytes(data[offset : offset + 2], "big")
             if key <= previous_key:
-                raise ValueError("SvcParams not in ascending key order")
+                raise DnsWireError("SvcParams not in ascending key order")
             previous_key = key
             length = int.from_bytes(data[offset + 2 : offset + 4], "big")
             value = data[offset + 4 : offset + 4 + length]
+            if len(value) < length:
+                raise DnsWireError("truncated SvcParam value")
             offset += 4 + length
             if key == _KEY_ALPN:
                 pos = 0
                 while pos < len(value):
                     alen = value[pos]
-                    alpn.append(value[pos + 1 : pos + 1 + alen].decode())
+                    entry = value[pos + 1 : pos + 1 + alen]
+                    if len(entry) < alen:
+                        raise DnsWireError("truncated alpn SvcParam entry")
+                    try:
+                        alpn.append(entry.decode("ascii"))
+                    except UnicodeDecodeError as exc:
+                        raise DnsWireError("non-ASCII alpn token") from exc
                     pos += 1 + alen
             elif key == _KEY_PORT:
+                if length != 2:
+                    raise DnsWireError("port SvcParam must be 2 bytes")
                 port = int.from_bytes(value, "big")
             elif key == _KEY_IPV4HINT:
+                if length == 0 or length % 4:
+                    raise DnsWireError("ipv4hint SvcParam must be a multiple of 4 bytes")
                 v4.extend(
                     IPv4Address(int.from_bytes(value[i : i + 4], "big"))
                     for i in range(0, len(value), 4)
                 )
             elif key == _KEY_IPV6HINT:
+                if length == 0 or length % 16:
+                    raise DnsWireError("ipv6hint SvcParam must be a multiple of 16 bytes")
                 v6.extend(
                     IPv6Address(int.from_bytes(value[i : i + 16], "big"))
                     for i in range(0, len(value), 16)
@@ -159,6 +197,8 @@ class SvcbRecord:
 
     @classmethod
     def decode_rdata(cls, name: str, data: bytes) -> "SvcbRecord":
+        if len(data) < 2:
+            raise DnsWireError("SVCB RDATA shorter than the priority field")
         priority = int.from_bytes(data[0:2], "big")
         target, offset = decode_dns_name(data, 2)
         params = SvcParams.decode(data[offset:])

@@ -30,11 +30,17 @@ def _percent_decode(token: str) -> str:
     i = 0
     while i < len(token):
         if token[i] == "%" and i + 2 < len(token):
-            out.append(chr(int(token[i + 1 : i + 3], 16)))
-            i += 3
-        else:
-            out.append(token[i])
-            i += 1
+            # A malformed escape (non-hex digits) is kept literally
+            # rather than rejecting the whole header: scanners see
+            # plenty of sloppy Alt-Svc values in the wild.
+            try:
+                out.append(chr(int(token[i + 1 : i + 3], 16)))
+                i += 3
+                continue
+            except ValueError:
+                pass
+        out.append(token[i])
+        i += 1
     return "".join(out)
 
 

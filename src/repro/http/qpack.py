@@ -72,6 +72,8 @@ def _encode_prefixed_int(value: int, prefix_bits: int, first_byte_flags: int) ->
 
 def _decode_prefixed_int(data: bytes, offset: int, prefix_bits: int) -> Tuple[int, int]:
     limit = (1 << prefix_bits) - 1
+    if offset >= len(data):
+        raise QpackError("truncated prefixed integer")
     value = data[offset] & limit
     offset += 1
     if value < limit:
@@ -84,6 +86,8 @@ def _decode_prefixed_int(data: bytes, offset: int, prefix_bits: int) -> Tuple[in
         offset += 1
         value += (byte & 0x7F) << shift
         shift += 7
+        if shift > 62:  # QPACK integers must stay in a sane range
+            raise QpackError("prefixed integer overflow")
         if not byte & 0x80:
             return value, offset
 
@@ -94,6 +98,8 @@ def _encode_string(text: str) -> bytes:
 
 
 def _decode_string(data: bytes, offset: int, prefix_bits: int) -> Tuple[str, int]:
+    if offset >= len(data):
+        raise QpackError("truncated string literal")
     huffman = bool(data[offset] & (1 << prefix_bits))
     length, offset = _decode_prefixed_int(data, offset, prefix_bits)
     if huffman:
@@ -101,7 +107,10 @@ def _decode_string(data: bytes, offset: int, prefix_bits: int) -> Tuple[str, int
     raw = data[offset : offset + length]
     if len(raw) < length:
         raise QpackError("truncated string literal")
-    return raw.decode(), offset + length
+    try:
+        return raw.decode(), offset + length
+    except UnicodeDecodeError as exc:
+        raise QpackError("string literal is not valid UTF-8") from exc
 
 
 def encode_header_block(headers: List[Tuple[str, str]]) -> bytes:
@@ -151,8 +160,16 @@ def decode_header_block(data: bytes) -> List[Tuple[str, str]]:
             value, offset = _decode_string(data, offset, 7)
             headers.append((STATIC_TABLE[index][0], value))
         elif first & 0x20:  # Literal With Literal Name
+            if first & 0x08:
+                raise QpackError("Huffman-coded strings not supported")
             name_length, offset = _decode_prefixed_int(data, offset, 3)
-            name = data[offset : offset + name_length].decode()
+            raw_name = data[offset : offset + name_length]
+            if len(raw_name) < name_length:
+                raise QpackError("truncated literal name")
+            try:
+                name = raw_name.decode()
+            except UnicodeDecodeError as exc:
+                raise QpackError("literal name is not valid UTF-8") from exc
             offset += name_length
             value, offset = _decode_string(data, offset, 7)
             headers.append((name, value))

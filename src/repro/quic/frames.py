@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
-from repro.quic.varint import Buffer
+from repro.quic.varint import Buffer, varint_length
 
 __all__ = [
     "PaddingFrame",
@@ -176,15 +176,17 @@ def _decode_ack(buf: Buffer) -> AckFrame:
     first_range = buf.pull_varint()
     end = largest
     start = end - first_range
+    if start < 0:
+        raise FrameDecodeError("ACK range below zero")
     ranges = [(start, end)]
     for _ in range(range_count):
         gap = buf.pull_varint()
         length = buf.pull_varint()
         end = start - gap - 2
         start = end - length
+        if start < 0 or end < 0:
+            raise FrameDecodeError("ACK range below zero")
         ranges.append((start, end))
-    if start < 0:
-        raise FrameDecodeError("ACK range below zero")
     return AckFrame(largest_acknowledged=largest, ack_delay=delay, ranges=ranges)
 
 
@@ -260,7 +262,14 @@ def decode_frames(payload: bytes) -> List[Frame]:
     frames: List[Frame] = []
     try:
         while not buf.eof():
+            type_offset = buf.position
             frame_type = buf.pull_varint()
+            if buf.position - type_offset > varint_length(frame_type):
+                # RFC 9000 §12.4: non-shortest frame-type encodings MAY
+                # be treated as PROTOCOL_VIOLATION.  Rejecting them also
+                # keeps decoding canonical: a 2-byte encoding of type 0
+                # would otherwise split one PADDING run into two frames.
+                raise FrameDecodeError("non-minimal frame type encoding")
             if frame_type == 0x00:
                 frames.append(PaddingFrame(length=1 + buf.skip_zero_run()))
             elif frame_type == 0x01:

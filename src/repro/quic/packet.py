@@ -115,14 +115,19 @@ def encode_version_negotiation(
 
 def decode_version_negotiation(datagram: bytes) -> VersionNegotiationPacket:
     buf = Buffer(datagram)
-    first = buf.pull_uint8()
-    if not first & 0x80:
-        raise PacketDecodeError("not a long header packet")
-    version = buf.pull_uint32()
-    if version != 0:
-        raise PacketDecodeError("not a version negotiation packet")
-    dcid = buf.pull_bytes(buf.pull_uint8())
-    scid = buf.pull_bytes(buf.pull_uint8())
+    try:
+        first = buf.pull_uint8()
+        if not first & 0x80:
+            raise PacketDecodeError("not a long header packet")
+        version = buf.pull_uint32()
+        if version != 0:
+            raise PacketDecodeError("not a version negotiation packet")
+        dcid = buf.pull_bytes(buf.pull_uint8())
+        scid = buf.pull_bytes(buf.pull_uint8())
+    except PacketDecodeError:
+        raise
+    except ValueError as exc:
+        raise PacketDecodeError(str(exc)) from exc
     versions = []
     while buf.remaining >= 4:
         versions.append(buf.pull_uint32())
@@ -180,27 +185,32 @@ def decode_long_header(datagram: bytes, offset: int = 0) -> LongHeader:
     therefore not interpreted here beyond the packet type.
     """
     buf = Buffer(datagram[offset:])
-    first = buf.pull_uint8()
-    if not first & 0x80:
-        raise PacketDecodeError("not a long header packet")
-    version = buf.pull_uint32()
-    if version == 0:
-        raise PacketDecodeError("version negotiation packets have no long header body")
-    packet_type = PacketType((first >> 4) & 0x3)
-    dcid_len = buf.pull_uint8()
-    if dcid_len > 20:
-        raise PacketDecodeError("destination connection ID too long")
-    dcid = buf.pull_bytes(dcid_len)
-    scid_len = buf.pull_uint8()
-    if scid_len > 20:
-        raise PacketDecodeError("source connection ID too long")
-    scid = buf.pull_bytes(scid_len)
-    token = b""
-    if packet_type == PacketType.INITIAL:
-        token = buf.pull_bytes(buf.pull_varint())
-    payload_length = 0
-    if packet_type != PacketType.RETRY:
-        payload_length = buf.pull_varint()
+    try:
+        first = buf.pull_uint8()
+        if not first & 0x80:
+            raise PacketDecodeError("not a long header packet")
+        version = buf.pull_uint32()
+        if version == 0:
+            raise PacketDecodeError("version negotiation packets have no long header body")
+        packet_type = PacketType((first >> 4) & 0x3)
+        dcid_len = buf.pull_uint8()
+        if dcid_len > 20:
+            raise PacketDecodeError("destination connection ID too long")
+        dcid = buf.pull_bytes(dcid_len)
+        scid_len = buf.pull_uint8()
+        if scid_len > 20:
+            raise PacketDecodeError("source connection ID too long")
+        scid = buf.pull_bytes(scid_len)
+        token = b""
+        if packet_type == PacketType.INITIAL:
+            token = buf.pull_bytes(buf.pull_varint())
+        payload_length = 0
+        if packet_type != PacketType.RETRY:
+            payload_length = buf.pull_varint()
+    except PacketDecodeError:
+        raise
+    except ValueError as exc:
+        raise PacketDecodeError(str(exc)) from exc
     return LongHeader(
         packet_type=packet_type,
         version=version,
@@ -215,10 +225,15 @@ def decode_long_header(datagram: bytes, offset: int = 0) -> LongHeader:
 def decode_short_header(datagram: bytes, dcid_length: int) -> ShortHeader:
     """Parse a 1-RTT short header (requires knowing the local CID length)."""
     buf = Buffer(datagram)
-    first = buf.pull_uint8()
-    if first & 0x80:
-        raise PacketDecodeError("not a short header packet")
-    dcid = buf.pull_bytes(dcid_length)
+    try:
+        first = buf.pull_uint8()
+        if first & 0x80:
+            raise PacketDecodeError("not a short header packet")
+        dcid = buf.pull_bytes(dcid_length)
+    except PacketDecodeError:
+        raise
+    except ValueError as exc:
+        raise PacketDecodeError(str(exc)) from exc
     return ShortHeader(dcid=dcid, header_offset=buf.position)
 
 

@@ -80,15 +80,20 @@ def decode_retry(datagram: bytes, original_dcid: Optional[bytes] = None) -> Retr
     if not first & 0x80 or ((first >> 4) & 0x3) != 0x3:
         raise PacketDecodeError("not a retry packet")
     buf = Buffer(datagram)
-    buf.pull_uint8()
-    version = buf.pull_uint32()
-    dcid = buf.pull_bytes(buf.pull_uint8())
-    scid = buf.pull_bytes(buf.pull_uint8())
-    remaining = buf.remaining
-    if remaining < 16:
-        raise PacketDecodeError("retry packet missing integrity tag")
-    token = buf.pull_bytes(remaining - 16)
-    tag = buf.pull_bytes(16)
+    try:
+        buf.pull_uint8()
+        version = buf.pull_uint32()
+        dcid = buf.pull_bytes(buf.pull_uint8())
+        scid = buf.pull_bytes(buf.pull_uint8())
+        remaining = buf.remaining
+        if remaining < 16:
+            raise PacketDecodeError("retry packet missing integrity tag")
+        token = buf.pull_bytes(remaining - 16)
+        tag = buf.pull_bytes(16)
+    except PacketDecodeError:
+        raise
+    except ValueError as exc:
+        raise PacketDecodeError(str(exc)) from exc
     packet = RetryPacket(version=version, dcid=dcid, scid=scid, token=token, integrity_tag=tag)
     if original_dcid is not None:
         expected = retry_integrity_tag(original_dcid, datagram[:-16])

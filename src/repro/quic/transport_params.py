@@ -18,9 +18,21 @@ from typing import Dict, Optional, Tuple
 
 from repro.quic.varint import Buffer, encode_varint
 
-__all__ = ["TransportParameters", "DEFAULT_MAX_UDP_PAYLOAD_SIZE"]
+__all__ = [
+    "TransportParameters",
+    "TransportParameterError",
+    "DEFAULT_MAX_UDP_PAYLOAD_SIZE",
+]
 
 DEFAULT_MAX_UDP_PAYLOAD_SIZE = 65527
+
+
+class TransportParameterError(ValueError):
+    """Raised when a transport-parameter extension cannot be parsed.
+
+    Maps onto RFC 9000's TRANSPORT_PARAMETER_ERROR (0x08) transport
+    error code at the connection layer.
+    """
 
 _INT_PARAMS: Dict[int, str] = {
     0x01: "max_idle_timeout",
@@ -114,18 +126,23 @@ class TransportParameters:
     def decode(cls, data: bytes) -> "TransportParameters":
         params = cls()
         buf = Buffer(data)
-        while not buf.eof():
-            pid = buf.pull_varint()
-            length = buf.pull_varint()
-            raw = buf.pull_bytes(length)
-            if pid in _INT_PARAMS:
-                inner = Buffer(raw)
-                setattr(params, _INT_PARAMS[pid], inner.pull_varint())
-            elif pid in _BYTES_PARAMS:
-                setattr(params, _BYTES_PARAMS[pid], raw)
-            elif pid in _FLAG_PARAMS:
-                setattr(params, _FLAG_PARAMS[pid], True)
-            # Unknown parameters MUST be ignored (RFC 9000 §7.4.2).
+        try:
+            while not buf.eof():
+                pid = buf.pull_varint()
+                length = buf.pull_varint()
+                raw = buf.pull_bytes(length)
+                if pid in _INT_PARAMS:
+                    inner = Buffer(raw)
+                    setattr(params, _INT_PARAMS[pid], inner.pull_varint())
+                elif pid in _BYTES_PARAMS:
+                    setattr(params, _BYTES_PARAMS[pid], raw)
+                elif pid in _FLAG_PARAMS:
+                    setattr(params, _FLAG_PARAMS[pid], True)
+                # Unknown parameters MUST be ignored (RFC 9000 §7.4.2).
+        except TransportParameterError:
+            raise
+        except ValueError as exc:
+            raise TransportParameterError(str(exc)) from exc
         return params
 
     # -- analysis helpers ---------------------------------------------------

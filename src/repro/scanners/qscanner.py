@@ -32,10 +32,10 @@ from repro.quic.connection import (
     QuicClientConnection,
     VersionMismatchError,
 )
-from repro.quic.errors import CRYPTO_ERROR_HANDSHAKE_FAILURE, QuicError
+from repro.quic.errors import QuicError
 from repro.quic.transport_params import TransportParameters
 from repro.quic.versions import QSCANNER_SUPPORTED, QUIC_V1, alpn_for_version
-from repro.scanners.results import QScanOutcome, QScanRecord, TargetSource
+from repro.scanners.results import QScanOutcome, QScanRecord, TargetSource, table3_bucket
 from repro.scanners.retry import RetryPolicy
 from repro.tls.certificates import Certificate
 from repro.tls.engine import TlsClientConfig
@@ -223,28 +223,16 @@ class QScanner:
         )
         try:
             result = connection.connect()
-        except VersionMismatchError:
-            record.outcome = QScanOutcome.VERSION_MISMATCH
-            self._record_wire_cost(record, connection)
-            return record
-        except HandshakeTimeout:
-            record.outcome = QScanOutcome.TIMEOUT
-            self._record_wire_cost(record, connection)
-            return record
-        except QuicError as error:
-            record.error_code = error.error_code
-            record.error_reason = error.reason
-            if error.error_code == CRYPTO_ERROR_HANDSHAKE_FAILURE:
-                record.outcome = QScanOutcome.CRYPTO_ERROR_0X128
-            else:
-                record.outcome = QScanOutcome.OTHER
-            self._record_wire_cost(record, connection)
-            return record
-        except Exception as error:  # corrupted/truncated datagrams etc.
-            # Faulty paths can hand the client undecodable bytes; the
-            # scanner classifies rather than crashing the stage.
-            record.outcome = QScanOutcome.OTHER
-            record.error_reason = f"protocol-error:{type(error).__name__}"
+        except Exception as error:
+            # The shared Table-3 decision procedure classifies every
+            # failure (including corrupted/truncated datagrams from
+            # faulty paths) rather than crashing the stage.
+            record.outcome = table3_bucket(error)
+            if isinstance(error, QuicError):
+                record.error_code = error.error_code
+                record.error_reason = error.reason
+            elif not isinstance(error, (VersionMismatchError, HandshakeTimeout)):
+                record.error_reason = f"protocol-error:{type(error).__name__}"
             self._record_wire_cost(record, connection)
             return record
 

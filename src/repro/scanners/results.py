@@ -22,6 +22,7 @@ __all__ = [
     "QScanOutcome",
     "QScanRecord",
     "TargetSource",
+    "table3_bucket",
 ]
 
 
@@ -94,6 +95,38 @@ class QScanOutcome(str, Enum):
     CRYPTO_ERROR_0X128 = "crypto-error-0x128"
     VERSION_MISMATCH = "version-mismatch"
     OTHER = "other"
+
+
+def table3_bucket(error: BaseException) -> "QScanOutcome":
+    """The paper Table-3 failure bucket for a handshake exception.
+
+    Every exception class the QUIC/TLS stack can surface maps into
+    exactly one of the four failure buckets (SUCCESS is, by
+    construction, not an error class); QScanner and the conformance
+    suite both use this single decision procedure so the
+    classification can never drift between them.
+    """
+    from repro.quic.connection import HandshakeTimeout, VersionMismatchError
+    from repro.quic.errors import CRYPTO_ERROR_HANDSHAKE_FAILURE, QuicError, crypto_error
+    from repro.tls.alerts import AlertError
+
+    if isinstance(error, VersionMismatchError):
+        return QScanOutcome.VERSION_MISMATCH
+    if isinstance(error, HandshakeTimeout):
+        return QScanOutcome.TIMEOUT
+    if isinstance(error, QuicError):
+        if error.error_code == CRYPTO_ERROR_HANDSHAKE_FAILURE:
+            return QScanOutcome.CRYPTO_ERROR_0X128
+        return QScanOutcome.OTHER
+    if isinstance(error, AlertError):
+        # A raw TLS alert carried over QUIC surfaces as crypto error
+        # 0x100 + alert; only handshake_failure lands in the paper's
+        # dedicated 0x128 column.
+        if crypto_error(int(error.description)) == CRYPTO_ERROR_HANDSHAKE_FAILURE:
+            return QScanOutcome.CRYPTO_ERROR_0X128
+        return QScanOutcome.OTHER
+    # Malformed wire data, protocol errors, fault-injected garbage.
+    return QScanOutcome.OTHER
 
 
 @dataclass

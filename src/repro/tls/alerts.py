@@ -34,10 +34,20 @@ class AlertDescription(IntEnum):
 
 
 class AlertError(Exception):
-    """A fatal TLS alert, raised locally or received from the peer."""
+    """A fatal TLS alert, raised locally or received from the peer.
 
-    def __init__(self, description: AlertDescription, message: str = "", *, remote: bool = False):
-        super().__init__(f"TLS alert {int(description)} ({description.name}): {message}")
+    ``description`` is normally an :class:`AlertDescription`; a peer
+    may send an alert code outside the registry, which is carried as a
+    plain ``int`` rather than rejected.
+    """
+
+    def __init__(self, description, message: str = "", *, remote: bool = False):
+        name = (
+            description.name
+            if isinstance(description, AlertDescription)
+            else f"alert_{int(description)}"
+        )
+        super().__init__(f"TLS alert {int(description)} ({name}): {message}")
         self.description = description
         self.message = message
         self.remote = remote

@@ -85,20 +85,27 @@ class ClientHello:
         if int.from_bytes(body[0:2], "big") != _LEGACY_VERSION:
             raise MessageDecodeError("bad legacy_version in ClientHello")
         random = body[2:34]
-        offset = 34
-        sid_len = body[offset]
-        session_id = body[offset + 1 : offset + 1 + sid_len]
-        offset += 1 + sid_len
-        suites_len = int.from_bytes(body[offset : offset + 2], "big")
-        offset += 2
-        suites = [
-            int.from_bytes(body[offset + i : offset + i + 2], "big")
-            for i in range(0, suites_len, 2)
-        ]
-        offset += suites_len
-        comp_len = body[offset]
-        offset += 1 + comp_len
-        extensions, _ = decode_extensions(body, offset)
+        if len(random) != 32:
+            raise MessageDecodeError("truncated ClientHello random")
+        try:
+            offset = 34
+            sid_len = body[offset]
+            session_id = body[offset + 1 : offset + 1 + sid_len]
+            offset += 1 + sid_len
+            suites_len = int.from_bytes(body[offset : offset + 2], "big")
+            offset += 2
+            suites = [
+                int.from_bytes(body[offset + i : offset + i + 2], "big")
+                for i in range(0, suites_len, 2)
+            ]
+            offset += suites_len
+            comp_len = body[offset]
+            offset += 1 + comp_len
+            extensions, _ = decode_extensions(body, offset)
+        except MessageDecodeError:
+            raise
+        except (IndexError, ValueError) as exc:
+            raise MessageDecodeError(f"malformed ClientHello: {exc}") from exc
         return cls(
             random=random,
             cipher_suites=suites,
@@ -132,13 +139,20 @@ class ServerHello:
     @classmethod
     def decode(cls, body: bytes) -> "ServerHello":
         random = body[2:34]
-        offset = 34
-        sid_len = body[offset]
-        session_id = body[offset + 1 : offset + 1 + sid_len]
-        offset += 1 + sid_len
-        suite = int.from_bytes(body[offset : offset + 2], "big")
-        offset += 3  # suite + compression byte
-        extensions, _ = decode_extensions(body, offset)
+        if len(random) != 32:
+            raise MessageDecodeError("truncated ServerHello random")
+        try:
+            offset = 34
+            sid_len = body[offset]
+            session_id = body[offset + 1 : offset + 1 + sid_len]
+            offset += 1 + sid_len
+            suite = int.from_bytes(body[offset : offset + 2], "big")
+            offset += 3  # suite + compression byte
+            extensions, _ = decode_extensions(body, offset)
+        except MessageDecodeError:
+            raise
+        except (IndexError, ValueError) as exc:
+            raise MessageDecodeError(f"malformed ServerHello: {exc}") from exc
         return cls(
             random=random,
             cipher_suite=suite,
@@ -164,7 +178,10 @@ class EncryptedExtensions:
 
     @classmethod
     def decode(cls, body: bytes) -> "EncryptedExtensions":
-        extensions, _ = decode_extensions(body, 0)
+        try:
+            extensions, _ = decode_extensions(body, 0)
+        except (IndexError, ValueError) as exc:
+            raise MessageDecodeError(f"malformed EncryptedExtensions: {exc}") from exc
         return cls(extensions=extensions)
 
     def extension(self, ext_type: int) -> Optional[bytes]:

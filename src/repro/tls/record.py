@@ -17,9 +17,20 @@ from repro.crypto.hkdf import hkdf_expand_label
 from repro.tls.alerts import AlertDescription, AlertError
 from repro.tls.ciphersuites import CipherSuite
 
-__all__ = ["ContentType", "RecordLayer", "RecordProtection", "encode_alert", "decode_records"]
+__all__ = [
+    "ContentType",
+    "RecordLayer",
+    "RecordProtection",
+    "RecordDecodeError",
+    "encode_alert",
+    "decode_records",
+]
 
 _LEGACY_RECORD_VERSION = 0x0303
+
+
+class RecordDecodeError(ValueError):
+    """Raised when a byte stream cannot be framed into TLS records."""
 
 
 class ContentType:
@@ -46,12 +57,12 @@ def decode_records(data: bytes) -> Iterator[Tuple[int, bytes]]:
     offset = 0
     while offset < len(data):
         if offset + 5 > len(data):
-            raise ValueError("truncated record header")
+            raise RecordDecodeError("truncated record header")
         content_type = data[offset]
         length = int.from_bytes(data[offset + 3 : offset + 5], "big")
         end = offset + 5 + length
         if end > len(data):
-            raise ValueError("truncated record payload")
+            raise RecordDecodeError("truncated record payload")
         yield content_type, data[offset + 5 : end]
         offset = end
 
@@ -142,11 +153,15 @@ class RecordLayer:
             ):
                 content_type, payload = self.recv_protection.decrypt(payload)
             if content_type == ContentType.ALERT:
+                if len(payload) < 2:
+                    raise RecordDecodeError("truncated alert payload")
                 level, description = payload[0], payload[1]
                 if level == 2:
-                    raise AlertError(
-                        AlertDescription(description), "received fatal alert", remote=True
-                    )
+                    try:
+                        description = AlertDescription(description)
+                    except ValueError:
+                        pass  # unknown alert codes travel as plain ints
+                    raise AlertError(description, "received fatal alert", remote=True)
                 continue
             results.append((content_type, payload))
         return results
