@@ -1,13 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench report artefacts interop chaos chaos-smoke conform fuzz-smoke clean
+.PHONY: test docs-check bench bench-smoke bench-check report artefacts interop chaos chaos-smoke conform fuzz-smoke clean
 
-# chaos-smoke keeps the fault-injection/degradation path exercised and
-# fuzz-smoke the wire-format conformance suite on every `make test`
-# run (the full suite includes tests/test_resilience.py and
-# tests/test_conformance.py; deep fuzzing runs via `pytest -m slow_fuzz`).
-test: docs-check chaos-smoke fuzz-smoke
+# chaos-smoke keeps the fault-injection/degradation path exercised,
+# fuzz-smoke the wire-format conformance suite, and bench-smoke the
+# parallel-overhead gate on every `make test` run (the full suite
+# includes tests/test_resilience.py and tests/test_conformance.py;
+# deep fuzzing runs via `pytest -m slow_fuzz`).
+test: docs-check chaos-smoke fuzz-smoke bench-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Validates intra-repo markdown links + module docstring presence.
@@ -32,8 +33,22 @@ conform:
 fuzz-smoke:
 	$(PYTHON) -m repro conform --seed 9000 --iterations 2000 --skip-differential
 
+# Full benchmark run: overwrites BENCH_scan.json and appends one JSON
+# line to BENCH_history.jsonl so rate trends survive the overwrite.
 bench:
-	$(PYTHON) -m repro bench --output BENCH_scan.json
+	$(PYTHON) -m repro bench --output BENCH_scan.json --history BENCH_history.jsonl
+
+# Fast cold serial-vs-parallel overhead gate on a small world; fails
+# when parallel cold exceeds 1.25x serial or the dep-broadcast
+# reduction collapses. Wired into `make test`.
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke --workers 2
+
+# Full regression gate: re-runs the benchmarks and compares the probe
+# and handshake rates against the committed BENCH_scan.json baseline
+# (which is left untouched; the fresh run lands in BENCH_scan.json.check).
+bench-check:
+	$(PYTHON) -m repro bench --check --workers 2
 
 report:
 	$(PYTHON) -m repro report
@@ -45,5 +60,5 @@ interop:
 	$(PYTHON) -m repro interop
 
 clean:
-	rm -rf .cache BENCH_scan.json metrics.json
+	rm -rf .cache BENCH_scan.json BENCH_scan.json.check metrics.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -282,13 +282,51 @@ def _cmd_conform(args) -> int:
     return 0 if conformance_ok(vectors, fuzz, differential) else 1
 
 
+def _print_data_movement(movement) -> None:
+    shipped = movement.get("dep_bytes_shipped", 0)
+    naive = movement.get("dep_bytes_naive", 0)
+    factor = movement.get("dep_reduction_factor")
+    print(
+        f"  dep bytes shipped: {shipped:,} (naive per-task baseline"
+        f" {naive:,}, {factor}x reduction)"
+    )
+    print(
+        f"  broadcasts/hits:   {movement.get('dep_broadcasts', 0)}"
+        f" rounds, {movement.get('dep_cache_hits', 0)} cache hits,"
+        f" {movement.get('inline_stages', 0)} stages inline"
+    )
+
+
 def _cmd_bench(args) -> int:
+    import json
     from pathlib import Path
 
-    from repro.perf import write_benchmarks
+    from repro.perf import check_benchmarks, run_smoke, write_benchmarks
+
+    if args.smoke:
+        results = run_smoke(week=args.week, seed=args.seed, workers=args.workers or 2)
+        campaign = results["campaign"]
+        serial = campaign["serial_cold_seconds"]
+        parallel = campaign["parallel_cold_seconds"]
+        ratio = round(parallel / serial, 2) if serial else None
+        print(f"bench smoke (scale {results['scale']['addresses']}):")
+        print(f"  serial cold:       {serial}s")
+        print(f"  parallel cold:     {parallel}s ({ratio}x serial)")
+        _print_data_movement(results["data_movement"])
+        failures = check_benchmarks(results)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
+    baseline = None
+    if args.check:
+        baseline_path = Path(args.output)
+        if baseline_path.exists():
+            baseline = json.loads(baseline_path.read_text())
 
     results = write_benchmarks(
-        Path(args.output),
+        Path(args.output) if not args.check else Path(args.output + ".check"),
+        history_path=None if args.check else Path(args.history),
         week=args.week,
         seed=args.seed,
         scale=Scale(
@@ -298,7 +336,8 @@ def _cmd_bench(args) -> int:
         cache_dir=args.cache_dir,
     )
     campaign = results["campaign"]
-    print(f"wrote {args.output}")
+    destination = args.output if not args.check else args.output + ".check"
+    print(f"wrote {destination}")
     print(f"  probes/sec:        {results['zmap_probe_rate']['probes_per_sec']:,.0f}")
     print(
         "  handshakes/sec:    "
@@ -313,6 +352,12 @@ def _cmd_bench(args) -> int:
         f"  warm stage cache:  {campaign['cache_warm_seconds']}s "
         f"({campaign['warm_cache_speedup']}x)"
     )
+    _print_data_movement(results["data_movement"])
+    if args.check:
+        failures = check_benchmarks(results, baseline=baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
     return 0
 
 
@@ -397,6 +442,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cache-dir", default=None, help="reuse this stage-cache directory"
     )
     bench_parser.add_argument("--output", default="BENCH_scan.json")
+    bench_parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="append each full run to this JSONL history file",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate: compare against the committed --output baseline "
+        "without overwriting it; nonzero exit on failure",
+    )
+    bench_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast cold serial-vs-parallel overhead gate (no baseline file)",
+    )
     bench_parser.set_defaults(func=_cmd_bench)
 
     chaos_parser = subparsers.add_parser(

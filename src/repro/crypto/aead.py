@@ -76,14 +76,14 @@ class AeadSim:
         self._key = key
 
     def _keystream(self, nonce: bytes, length: int) -> bytes:
+        prefix = self._key + nonce
         blocks = []
+        produced = 0
         counter = 0
-        while sum(len(b) for b in blocks) < length:
-            blocks.append(
-                hashlib.sha256(
-                    self._key + nonce + counter.to_bytes(4, "big")
-                ).digest()
-            )
+        while produced < length:
+            block = hashlib.sha256(prefix + counter.to_bytes(4, "big")).digest()
+            blocks.append(block)
+            produced += len(block)
             counter += 1
         return b"".join(blocks)[:length]
 
@@ -119,9 +119,19 @@ def _hp_cipher(hp_key: bytes):
     return AES(hp_key)
 
 
+@lru_cache(maxsize=4096)
+def _hp_mask_aes(hp_key: bytes, sample16: bytes) -> bytes:
+    return _hp_cipher(hp_key).encrypt_block(sample16)[:5]
+
+
 def header_mask_aes(hp_key: bytes, sample: bytes) -> bytes:
-    """QUIC header-protection mask via AES-ECB (RFC 9001 §5.4.3)."""
-    return _hp_cipher(hp_key).encrypt_block(sample[:16])[:5]
+    """QUIC header-protection mask via AES-ECB (RFC 9001 §5.4.3).
+
+    Masks are cached per (key, sample): in the simulated network the
+    receiving endpoint unprotects exactly the bytes the sender just
+    protected, so every mask is computed once and looked up once.
+    """
+    return _hp_mask_aes(hp_key, sample[:16])
 
 
 def header_mask_sim(hp_key: bytes, sample: bytes) -> bytes:

@@ -117,13 +117,14 @@ class AesGcm:
         self._ghash = _Ghash(self._aes.encrypt_block(bytes(16)))
 
     def _ctr_keystream(self, nonce: bytes, length: int) -> bytes:
-        blocks = []
-        counter = 2  # counter 1 is reserved for the tag mask
-        encrypt = self._aes.encrypt_block
-        for _ in range((length + 15) // 16):
-            blocks.append(encrypt(nonce + counter.to_bytes(4, "big")))
-            counter += 1
-        return b"".join(blocks)[:length]
+        # Counter 1 is reserved for the tag mask; all counter blocks for
+        # one message are assembled up front and encrypted in a single
+        # batched ECB call.
+        counter_blocks = b"".join(
+            nonce + counter.to_bytes(4, "big")
+            for counter in range(2, 2 + (length + 15) // 16)
+        )
+        return self._aes.encrypt_blocks(counter_blocks)[:length]
 
     def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
         ghash = self._ghash

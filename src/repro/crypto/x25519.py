@@ -70,6 +70,127 @@ def x25519(scalar: bytes, u: bytes) -> bytes:
     return result.to_bytes(32, "little")
 
 
+# --- Fixed-base scalar multiplication ---------------------------------
+#
+# Public-key generation (``x25519_base``) runs once per ClientHello and
+# dominated the handshake hot path when done with the generic Montgomery
+# ladder (255 ladder steps).  Because the base point is fixed we can use
+# a comb over the birationally-equivalent twisted Edwards curve
+# (Ed25519): precompute j * 2^(4i) * B for all 64 four-bit windows i and
+# digits j in 1..15, then any clamped scalar costs at most 64 cached
+# point additions.  The Montgomery u-coordinate of the result is
+# recovered as u = (Z + Y) / (Z - Y); negating a point leaves u
+# unchanged, so the comb output matches the ladder bit-for-bit.
+#
+# The a = -1 extended-coordinate formulas below are complete on
+# Ed25519 (d is a non-square), so no special-casing is needed while
+# building the table or walking the comb.
+
+_ED_D2 = (2 * 37095705934669439343138083508754565189542113879843219016388785533085940283555) % _P
+_ED_BX = 15112221349535400772501151409588531511454012693041857206046113283949847762202
+_ED_BY = 46316835694926478169428394003475163141307993866256225615783033603165251855960
+
+_COMB_WINDOWS = 64
+_COMB_TABLE = None
+
+
+def _ed_add(p1, p2):
+    """Extended-coordinate point addition (add-2008-hwcd-3, a = -1)."""
+    x1, y1, z1, t1 = p1
+    x2, y2, z2, t2 = p2
+    a = ((y1 - x1) * (y2 - x2)) % _P
+    b = ((y1 + x1) * (y2 + x2)) % _P
+    c = (t1 * _ED_D2 * t2) % _P
+    d = (2 * z1 * z2) % _P
+    e = b - a
+    f = d - c
+    g = d + c
+    h = b + a
+    return (e * f) % _P, (g * h) % _P, (f * g) % _P, (e * h) % _P
+
+
+def _ed_double(p):
+    """Extended-coordinate point doubling (dbl-2008-hwcd, a = -1)."""
+    x1, y1, z1, _ = p
+    a = (x1 * x1) % _P
+    b = (y1 * y1) % _P
+    c = (2 * z1 * z1) % _P
+    e = ((x1 + y1) * (x1 + y1) - a - b) % _P
+    g = (b - a) % _P
+    f = (g - c) % _P
+    h = (-b - a) % _P
+    return (e * f) % _P, (g * h) % _P, (f * g) % _P, (e * h) % _P
+
+
+def _comb_table():
+    """Lazily build the 64x15 niels-form fixed-base table."""
+    global _COMB_TABLE
+    if _COMB_TABLE is not None:
+        return _COMB_TABLE
+    extended = []
+    window_base = (_ED_BX, _ED_BY, 1, (_ED_BX * _ED_BY) % _P)
+    for _ in range(_COMB_WINDOWS):
+        point = window_base
+        for _ in range(15):
+            extended.append(point)
+            point = _ed_add(point, window_base)
+        for _ in range(4):
+            window_base = _ed_double(window_base)
+    # Normalise every point to affine niels form (y+x, y-x, 2dxy) so
+    # comb additions become mixed additions with Z2 = 1.  All 960
+    # inversions share one modular exponentiation via Montgomery's
+    # batch-inversion trick — table setup is on the cold-start path.
+    prefix = []
+    acc = 1
+    for _x, _y, z, _t in extended:
+        prefix.append(acc)
+        acc = (acc * z) % _P
+    inv_acc = pow(acc, _P - 2, _P)
+    inverses = [0] * len(extended)
+    for index in range(len(extended) - 1, -1, -1):
+        inverses[index] = (inv_acc * prefix[index]) % _P
+        inv_acc = (inv_acc * extended[index][2]) % _P
+    table = []
+    for window in range(_COMB_WINDOWS):
+        row = []
+        for digit in range(15):
+            x, y, _z, _t = extended[window * 15 + digit]
+            inv_z = inverses[window * 15 + digit]
+            ax = (x * inv_z) % _P
+            ay = (y * inv_z) % _P
+            row.append(((ay + ax) % _P, (ay - ax) % _P, (_ED_D2 * ax * ay) % _P))
+        table.append(tuple(row))
+    _COMB_TABLE = tuple(table)
+    return _COMB_TABLE
+
+
+def _ed_add_niels(p1, niels):
+    """Mixed addition: extended point + affine niels precomputed point."""
+    x1, y1, z1, t1 = p1
+    ypx, ymx, xy2d = niels
+    a = ((y1 - x1) * ymx) % _P
+    b = ((y1 + x1) * ypx) % _P
+    c = (t1 * xy2d) % _P
+    d = (2 * z1) % _P
+    e = b - a
+    f = d - c
+    g = d + c
+    h = b + a
+    return (e * f) % _P, (g * h) % _P, (f * g) % _P, (e * h) % _P
+
+
 def x25519_base(scalar: bytes) -> bytes:
     """Scalar multiplication with the curve base point (public key)."""
-    return x25519(scalar, X25519_BASEPOINT)
+    k = _decode_scalar(scalar)
+    table = _comb_table()
+    point = (0, 1, 1, 0)  # neutral element
+    for window in range(_COMB_WINDOWS):
+        digit = (k >> (4 * window)) & 15
+        if digit:
+            point = _ed_add_niels(point, table[window][digit - 1])
+    _x, y, z, _t = point
+    # Montgomery u = (1 + y) / (1 - y) with projective y = Y/Z.  A
+    # clamped scalar is a multiple of 8 in [2^254, 2^255), so the result
+    # is never the neutral element and Z - Y is invertible.
+    u = ((z + y) * pow(z - y, _P - 2, _P)) % _P
+    return u.to_bytes(32, "little")

@@ -380,16 +380,47 @@ class Campaign:
             status=status,
         )
 
-    def _engine_run(self, name: str) -> Tuple[List, StageHealth]:
-        from repro.parallel import ScanEngine
+    def _stage_items(self, name: str) -> int:
+        """How many work items a stage will walk (resolves its deps)."""
+        if name in ("zmap_v4", "syn_v4"):
+            return self.world.ipv4_space.num_addresses
+        if name in ("zmap_v6", "syn_v6"):
+            return len(self.ipv6_scan_input)
+        family = 6 if name.endswith("v6") else 4
+        if name.startswith("goscanner_nosni"):
+            return len(self._syn_records(family))
+        if name.startswith("goscanner_sni"):
+            return len(self._sni_scan_items(family))
+        if name.startswith("qscan_nosni"):
+            zmap = self.zmap_v4 if family == 4 else self.zmap_v6
+            return len(self._zmap_compatible(zmap))
+        if name.startswith("qscan_sni"):
+            return len(self.sni_targets_v4 if family == 4 else self.sni_targets_v6)
+        raise KeyError(f"unknown stage: {name}")
 
+    def _engine_run(self, name: str) -> Tuple[List, StageHealth]:
+        from repro.parallel import ScanEngine, engine as engine_module
+
+        items = self._stage_items(name)
+        cost = items * _STAGE_COST_WEIGHT[name]
+        if cost <= engine_module.INLINE_COST_THRESHOLD:
+            # The stage is cheaper than shipping it: run it inline in
+            # the parent, exactly like a serial campaign would.
+            records, health = self._serial_compute(name)
+            self.metrics.counter("engine.inline_stages", volatile=True).inc()
+            return records, health
         if self._engine is None:
-            self._engine = ScanEngine(self.config, self._workers)
+            # Passing the built world lets the pool's fork inherit it
+            # copy-on-write instead of each worker rebuilding one.
+            self._engine = ScanEngine(self.config, self._workers, world=self.world)
         deps = {dep: getattr(self, dep) for dep in _STAGE_DEPS[name]}
-        records, errors = self._engine.run_stage(
-            name, deps, metrics=self.metrics, tracer=self.tracer
+        records, errors, shards = self._engine.run_stage(
+            name,
+            deps,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            size_hint=items,
         )
-        shards = self._engine.workers
         if not errors:
             status = "success"
         elif len(errors) >= shards:
@@ -787,6 +818,25 @@ _STAGE_COMPUTE: Dict[str, Callable[[Campaign, int, int], List]] = {
     "qscan_nosni_v6": lambda c, s, n: c._compute_qscan_nosni(6, s, n),
     "qscan_sni_v4": lambda c, s, n: c._compute_qscan_sni(4, s, n),
     "qscan_sni_v6": lambda c, s, n: c._compute_qscan_sni(6, s, n),
+}
+
+# Relative per-item cost of each stage, used with the item count to
+# decide whether a stage is worth sharding at all (see
+# repro.parallel.engine.INLINE_COST_THRESHOLD).  Stateless sweep probes
+# cost microseconds; a stateful handshake costs milliseconds.
+_STAGE_COST_WEIGHT: Dict[str, int] = {
+    "zmap_v4": 1,
+    "syn_v4": 1,
+    "zmap_v6": 2,
+    "syn_v6": 2,
+    "goscanner_nosni_v4": 1000,
+    "goscanner_nosni_v6": 1000,
+    "goscanner_sni_v4": 1000,
+    "goscanner_sni_v6": 1000,
+    "qscan_nosni_v4": 1000,
+    "qscan_nosni_v6": 1000,
+    "qscan_sni_v4": 1000,
+    "qscan_sni_v6": 1000,
 }
 
 # Parent-computed values shipped to shard workers so dependencies are

@@ -8,7 +8,7 @@ reaches a blocked address.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 from repro.netsim.addresses import Address, Prefix
 
@@ -20,12 +20,35 @@ class Blocklist:
 
     def __init__(self, prefixes: Iterable[Prefix] = ()):
         self._prefixes: List[Prefix] = list(prefixes)
+        self._masks: Dict[int, Tuple[Tuple[int, int], ...]] = {}
 
     def add(self, prefix: Prefix) -> None:
         self._prefixes.append(prefix)
+        self._masks.clear()
+
+    def match_masks(self, version: int) -> Tuple[Tuple[int, int], ...]:
+        """Per-family ``(net_mask, network_value)`` pairs for fast checks.
+
+        Membership reduces to ``value & mask == network``; the pairs are
+        cached because sweep loops consult the blocklist once per probed
+        address and ``Prefix.net_mask`` recomputes masks on every call.
+        """
+        cached = self._masks.get(version)
+        if cached is None:
+            cached = tuple(
+                (prefix.net_mask(), prefix.network.value)
+                for prefix in self._prefixes
+                if prefix.network.version == version
+            )
+            self._masks[version] = cached
+        return cached
 
     def is_blocked(self, address: Address) -> bool:
-        return any(prefix.contains(address) for prefix in self._prefixes)
+        value = address.value
+        return any(
+            value & mask == network
+            for mask, network in self.match_masks(address.version)
+        )
 
     def __len__(self) -> int:
         return len(self._prefixes)

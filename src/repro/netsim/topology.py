@@ -279,6 +279,20 @@ class Network:
     def udp_bound(self, address: Address, port: int) -> bool:
         return (address, port) in self._udp
 
+    def udp_bound_values(self, port: int, version: int) -> frozenset:
+        """Integer address values with a UDP endpoint on ``port``.
+
+        A sweep-side snapshot: a destination outside this set is dropped
+        by :meth:`deliver_datagram` before conditions, loss or faults
+        apply, so stateless scanners can skip full delivery for the
+        (overwhelming) unbound majority of a space sweep.
+        """
+        return frozenset(
+            address.value
+            for address, bound_port in self._udp
+            if bound_port == port and address.version == version
+        )
+
     def tcp_bound(self, address: Address, port: int) -> bool:
         return (address, port) in self._tcp
 

@@ -93,14 +93,21 @@ def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
 
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing integer metric.
+
+    Counters may be marked *volatile* when they measure host-dependent
+    transport behaviour (bytes pickled to workers, broadcast cache
+    hits) that varies with worker count and so must stay out of the
+    deterministic ``metrics.json`` artefact.
+    """
 
     kind = "counter"
-    __slots__ = ("key", "value")
+    __slots__ = ("key", "value", "volatile")
 
-    def __init__(self, key: str):
+    def __init__(self, key: str, volatile: bool = False):
         self.key = key
         self.value = 0
+        self.volatile = volatile
 
     def inc(self, amount: int = 1) -> None:
         self.value += amount
@@ -179,9 +186,9 @@ class MetricsRegistry:
             raise TypeError(f"metric {key!r} is a {metric.kind}, not a {kind}")
         return metric
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, volatile: bool = False, **labels) -> Counter:
         key = metric_key(name, labels)
-        return self._resolve(key, "counter", lambda: Counter(key))
+        return self._resolve(key, "counter", lambda: Counter(key, volatile=volatile))
 
     def gauge(self, name: str, volatile: bool = False, **labels) -> Gauge:
         key = metric_key(name, labels)
@@ -251,7 +258,7 @@ class MetricsRegistry:
         volatile = set(snapshot.get("volatile", ()))
         for key, value in snapshot.get("counters", {}).items():
             name, labels = parse_metric_key(key)
-            self.counter(name, **labels).inc(value)
+            self.counter(name, volatile=key in volatile, **labels).inc(value)
         for key, value in snapshot.get("gauges", {}).items():
             name, labels = parse_metric_key(key)
             gauge = self.gauge(name, volatile=key in volatile, **labels)

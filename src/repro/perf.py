@@ -10,9 +10,21 @@ and the end-to-end campaign wall-clock under each acceleration:
   serial vs. sharded-parallel (cold) and cold vs. warm persistent
   stage cache.
 
-Results are written to ``BENCH_scan.json``.  All numbers are honest
-wall-clock measurements on the current machine; the parallel speedup
-in particular depends on the available cores (reported alongside).
+Beyond the headline rates, the result document carries per-stage wall
+times (serial and parallel) and the parallel engine's data-movement
+counters (dependency bytes shipped vs. the naive per-task baseline,
+broadcast rounds, cache hits, inline stages) — see
+``docs/PERFORMANCE.md`` for how to read them.
+
+Results are written to ``BENCH_scan.json`` and appended as one JSON
+line to ``BENCH_history.jsonl`` so rate trends survive the overwrite.
+:func:`check_benchmarks` turns a result document into a regression
+gate (``make bench-check``): it fails when parallel overhead exceeds
+the budget, when hot-path rates drop against a baseline document, or
+when the dependency-broadcast reduction collapses.  All numbers are
+honest wall-clock measurements on the current machine; the parallel
+speedup in particular depends on the available cores (reported
+alongside).
 """
 
 from __future__ import annotations
@@ -24,22 +36,63 @@ import shutil
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.campaign import Campaign, CampaignConfig
 from repro.internet.providers import Scale
+from repro.observability.metrics import parse_metric_key
 
-__all__ = ["run_benchmarks", "write_benchmarks", "DEFAULT_BENCH_SCALE"]
+__all__ = [
+    "run_benchmarks",
+    "write_benchmarks",
+    "append_history",
+    "check_benchmarks",
+    "run_smoke",
+    "DEFAULT_BENCH_SCALE",
+    "SMOKE_SCALE",
+]
 
 # Small enough for a minutes-scale benchmark run in pure Python, large
 # enough that per-stage setup cost does not dominate.
 DEFAULT_BENCH_SCALE = Scale(addresses=20_000, ases=200, domains=20_000)
+
+# Scale for the `make bench-smoke` gate: a much smaller world whose
+# serial run still takes a couple of seconds, so the parallel-overhead
+# ratio is meaningful but the smoke stays cheap enough for `make test`.
+SMOKE_SCALE = Scale(addresses=100_000, ases=2_000, domains=100_000)
 
 
 def _time(callable_):
     start = time.perf_counter()
     result = callable_()
     return result, time.perf_counter() - start
+
+
+def _stage_seconds(campaign: Campaign) -> Dict[str, float]:
+    """Per-stage wall times from the campaign's volatile gauges."""
+    seconds: Dict[str, float] = {}
+    snapshot = campaign.metrics.snapshot()
+    for key, value in snapshot["gauges"].items():
+        name, labels = parse_metric_key(key)
+        if name == "campaign.stage_seconds" and value is not None:
+            seconds[labels["stage"]] = value
+    return seconds
+
+
+def _data_movement(campaign: Campaign) -> Dict[str, object]:
+    """The parallel engine's ``engine.*`` data-movement counters."""
+    snapshot = campaign.metrics.snapshot()
+    counters = {
+        name[len("engine."):]: value
+        for name, value in snapshot["counters"].items()
+        if name.startswith("engine.")
+    }
+    shipped = counters.get("dep_bytes_shipped", 0)
+    naive = counters.get("dep_bytes_naive", 0)
+    counters["dep_reduction_factor"] = (
+        round(naive / shipped, 2) if shipped else None
+    )
+    return counters
 
 
 def _bench_probe_rate(campaign: Campaign) -> Dict[str, float]:
@@ -124,6 +177,7 @@ def run_benchmarks(
 
     return {
         "benchmark": "scan-engine",
+        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
         "workers": workers,
@@ -150,15 +204,134 @@ def run_benchmarks(
             if cache_warm_seconds
             else None,
         },
+        "stage_seconds": {
+            "serial": _stage_seconds(serial),
+            "parallel": _stage_seconds(parallel),
+        },
+        "data_movement": _data_movement(parallel),
     }
 
 
-def write_benchmarks(path: Path, **kwargs) -> Dict:
-    """Run the benchmarks and write the JSON document to ``path``."""
+def run_smoke(
+    week: int = 18,
+    seed: int = 0,
+    scale: Optional[Scale] = None,
+    workers: int = 2,
+) -> Dict:
+    """The cheap bench used as a CI gate (``make bench-smoke``).
+
+    Runs only the serial and parallel cold campaigns on a small world
+    and reports the overhead ratio plus the engine's data-movement
+    counters; :func:`check_benchmarks` applies the gates.
+    """
+    scale = scale or SMOKE_SCALE
+    config = CampaignConfig(week=week, scale=scale, seed=seed)
+    serial = Campaign(config)
+    _, world_seconds = _time(lambda: serial.world)
+    serial_counts, serial_seconds = _time(serial.run_all_stages)
+    parallel = Campaign(config, workers=workers)
+    _ = parallel.world
+    try:
+        parallel_counts, parallel_seconds = _time(parallel.run_all_stages)
+    finally:
+        parallel.close()
+    assert parallel_counts == serial_counts, "parallel returned different records"
+    return {
+        "benchmark": "scan-engine-smoke",
+        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "scale": {
+            "addresses": scale.addresses,
+            "ases": scale.ases,
+            "domains": scale.domains,
+        },
+        "week": week,
+        "seed": seed,
+        "campaign": {
+            "stage_record_counts": serial_counts,
+            "world_build_seconds": round(world_seconds, 3),
+            "serial_cold_seconds": round(serial_seconds, 3),
+            "parallel_cold_seconds": round(parallel_seconds, 3),
+        },
+        "stage_seconds": {
+            "serial": _stage_seconds(serial),
+            "parallel": _stage_seconds(parallel),
+        },
+        "data_movement": _data_movement(parallel),
+    }
+
+
+def check_benchmarks(
+    results: Dict,
+    baseline: Optional[Dict] = None,
+    max_parallel_ratio: float = 1.25,
+    min_rate_factor: float = 0.8,
+    min_dep_reduction: float = 10.0,
+) -> List[str]:
+    """Regression gates over a benchmark result document.
+
+    Returns a list of human-readable failures (empty = pass):
+
+    - parallel cold wall time must stay within ``max_parallel_ratio``
+      of the serial run,
+    - dependency-broadcast bytes must stay ``min_dep_reduction`` times
+      below the naive per-task-pickle baseline (skipped when the run
+      shipped no deps at all),
+    - against a ``baseline`` document (the committed
+      ``BENCH_scan.json``), the probe and handshake rates must not
+      drop below ``min_rate_factor`` of their previous values.
+    """
+    failures: List[str] = []
+    campaign = results.get("campaign", {})
+    serial = campaign.get("serial_cold_seconds")
+    parallel = campaign.get("parallel_cold_seconds")
+    if serial and parallel and parallel > max_parallel_ratio * serial:
+        failures.append(
+            f"parallel overhead: {parallel:.3f}s cold with workers >"
+            f" {max_parallel_ratio} x {serial:.3f}s serial"
+        )
+    movement = results.get("data_movement", {})
+    shipped = movement.get("dep_bytes_shipped", 0)
+    naive = movement.get("dep_bytes_naive", 0)
+    if shipped and naive and naive < min_dep_reduction * shipped:
+        failures.append(
+            f"dep broadcast regression: shipped {shipped} bytes, naive"
+            f" baseline {naive} is less than {min_dep_reduction}x larger"
+        )
+    if baseline:
+        for metric, key in (
+            ("zmap_probe_rate", "probes_per_sec"),
+            ("qscanner_handshake_rate", "handshakes_per_sec"),
+        ):
+            ours = results.get(metric, {}).get(key)
+            theirs = baseline.get(metric, {}).get(key)
+            if ours is not None and theirs and ours < min_rate_factor * theirs:
+                failures.append(
+                    f"{metric}: {ours:.0f}/s is below {min_rate_factor} x"
+                    f" baseline {theirs:.0f}/s"
+                )
+    return failures
+
+
+def append_history(path: Path, results: Dict) -> None:
+    """Append one compact JSON line per bench run (trend record)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(results, sort_keys=True) + "\n")
+
+
+def write_benchmarks(
+    path: Path, history_path: Optional[Path] = None, **kwargs
+) -> Dict:
+    """Run the benchmarks, write ``path``, append to the history log."""
     path = Path(path)
     # Fail on an unwritable destination now, not after minutes of
     # benchmarking.
     path.parent.mkdir(parents=True, exist_ok=True)
     results = run_benchmarks(**kwargs)
     path.write_text(json.dumps(results, indent=2) + "\n")
+    if history_path is not None:
+        append_history(history_path, results)
     return results

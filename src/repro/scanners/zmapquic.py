@@ -93,11 +93,93 @@ class ZmapQuicScanner:
         """
         rng = DeterministicRandom(self.seed)
         permutation = CyclicGroupPermutation(space.num_addresses, rng.child("perm"))
+        if self.pps is None and not self.retry.enabled:
+            return self._sweep_fast(space, permutation, shard, of, rng)
         targets = (
             (position, space.address_at(index))
             for position, index in permutation.iter_shard(shard, of)
         )
         return self._probe_all(targets, rng)
+
+    def _sweep_fast(
+        self,
+        space: Prefix,
+        permutation: CyclicGroupPermutation,
+        shard: int,
+        of: int,
+        rng: DeterministicRandom,
+    ) -> List[Tuple[int, ZmapQuicRecord]]:
+        """Space sweep specialised for the no-pacing, no-retry case.
+
+        The simulated network drops datagrams to unbound destinations
+        before conditions, loss or faults apply — only the traffic
+        counters move — so the sweep can stay in integer space for the
+        unbound majority and only construct addresses / run full
+        delivery for targets that actually host a UDP endpoint.  Output
+        (records, traffic stats, metrics, clock) is bit-identical to
+        :meth:`_probe_all` over the same walk; a test replays both paths
+        against one world to hold the fast path to that contract.
+        """
+        socket = self.network.client_socket(self.source_address)
+        dcid = rng.token(8)
+        scid = rng.token(8)
+        probe = build_probe(dcid, scid, padded=self.padded)
+        records: List[Tuple[int, ZmapQuicRecord]] = []
+        start = self.network.now
+        family = space.network.version
+        address_cls = type(space.network)
+        base = space.network.value
+        block_masks = self.blocklist.match_masks(family)
+        bound = self.network.udp_bound_values(self.port, family)
+        inbox = socket._inbox
+        probes = blocked = malformed = 0
+        fast_sent = 0
+        saw_target = False
+        for position, index in permutation.iter_shard(shard, of):
+            saw_target = True
+            value = base + index
+            if block_masks and any(
+                value & mask == network for mask, network in block_masks
+            ):
+                blocked += 1
+                continue
+            probes += 1
+            if value not in bound and not inbox:
+                # Unbound and nothing queued: delivery would only count
+                # the datagram as sent and dropped.
+                fast_sent += 1
+                continue
+            target = address_cls(value)
+            socket.send(target, self.port, probe)
+            received = socket.receive(self.timeout) if inbox else None
+            if received is None:
+                continue
+            source, datagram = received
+            try:
+                vn = decode_version_negotiation(datagram)
+            except PacketDecodeError:
+                malformed += 1
+                continue
+            records.append(
+                (
+                    position,
+                    ZmapQuicRecord(
+                        address=source[0], versions=tuple(vn.supported_versions)
+                    ),
+                )
+            )
+        stats = self.network.stats
+        stats.datagrams_sent += fast_sent
+        stats.bytes_sent += fast_sent * len(probe)
+        self.last_scan_duration = self.network.now - start
+        if saw_target:
+            metrics = get_metrics()
+            metrics.counter("zmap.quic.probes", family=family).inc(probes)
+            metrics.counter("zmap.quic.blocked", family=family).inc(blocked)
+            metrics.counter("zmap.quic.responses", family=family).inc(len(records))
+            if malformed:
+                metrics.counter("zmap.quic.malformed", family=family).inc(malformed)
+        return records
 
     def scan_targets(self, targets: Iterable[Address]) -> List[ZmapQuicRecord]:
         """Scan an explicit target list (IPv6 hitlist mode)."""

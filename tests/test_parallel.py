@@ -11,12 +11,15 @@ Covers the three guarantees the engine is built on:
    version-skewed or corrupt entries instead of serving them.
 """
 
+import dataclasses
+import os
 import pickle
 
 import pytest
 
 from repro.crypto.rand import DeterministicRandom
 from repro.experiments.campaign import (
+    _STAGE_ORDER,
     Campaign,
     CampaignConfig,
     aligned_block_bounds,
@@ -25,6 +28,9 @@ from repro.experiments.campaign import (
 from repro.experiments import stage_cache
 from repro.experiments.stage_cache import CampaignStageCache
 from repro.internet.providers import Scale
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.report import render_metrics_json
+from repro.parallel import ScanEngine, engine as engine_module
 from repro.scanners.permutation import CyclicGroupPermutation
 
 from tests.conftest import TINY_SCALE
@@ -104,6 +110,140 @@ def test_parallel_output_identical_to_serial(tiny_campaign, parallel_campaign, s
     parallel = getattr(parallel_campaign, stage)
     assert len(parallel) == len(serial)
     assert parallel == serial
+
+
+# -- zero-copy engine: dep broadcast, adaptive sharding, fast sweep -----------
+
+
+@pytest.fixture(scope="module")
+def full_serial():
+    campaign = Campaign(CampaignConfig(week=18, scale=TINY_SCALE, seed=7))
+    campaign.run_all_stages()
+    return campaign
+
+
+@pytest.fixture(scope="module")
+def full_parallel():
+    campaign = Campaign(
+        CampaignConfig(week=18, scale=TINY_SCALE, seed=7), workers=2
+    )
+    campaign.run_all_stages()
+    yield campaign
+    campaign.close()
+
+
+def test_parallel_campaign_byte_identical_under_dep_broadcast(
+    full_serial, full_parallel
+):
+    """Every stage's records and the whole metrics.json match a serial run.
+
+    The parallel run really exercised the dep-broadcast path (volatile
+    counters moved), yet the deterministic artefact is byte-identical.
+    """
+    for stage in _STAGE_ORDER:
+        assert getattr(full_parallel, stage) == getattr(full_serial, stage), stage
+    assert render_metrics_json(full_parallel) == render_metrics_json(full_serial)
+    assert full_parallel.metrics.counter_value("engine.dep_broadcasts") > 0
+    assert full_parallel.metrics.counter_value("engine.dep_bytes_shipped") > 0
+
+
+def test_small_stages_run_inline(full_parallel):
+    """Stages under the cost threshold run in the parent, unsharded."""
+    assert full_parallel.metrics.counter_value("engine.inline_stages") > 0
+    # The v6 stages walk the small hitlist: far below the threshold.
+    health = full_parallel.stage_health["zmap_v6"]
+    assert health.status == "success" and health.shards == 1
+
+
+def test_big_stages_oversharded(full_parallel):
+    """Sharded stages split into OVERSHARD_FACTOR x workers tasks."""
+    health = full_parallel.stage_health["zmap_v4"]
+    expected = full_parallel._workers * engine_module.OVERSHARD_FACTOR
+    assert health.shards == expected > full_parallel._workers
+
+
+def test_dep_bytes_ship_once_per_worker_per_stage(full_serial):
+    """A dep crosses the process boundary once per worker, then is cached."""
+    config = full_serial.config
+    deps = {"zmap_v4": full_serial.zmap_v4}
+    metrics = MetricsRegistry()
+    engine = ScanEngine(config, workers=2, world=full_serial.world)
+    try:
+        records, errors, shards = engine.run_stage(
+            "qscan_nosni_v4", deps, metrics=metrics
+        )
+        assert errors == []
+        assert records == full_serial.qscan_nosni_v4
+        shipped = metrics.counter_value("engine.dep_bytes_shipped")
+        assert shipped > 0 and shipped % engine.workers == 0
+        assert metrics.counter_value("engine.dep_broadcasts") == 1
+        assert metrics.counter_value("engine.dep_cache_hits") == 0
+        # Re-running a stage with the same dep ships zero new bytes:
+        # the dep is resident on every worker (one cache hit each).
+        rerun, errors, _ = engine.run_stage("qscan_nosni_v4", deps, metrics=metrics)
+        assert errors == [] and rerun == records
+        assert metrics.counter_value("engine.dep_bytes_shipped") == shipped
+        assert metrics.counter_value("engine.dep_cache_hits") == engine.workers
+        # The naive per-task baseline (full deps dict pickled into every
+        # shard task, uncompressed) dwarfs what was actually shipped.
+        naive = metrics.counter_value("engine.dep_bytes_naive")
+        assert naive > shipped
+    finally:
+        engine.close()
+
+
+def test_engine_close_is_graceful_and_idempotent(full_serial):
+    engine = ScanEngine(full_serial.config, workers=2, world=full_serial.world)
+    pool = engine._ensure_pool()
+    workers = list(pool._pool)
+    assert workers and all(process.is_alive() for process in workers)
+    engine.close()
+    assert all(not process.is_alive() for process in workers)
+    engine.close()  # second close is a no-op
+
+
+def test_bad_repro_workers_value_warns(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_WORKERS", "three")
+    assert engine_module.default_worker_count() == (os.cpu_count() or 1)
+    err = capsys.readouterr().err
+    assert "REPRO_WORKERS" in err and "three" in err
+
+
+def test_fast_sweep_matches_slow_probe_path():
+    """The specialised sweep is bit-identical to the generic probe loop.
+
+    Two campaigns over the same configuration: one sweeps the IPv4
+    space through the routed fast path, the other replays the generic
+    paced/retry loop over the identical permutation walk.  Records and
+    traffic-counter deltas must match exactly.
+    """
+    config = CampaignConfig(week=18, scale=TINY_SCALE, seed=7)
+    fast_campaign = Campaign(config)
+    slow_campaign = Campaign(config)
+    fast_scanner = fast_campaign._zmap_scanner(4)
+    slow_scanner = slow_campaign._zmap_scanner(4)
+    assert fast_scanner.pps is None and not fast_scanner.retry.enabled
+
+    space = fast_campaign.world.ipv4_space
+    fast_before = dataclasses.astuple(fast_campaign.world.network.stats)
+    fast_records = fast_scanner.scan_ipv4_space_shard(space, 0, 1)
+    fast_after = dataclasses.astuple(fast_campaign.world.network.stats)
+
+    slow_space = slow_campaign.world.ipv4_space
+    rng = DeterministicRandom(slow_scanner.seed)
+    permutation = CyclicGroupPermutation(slow_space.num_addresses, rng.child("perm"))
+    targets = (
+        (position, slow_space.address_at(index))
+        for position, index in permutation.iter_shard(0, 1)
+    )
+    slow_before = dataclasses.astuple(slow_campaign.world.network.stats)
+    slow_records = slow_scanner._probe_all(targets, rng)
+    slow_after = dataclasses.astuple(slow_campaign.world.network.stats)
+
+    assert fast_records == slow_records
+    fast_delta = [a - b for a, b in zip(fast_after, fast_before)]
+    slow_delta = [a - b for a, b in zip(slow_after, slow_before)]
+    assert fast_delta == slow_delta
 
 
 # -- stage cache --------------------------------------------------------------

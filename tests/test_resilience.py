@@ -311,6 +311,11 @@ def test_parallel_shard_failure_marks_stage_degraded(monkeypatch):
             raise RuntimeError("shard down")
         return _ORIGINAL_SYN_V4(campaign, shard, of)
 
+    from repro.parallel import engine as engine_module
+
+    # Pin one task per worker so the stage splits into exactly 2 shards
+    # and the failure story below stays exact.
+    monkeypatch.setattr(engine_module, "OVERSHARD_FACTOR", 1)
     monkeypatch.setitem(_STAGE_COMPUTE, "syn_v4", boom_on_shard_one)
     campaign = Campaign(CampaignConfig(scale=FAULT_SCALE, seed=31), workers=2)
     try:
