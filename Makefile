@@ -1,14 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-smoke bench-check report artefacts interop chaos chaos-smoke conform fuzz-smoke clean
+.PHONY: test docs-check bench bench-smoke bench-check bench-profile report artefacts interop chaos chaos-smoke conform conform-smoke fuzz-smoke clean
 
 # chaos-smoke keeps the fault-injection/degradation path exercised,
-# fuzz-smoke the wire-format conformance suite, and bench-smoke the
-# parallel-overhead gate on every `make test` run (the full suite
-# includes tests/test_resilience.py and tests/test_conformance.py;
-# deep fuzzing runs via `pytest -m slow_fuzz`).
-test: docs-check chaos-smoke fuzz-smoke bench-smoke
+# fuzz-smoke the wire-format conformance suite, conform-smoke the
+# serial-vs-streaming differential oracle, and bench-smoke the
+# pipeline-overlap/backpressure gate on every `make test` run (the
+# full suite includes tests/test_resilience.py, tests/test_stream.py
+# and tests/test_conformance.py; deep fuzzing runs via
+# `pytest -m slow_fuzz`).
+test: docs-check chaos-smoke fuzz-smoke conform-smoke bench-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Validates intra-repo markdown links + module docstring presence.
@@ -33,16 +35,29 @@ conform:
 fuzz-smoke:
 	$(PYTHON) -m repro conform --seed 9000 --iterations 2000 --skip-differential
 
+# Differential oracle with the streaming engine on the parallel side
+# (the workers>1 default): serial and streamed campaigns must stay
+# byte-identical, records and metrics.json both.
+conform-smoke:
+	$(PYTHON) -m repro conform --seed 9000 --iterations 200 --diff-workers 2
+
 # Full benchmark run: overwrites BENCH_scan.json and appends one JSON
 # line to BENCH_history.jsonl so rate trends survive the overwrite.
 bench:
 	$(PYTHON) -m repro bench --output BENCH_scan.json --history BENCH_history.jsonl
 
 # Fast cold serial-vs-parallel overhead gate on a small world; fails
-# when parallel cold exceeds 1.25x serial or the dep-broadcast
-# reduction collapses. Wired into `make test`.
+# when parallel cold exceeds 1.25x serial, the streaming pipeline
+# stops overlapping stages (pipeline_speedup collapse, overlap_ratio
+# at/below 1, missing queue-depth/backpressure counters), any
+# StageHealth is not "success", or the dep-broadcast reduction
+# collapses. Wired into `make test`.
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --workers 2
+
+# Per-stage cProfile dump (top cumulative functions) for hot-path work.
+bench-profile:
+	$(PYTHON) -m repro bench --profile
 
 # Full regression gate: re-runs the benchmarks and compares the probe
 # and handshake rates against the committed BENCH_scan.json baseline

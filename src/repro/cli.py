@@ -297,11 +297,51 @@ def _print_data_movement(movement) -> None:
     )
 
 
+def _print_streaming(results) -> None:
+    campaign = results.get("campaign", {})
+    streaming = results.get("streaming")
+    if not streaming:
+        return
+    print(
+        f"  pipeline:          {campaign.get('pipeline_speedup')}x over the"
+        f" barrier stage sum ({campaign.get('barrier_stage_sum_seconds')}s)"
+    )
+    print(
+        f"  stream sched:      {streaming.get('tasks', 0)} tasks, overlap"
+        f" {streaming.get('overlap_ratio')}x, queue depth max"
+        f" {streaming.get('queue_depth_max')}/{streaming.get('queue_limit')},"
+        f" {streaming.get('backpressure_stalls', 0)} stalls"
+    )
+    unhealthy = {
+        stage: status
+        for stage, status in results.get("stage_health", {}).items()
+        if status != "success"
+    }
+    if unhealthy:
+        print(f"  stage health:      {unhealthy}")
+
+
 def _cmd_bench(args) -> int:
     import json
     from pathlib import Path
 
-    from repro.perf import check_benchmarks, run_smoke, write_benchmarks
+    from repro.perf import check_benchmarks, run_profile, run_smoke, write_benchmarks
+
+    if args.profile:
+        sections = run_profile(
+            week=args.week,
+            seed=args.seed,
+            scale=Scale(
+                addresses=args.scale,
+                ases=max(1, args.scale // 100),
+                domains=args.scale,
+            ),
+            top=args.top,
+        )
+        for section in sections:
+            print(f"== {section['stage']} ({section['records']} records) ==")
+            print(section["stats"])
+        return 0
 
     if args.smoke:
         results = run_smoke(week=args.week, seed=args.seed, workers=args.workers or 2)
@@ -312,6 +352,7 @@ def _cmd_bench(args) -> int:
         print(f"bench smoke (scale {results['scale']['addresses']}):")
         print(f"  serial cold:       {serial}s")
         print(f"  parallel cold:     {parallel}s ({ratio}x serial)")
+        _print_streaming(results)
         _print_data_movement(results["data_movement"])
         failures = check_benchmarks(results)
         for failure in failures:
@@ -352,6 +393,7 @@ def _cmd_bench(args) -> int:
         f"  warm stage cache:  {campaign['cache_warm_seconds']}s "
         f"({campaign['warm_cache_speedup']}x)"
     )
+    _print_streaming(results)
     _print_data_movement(results["data_movement"])
     if args.check:
         failures = check_benchmarks(results, baseline=baseline)
@@ -457,6 +499,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--smoke",
         action="store_true",
         help="fast cold serial-vs-parallel overhead gate (no baseline file)",
+    )
+    bench_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each campaign stage serially and print the top functions",
+    )
+    bench_parser.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="functions per stage in --profile output (default 15)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
 

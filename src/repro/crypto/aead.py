@@ -25,6 +25,7 @@ import hmac
 from functools import lru_cache
 
 from repro.crypto.gcm import AesGcm, GcmAuthenticationError, xor_bytes
+from repro.crypto.hkdf import hmac_digest
 
 __all__ = [
     "AeadError",
@@ -61,13 +62,16 @@ class AeadAes128Gcm:
 
 
 class AeadSim:
-    """Fast simulated AEAD: SHA-256 keystream + truncated HMAC tag.
+    """Fast simulated AEAD: SHAKE-256 keystream + truncated HMAC tag.
 
     Not a real cipher — used only between this repository's own
     endpoints to model record protection at campaign scale.  It
     preserves the properties the measurement pipeline depends on:
     ciphertext is key-dependent, unauthentic data is rejected, and
-    lengths match AES-GCM (16-byte expansion).
+    lengths match AES-GCM (16-byte expansion).  The keystream is one
+    SHAKE-256 XOF call over (key || nonce) — a single C-level squeeze
+    instead of a Python loop of per-block SHA-256 calls, which
+    dominated record protection at campaign scale.
     """
 
     tag_length = 16
@@ -76,20 +80,10 @@ class AeadSim:
         self._key = key
 
     def _keystream(self, nonce: bytes, length: int) -> bytes:
-        prefix = self._key + nonce
-        blocks = []
-        produced = 0
-        counter = 0
-        while produced < length:
-            block = hashlib.sha256(prefix + counter.to_bytes(4, "big")).digest()
-            blocks.append(block)
-            produced += len(block)
-            counter += 1
-        return b"".join(blocks)[:length]
+        return hashlib.shake_256(self._key + nonce).digest(length)
 
     def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
-        mac = hmac.new(self._key, nonce + aad + ciphertext, "sha256")
-        return mac.digest()[:16]
+        return hmac_digest(self._key, nonce + aad + ciphertext)[:16]
 
     def seal(self, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
         keystream = self._keystream(nonce, len(plaintext))

@@ -7,10 +7,50 @@ and QUIC packet protection key derivation (RFC 9001 §5.1).
 from __future__ import annotations
 
 import hashlib
-import hmac
 from functools import lru_cache
 
-__all__ = ["hkdf_extract", "hkdf_expand", "hkdf_expand_label"]
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf_expand_label", "hmac_digest"]
+
+
+# Hash block sizes for the HMAC key schedule (RFC 2104).
+_BLOCK_SIZES = {"sha256": 64, "sha224": 64, "sha1": 64, "md5": 64, "sha384": 128, "sha512": 128}
+
+# XOR-with-constant as 256-byte translation tables (bytes.translate runs
+# the pad derivation at C speed).
+_IPAD_TRANS = bytes(b ^ 0x36 for b in range(256))
+_OPAD_TRANS = bytes(b ^ 0x5C for b in range(256))
+
+
+@lru_cache(maxsize=8192)
+def _hmac_contexts(key: bytes, hash_name: str):
+    """Pre-seeded (inner, outer) digest contexts for an HMAC key.
+
+    Cached so the two-block key schedule runs once per key; callers
+    copy() the contexts, which is much cheaper than ``hmac.new`` and
+    also skips the hmac module's per-call wrapper objects.
+    """
+    block = _BLOCK_SIZES.get(hash_name, 64)
+    if len(key) > block:
+        key = hashlib.new(hash_name, key).digest()
+    key = key.ljust(block, b"\x00")
+    inner = hashlib.new(hash_name, key.translate(_IPAD_TRANS))
+    outer = hashlib.new(hash_name, key.translate(_OPAD_TRANS))
+    return inner, outer
+
+
+def hmac_digest(key: bytes, message: bytes, hash_name: str = "sha256") -> bytes:
+    """HMAC with per-key context caching (RFC 2104 construction).
+
+    The handshake hot path computes thousands of HMACs over a small set
+    of keys (key-schedule secrets, AEAD keys); copying cached keyed
+    contexts skips the two hash-block key setup every call would pay.
+    """
+    inner, outer = _hmac_contexts(key, hash_name)
+    ih = inner.copy()
+    ih.update(message)
+    oh = outer.copy()
+    oh.update(ih.digest())
+    return oh.digest()
 
 
 @lru_cache(maxsize=8192)
@@ -24,7 +64,7 @@ def hkdf_extract(salt: bytes, ikm: bytes, hash_name: str = "sha256") -> bytes:
     """
     if not salt:
         salt = bytes(hashlib.new(hash_name).digest_size)
-    return hmac.new(salt, ikm, hash_name).digest()
+    return hmac_digest(salt, ikm, hash_name)
 
 
 def hkdf_expand(
@@ -37,9 +77,11 @@ def hkdf_expand(
     blocks = []
     previous = b""
     counter = 1
-    while sum(len(b) for b in blocks) < length:
-        previous = hmac.new(prk, previous + info + bytes([counter]), hash_name).digest()
+    produced = 0
+    while produced < length:
+        previous = hmac_digest(prk, previous + info + bytes([counter]), hash_name)
         blocks.append(previous)
+        produced += len(previous)
         counter += 1
     return b"".join(blocks)[:length]
 

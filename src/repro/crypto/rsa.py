@@ -12,7 +12,8 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Optional
+from functools import cached_property
+from typing import Optional, Tuple
 
 from repro.crypto.primes import generate_prime
 
@@ -53,6 +54,11 @@ class RsaPrivateKey:
     n: int
     e: int
     d: int
+    # Prime factors, when known (freshly generated keys carry them;
+    # keys reconstructed from (n, e, d) alone may not).  They enable
+    # the ~4x faster CRT signing path below; signatures are identical.
+    p: Optional[int] = None
+    q: Optional[int] = None
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -62,10 +68,33 @@ class RsaPrivateKey:
     def size_bytes(self) -> int:
         return (self.n.bit_length() + 7) // 8
 
+    @cached_property
+    def _crt(self) -> Optional[Tuple[int, int, int, int, int]]:
+        """(p, q, d mod p-1, d mod q-1, q^-1 mod p) or None."""
+        if self.p is None or self.q is None:
+            return None
+        return (
+            self.p,
+            self.q,
+            self.d % (self.p - 1),
+            self.d % (self.q - 1),
+            pow(self.q, -1, self.p),
+        )
+
     def sign(self, message: bytes) -> bytes:
         em = _pkcs1_v15_encode(message, self.size_bytes)
         m = int.from_bytes(em, "big")
-        return pow(m, self.d, self.n).to_bytes(self.size_bytes, "big")
+        crt = self._crt
+        if crt is None:
+            s = pow(m, self.d, self.n)
+        else:
+            # Chinese Remainder Theorem (RFC 8017 §5.1.2): two
+            # half-size exponentiations instead of one full-size one.
+            p, q, dp, dq, qinv = crt
+            m1 = pow(m % p, dp, p)
+            m2 = pow(m % q, dq, q)
+            s = m2 + q * ((qinv * (m1 - m2)) % p)
+        return s.to_bytes(self.size_bytes, "big")
 
 
 def _pkcs1_v15_encode(message: bytes, em_len: int) -> bytes:
@@ -96,4 +125,4 @@ def generate_rsa_key(
             d = pow(e, -1, phi)
         except ValueError:
             continue
-        return RsaPrivateKey(n=n, e=e, d=d)
+        return RsaPrivateKey(n=n, e=e, d=d, p=p, q=q)

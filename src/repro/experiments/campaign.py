@@ -36,6 +36,7 @@ result (see :mod:`repro.observability.report`).
 from __future__ import annotations
 
 import dataclasses
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -114,6 +115,14 @@ class CampaignConfig:
                 value = dataclasses.astuple(value)
             parts.append((spec.name, value))
         return tuple(parts)
+
+
+def _stream_default() -> bool:
+    """Whether full-campaign parallel runs stream by default.
+
+    ``REPRO_STREAM=0`` pins the barrier-synchronised engine (used by
+    tests that assert barrier internals and as an escape hatch)."""
+    return os.environ.get("REPRO_STREAM", "1") != "0"
 
 
 def shard_block_bounds(count: int, shard: int, of: int) -> Tuple[int, int]:
@@ -455,10 +464,96 @@ class Campaign:
         self.world.network.begin_fault_epoch(name)
         return _STAGE_COMPUTE[name](self, shard, of)
 
-    def run_all_stages(self) -> Dict[str, int]:
-        """Execute every stage in canonical order; returns record counts."""
+    # -- streaming entry points (see repro.parallel.stream) ----------------
+    #
+    # The streaming engine partitions work by *contiguous serial-order
+    # segments* instead of interleaved permutation shards, and ships
+    # each chunk's targets in the task itself (they are the upstream
+    # chunk's freshly produced records, not a broadcastable stage
+    # dependency).  Each entry point opens the stage's fault epoch and
+    # seeks scanner rng state to the chunk's global offset, so records
+    # and merged metrics stay byte-identical to a serial run.
+
+    def compute_stage_range(self, name: str, lo: int, hi: int) -> List[Tuple[int, object]]:
+        """Sweep the contiguous walk segment ``[lo, hi)`` of an IPv4 sweep."""
+        self.world.network.begin_fault_epoch(name)
+        if name == "zmap_v4":
+            return self._zmap_scanner(4).scan_ipv4_range(self.world.ipv4_space, lo, hi)
+        if name == "syn_v4":
+            return self._syn_scanner(4).scan_ipv4_range(self.world.ipv4_space, lo, hi)
+        raise KeyError(f"not a range-sweep stage: {name}")
+
+    def compute_stage_targets(
+        self, name: str, lo: int, targets: Sequence[Address]
+    ) -> List[Tuple[int, object]]:
+        """Probe a contiguous slice of an explicit target list (v6 sweeps)."""
+        self.world.network.begin_fault_epoch(name)
+        if name == "zmap_v6":
+            return self._zmap_scanner(6).scan_targets_shard(targets, lo)
+        if name == "syn_v6":
+            return self._syn_scanner(6).scan_targets_shard(targets, lo)
+        raise KeyError(f"not a target-sweep stage: {name}")
+
+    def compute_stage_chunk(
+        self, name: str, lo: int, items: Sequence
+    ) -> List[Tuple[int, object]]:
+        """Run a stateful scanner over one contiguous chunk of targets.
+
+        ``lo`` is the chunk's offset in the stage's serial target list;
+        ``seek(lo)`` gives every target the same rng child it would get
+        in a serial scan of the full list.
+        """
+        self.world.network.begin_fault_epoch(name)
+        family = 6 if name.endswith("v6") else 4
+        if name.startswith("goscanner_nosni"):
+            scanner = self._goscanner(f"nosni{family}")
+            scanner.seek(lo)
+            return [
+                (lo + i, scanner.scan(address, None))
+                for i, address in enumerate(items)
+            ]
+        if name.startswith("goscanner_sni"):
+            scanner = self._goscanner(f"sni{family}")
+            scanner.seek(lo)
+            return [
+                (lo + i, scanner.scan(address, domain))
+                for i, (address, domain) in enumerate(items)
+            ]
+        if name.startswith("qscan_nosni"):
+            scanner = self._qscanner(f"nosni{family}", source_v6=family == 6)
+            scanner.seek(lo)
+            return [
+                (lo + i, scanner.scan(address, None, TargetSource.ZMAP_DNS))
+                for i, address in enumerate(items)
+            ]
+        if name.startswith("qscan_sni"):
+            scanner = self._qscanner(f"sni{family}", source_v6=family == 6)
+            scanner.seek(lo)
+            return [
+                (lo + i, scanner.scan(address, domain, source))
+                for i, (address, domain, source) in enumerate(items)
+            ]
+        raise KeyError(f"not a chunkable stage: {name}")
+
+    def run_all_stages(self, streaming: Optional[bool] = None) -> Dict[str, int]:
+        """Execute every stage in canonical order; returns record counts.
+
+        With ``workers > 1`` the stages run through the streaming
+        dataflow engine by default: upstream sweep chunks feed stateful
+        scanner chunks while the sweeps are still running, killing the
+        per-stage barrier (records and ``metrics.json`` stay
+        byte-identical to a serial run).  ``streaming=False`` — or
+        ``REPRO_STREAM=0`` — falls back to barrier-synchronised
+        per-stage sharding.
+        """
         counts: Dict[str, int] = {}
         counts["dns"] = len(self.all_dns_records)
+        if streaming is None:
+            streaming = _stream_default()
+        if streaming and self._workers > 1:
+            from repro.parallel.stream import run_streaming
+
+            run_streaming(self)
         for name in _STAGE_ORDER:
             counts[name] = len(getattr(self, name))
         return counts

@@ -1,5 +1,12 @@
-"""Sharded parallel execution of campaign scan stages."""
+"""Parallel execution of campaign scan stages.
+
+Two engines share the worker plumbing: the barrier-synchronised
+:class:`ScanEngine` (one stage at a time, interleaved permutation
+shards) and the streaming :class:`StreamEngine` (record dataflow over
+prefix-ordered chunks; see :mod:`repro.parallel.stream`).
+"""
 
 from repro.parallel.engine import ScanEngine
+from repro.parallel.stream import StreamEngine, run_streaming
 
-__all__ = ["ScanEngine"]
+__all__ = ["ScanEngine", "StreamEngine", "run_streaming"]

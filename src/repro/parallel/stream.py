@@ -1,0 +1,646 @@
+"""Streaming dataflow execution of campaign scan stages.
+
+The barrier engine (:mod:`repro.parallel.engine`) runs a parallel
+campaign one stage at a time: every shard of a ZMap sweep must return
+before the first downstream handshake starts, so the stateful scanners
+sit idle while the sweeps run and each stage pays the latency of its
+slowest shard.  This module replaces the stage barrier with record
+streaming:
+
+- **prefix-ordered sweep chunks** — IPv4 sweeps are partitioned into
+  contiguous walk segments (:meth:`CyclicGroupPermutation.iter_range`)
+  instead of interleaved sub-cycles, so completed chunks form a
+  *prefix* of the serial visit order and their responders can feed
+  downstream stages while later segments are still sweeping,
+- **records as dataflow** — a completed upstream chunk's surviving
+  records are transformed parent-side into the consumer stage's
+  target items and shipped inside the consumer's chunk task; workers
+  never resolve stage dependencies, so the dep broadcast (and its
+  barrier) disappears entirely,
+- **bounded queues with backpressure** — buffered consumer items are
+  capped (``REPRO_STREAM_QUEUE``); when handshake stages fall behind,
+  sweep dispatch stalls instead of buffering unboundedly, and stalls
+  are counted (``stream.backpressure_stalls``),
+- **deterministic merge** — every chunk computes under a fresh metrics
+  registry, positions are absolute (walk positions or serial
+  target-list indices), fault epochs are keyed by stage name, and
+  scanner rng state is ``seek()``-ed to the chunk's global offset;
+  re-sorting merged pairs by position makes records *and* rendered
+  ``metrics.json`` byte-identical to a serial run (the ``repro
+  conform`` differential oracle holds with streaming enabled).
+
+Chunk scheduling is depth-first: QScanner chunks preempt Goscanner
+chunks preempt sweep chunks, so discovered targets drain through the
+pipeline instead of piling up behind fresh sweep work.  Stage health
+semantics match the barrier engine: a failed chunk degrades its stage
+to the surviving chunks' records and downstream stages keep running on
+whatever survived; degraded stages are never cached.
+
+Observability is volatile by design — ``stream.*`` counters and gauges
+measure transport and scheduling, which vary with worker count, and
+must never enter the deterministic ``metrics.json``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.observability.tracing import EventTracer, use_tracer
+from repro.parallel import engine as engine_module
+from repro.parallel.engine import OVERSHARD_FACTOR, _env_int, _init_worker, _replica
+from repro.quic.versions import QSCANNER_SUPPORTED
+
+__all__ = ["StreamEngine", "run_streaming", "stream_queue_limit"]
+
+# How many chunks per worker a source sweep is cut into.  Finer than
+# the barrier engine's oversharding: early chunks must complete early
+# for downstream overlap, and sweep chunks are cheap to ship (two
+# integers).
+_STREAM_CHUNKS_PER_WORKER = _env_int("REPRO_STREAM_CHUNKS", 8)
+
+# Floor sizes keeping chunks worth their IPC round-trip.
+_MIN_SWEEP_CHUNK = 2048  # walk positions (~microseconds each)
+_MIN_TARGET_CHUNK = 64  # explicit-list probes
+
+# Consumer batching: accumulate at least this many targets before
+# shipping a handshake chunk (flushed regardless when upstream ends),
+# and split floods (e.g. a cache-hit upstream arriving whole) into
+# chunks of at most REPRO_STREAM_MAX_BATCH so one consumer stage still
+# spreads across workers.
+_MIN_BATCH = _env_int("REPRO_STREAM_BATCH", 16)
+_MAX_BATCH = _env_int("REPRO_STREAM_MAX_BATCH", 256)
+
+# A chunk that produces no completion within this window means the
+# pool died or the scheduler wedged; fail loudly instead of hanging.
+_COMPLETION_TIMEOUT = 300.0
+
+
+def stream_queue_limit() -> int:
+    """Max buffered consumer items before sweep dispatch stalls."""
+    return _env_int("REPRO_STREAM_QUEUE", 2048)
+
+
+# Dataflow edges: upstream stage -> consumer stages fed per completed
+# prefix chunk.  qscan_sni_* are barrier consumers (their target union
+# needs the *complete* zmap + goscanner_sni output) and are planned
+# when their requirements finalize.
+_CONSUMERS: Dict[str, Tuple[str, ...]] = {
+    "syn_v4": ("goscanner_nosni_v4", "goscanner_sni_v4"),
+    "syn_v6": ("goscanner_nosni_v6", "goscanner_sni_v6"),
+    "zmap_v4": ("qscan_nosni_v4",),
+    "zmap_v6": ("qscan_nosni_v6",),
+}
+
+_BARRIER_STAGES: Dict[str, Tuple[str, ...]] = {
+    "qscan_sni_v4": ("zmap_v4", "goscanner_sni_v4"),
+    "qscan_sni_v6": ("zmap_v6", "goscanner_sni_v6"),
+}
+
+# Pipeline depth drives dispatch priority: deeper stages drain first.
+_DEPTH: Dict[str, int] = {
+    "zmap_v4": 0,
+    "zmap_v6": 0,
+    "syn_v4": 0,
+    "syn_v6": 0,
+    "goscanner_nosni_v4": 1,
+    "goscanner_sni_v4": 1,
+    "goscanner_nosni_v6": 1,
+    "goscanner_sni_v6": 1,
+    "qscan_nosni_v4": 1,
+    "qscan_nosni_v6": 1,
+    "qscan_sni_v4": 2,
+    "qscan_sni_v6": 2,
+}
+
+
+def _stream_chunk(task):
+    """Pool task: compute one streaming chunk on the local replica.
+
+    Mirrors the barrier engine's ``_run_shard`` observability contract:
+    a fresh registry/tracer per task, exceptions captured as the final
+    element so one bad chunk degrades its stage instead of crashing the
+    pool.
+    """
+    kind, stage, seq, lo, payload, trace_rate = task
+    campaign = _replica()
+    registry = MetricsRegistry()
+    tracer = EventTracer(sample_rate=trace_rate)
+    error: Optional[str] = None
+    with use_metrics(registry), use_tracer(tracer):
+        try:
+            if kind == "range":
+                pairs = campaign.compute_stage_range(stage, lo, payload)
+            elif kind == "targets":
+                pairs = campaign.compute_stage_targets(stage, lo, payload)
+            else:
+                pairs = campaign.compute_stage_chunk(stage, lo, payload)
+        except Exception as exc:
+            pairs = []
+            error = f"chunk {seq} @{lo}: {type(exc).__name__}: {exc}"
+    return stage, seq, pairs, registry.snapshot(), tracer.drain(), error
+
+
+def _derive_items(campaign, consumer: str, records: List) -> List:
+    """Transform upstream records into a consumer stage's target items.
+
+    Item order — and therefore every item's global index — matches the
+    serial target-list construction exactly: records arrive in serial
+    prefix order and each transformation is order-preserving.
+    """
+    if consumer.startswith("goscanner_nosni"):
+        return [record.address for record in records]
+    if consumer.startswith("goscanner_sni"):
+        cap = campaign.config.max_domains_per_address
+        join = campaign.dns_join
+        return [
+            (record.address, domain)
+            for record in records
+            for domain in join.domains_for(record.address)[:cap]
+        ]
+    if consumer.startswith("qscan_nosni"):
+        return [
+            record.address
+            for record in records
+            if set(record.versions) & QSCANNER_SUPPORTED
+        ]
+    raise KeyError(f"unknown consumer stage: {consumer}")
+
+
+@dataclass
+class _StageNode:
+    """Parent-side scheduling state for one streaming stage."""
+
+    name: str
+    depth: int
+    cache_state: str = "off"
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    # Chunk bookkeeping.  ``total`` stays None until the chunk count is
+    # known (sources: at planning; consumers: when upstream ends).
+    total: Optional[int] = None
+    planned: int = 0
+    completed: int = 0
+    next_seq: int = 0
+    results: Dict[int, Tuple] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+    # Consumer-side input buffer and global item cursor.
+    pending_items: List = field(default_factory=list)
+    emitted: int = 0
+    upstream_done: bool = False
+    finalized: bool = False
+    records: List = field(default_factory=list)
+
+
+class StreamEngine:
+    """Schedules a campaign's stages as a streaming chunk dataflow."""
+
+    def __init__(self, campaign, workers: Optional[int] = None):
+        self.campaign = campaign
+        self.workers = max(1, workers if workers is not None else campaign._workers)
+        self._pool = None
+        self._nodes: Dict[str, _StageNode] = {}
+        self._ready: Dict[int, deque] = {0: deque(), 1: deque(), 2: deque()}
+        self._completions: queue.Queue = queue.Queue()
+        self._inflight = 0
+        self._inflight_depth: Dict[int, int] = {0: 0, 1: 0, 2: 0}
+        self._cap = self.workers * max(1, OVERSHARD_FACTOR)
+        self._min_batch = max(1, _MIN_BATCH)
+        self._max_batch = max(self._min_batch, _MAX_BATCH)
+        self._queue_limit = max(1, stream_queue_limit())
+        # Volatile telemetry.
+        self._tasks_total = 0
+        self._stalls = 0
+        self._queue_max = 0
+        self._inflight_max = 0
+
+    # -- public entry ------------------------------------------------------
+    def run(self) -> None:
+        """Stream every stage of :data:`_STAGE_ORDER` to completion."""
+        campaign = self.campaign
+        start = time.perf_counter()
+        with use_metrics(campaign.metrics), use_tracer(campaign.tracer):
+            # Parent-side plain stages: cheap, and every streaming
+            # stage's item derivation depends on them.  Building the
+            # world here also lets the pool fork inherit it.
+            campaign.all_dns_records
+            campaign.dns_join
+            campaign.ipv6_scan_input
+            self._plan()
+            try:
+                if not self._all_finalized():
+                    self._ensure_pool()
+                    self._loop()
+            finally:
+                self._close_pool()
+            self._record_telemetry(time.perf_counter() - start)
+
+    # -- planning ----------------------------------------------------------
+    def _plan(self) -> None:
+        from repro.experiments.campaign import _STAGE_ORDER, StageHealth
+
+        campaign = self.campaign
+        cache = campaign.stage_cache
+        for name in _STAGE_ORDER:
+            self._nodes[name] = _StageNode(
+                name=name,
+                depth=_DEPTH[name],
+                cache_state="off" if cache is None else "miss",
+            )
+        # Probe the cache for every stage *before* feeding anything:
+        # a consumer that is itself a hit must never receive chunks.
+        hits: List[_StageNode] = []
+        if cache is not None:
+            for name in _STAGE_ORDER:
+                cached = cache.load(name)
+                if cached is not None:
+                    node = self._nodes[name]
+                    node.cache_state = "hit"
+                    node.started = time.perf_counter()
+                    node.total = 0
+                    self._complete(node, cached, StageHealth(stage=name))
+                    hits.append(node)
+        for node in hits:
+            self._feed_records(node.name, node.records)
+            self._upstream_finished(node)
+        for name in ("zmap_v4", "syn_v4"):
+            self._plan_sweep(name)
+        for name in ("zmap_v6", "syn_v6"):
+            self._plan_targets(name)
+
+    def _plan_sweep(self, name: str) -> None:
+        campaign = self.campaign
+        node = self._nodes[name]
+        if node.finalized:
+            return
+        node.started = time.perf_counter()
+        scanner = (
+            campaign._zmap_scanner(4) if name == "zmap_v4" else campaign._syn_scanner(4)
+        )
+        cycle = scanner.sweep_cycle_length(campaign.world.ipv4_space)
+        chunks = self._source_chunk_count(cycle, _MIN_SWEEP_CHUNK)
+        from repro.experiments.campaign import shard_block_bounds
+
+        for seq in range(chunks):
+            lo, hi = shard_block_bounds(cycle, seq, chunks)
+            self._ready[0].append(("range", name, seq, lo, hi))
+        node.total = node.planned = chunks
+        if chunks == 0:
+            self._finalize(node)
+
+    def _plan_targets(self, name: str) -> None:
+        campaign = self.campaign
+        node = self._nodes[name]
+        if node.finalized:
+            return
+        node.started = time.perf_counter()
+        targets = campaign.ipv6_scan_input
+        chunks = self._source_chunk_count(len(targets), _MIN_TARGET_CHUNK)
+        from repro.experiments.campaign import shard_block_bounds
+
+        for seq in range(chunks):
+            lo, hi = shard_block_bounds(len(targets), seq, chunks)
+            self._ready[0].append(("targets", name, seq, lo, targets[lo:hi]))
+        node.total = node.planned = chunks
+        if chunks == 0:
+            self._finalize(node)
+
+    def _plan_sni(self, name: str) -> None:
+        """Plan a barrier consumer once its requirements finalized."""
+        campaign = self.campaign
+        node = self._nodes[name]
+        node.started = time.perf_counter()
+        family = 6 if name.endswith("v6") else 4
+        node.pending_items = list(campaign._sorted_sni_targets(family))
+        node.upstream_done = True
+        self._flush(node, force=True)
+        node.total = node.planned
+        if node.total == 0:
+            self._finalize(node)
+
+    def _maybe_plan_barriers(self) -> None:
+        for name, requirements in _BARRIER_STAGES.items():
+            node = self._nodes[name]
+            if node.finalized or node.started is not None:
+                continue
+            if all(self._nodes[req].finalized for req in requirements):
+                self._plan_sni(name)
+
+    def _source_chunk_count(self, items: int, min_chunk: int) -> int:
+        if items <= 0:
+            return 0
+        cap = max(1, self.workers * _STREAM_CHUNKS_PER_WORKER)
+        return max(1, min(cap, max(1, items // min_chunk)))
+
+    # -- dataflow ----------------------------------------------------------
+    def _feed_records(self, name: str, records: List) -> None:
+        for consumer in _CONSUMERS.get(name, ()):
+            cnode = self._nodes[consumer]
+            if cnode.finalized or cnode.cache_state == "hit":
+                continue
+            items = _derive_items(self.campaign, consumer, records)
+            if items:
+                cnode.pending_items.extend(items)
+                self._flush(cnode, force=cnode.upstream_done)
+
+    def _flush(self, node: _StageNode, force: bool = False) -> None:
+        items = node.pending_items
+        if not items or (not force and len(items) < self._min_batch):
+            return
+        node.pending_items = []
+        for lo, hi in self._split(node, items):
+            seq = node.planned
+            node.planned += 1
+            self._ready[node.depth].append(
+                ("chunk", node.name, seq, node.emitted + lo, items[lo:hi])
+            )
+        node.emitted += len(items)
+
+    def _split(self, node: _StageNode, items: List) -> List[Tuple[int, int]]:
+        """Cut one flush batch into at-most-``_MAX_BATCH``-item chunks.
+
+        SNI stages align cuts on address runs — all connections to one
+        server must stay in one chunk so the server's per-connection
+        state sequence replays the serial scan (the same invariant the
+        barrier engine enforces with :func:`aligned_block_bounds`).
+        """
+        count = (len(items) + self._max_batch - 1) // self._max_batch
+        if count <= 1:
+            return [(0, len(items))]
+        from repro.experiments.campaign import aligned_block_bounds, shard_block_bounds
+
+        if node.name.startswith(("goscanner_sni", "qscan_sni")):
+            bounds = [
+                aligned_block_bounds([item[0] for item in items], k, count)
+                for k in range(count)
+            ]
+        else:
+            bounds = [shard_block_bounds(len(items), k, count) for k in range(count)]
+        return [(lo, hi) for lo, hi in bounds if hi > lo]
+
+    def _upstream_finished(self, node: _StageNode) -> None:
+        for consumer in _CONSUMERS.get(node.name, ()):
+            cnode = self._nodes[consumer]
+            if cnode.finalized or cnode.cache_state == "hit":
+                continue
+            cnode.upstream_done = True
+            if cnode.started is None:
+                cnode.started = time.perf_counter()
+            self._flush(cnode, force=True)
+            cnode.total = cnode.planned
+            if cnode.completed == cnode.total:
+                self._finalize(cnode)
+        self._maybe_plan_barriers()
+
+    # -- chunk lifecycle ---------------------------------------------------
+    def _submit(self, task) -> None:
+        kind, stage, seq, lo, payload = task
+        node = self._nodes[stage]
+        if node.started is None:
+            node.started = time.perf_counter()
+        self._inflight += 1
+        self._inflight_depth[node.depth] += 1
+        self._inflight_max = max(self._inflight_max, self._inflight)
+        self._tasks_total += 1
+        full = (kind, stage, seq, lo, payload, self.campaign.tracer.sample_rate)
+
+        def on_done(result):
+            self._completions.put(("ok", result))
+
+        def on_error(exc, stage=stage, seq=seq):
+            self._completions.put(("err", (stage, seq, exc)))
+
+        self._pool.apply_async(
+            _stream_chunk, (full,), callback=on_done, error_callback=on_error
+        )
+
+    def _consumer_backlog(self) -> int:
+        """Buffered consumer items not yet inside a worker."""
+        total = 0
+        for node in self._nodes.values():
+            if node.depth > 0 and not node.finalized:
+                total += len(node.pending_items)
+        for depth in (1, 2):
+            for task in self._ready[depth]:
+                total += len(task[4])
+        return total
+
+    def _dispatch(self) -> None:
+        stalled = False
+        while self._inflight < self._cap:
+            backlog = self._consumer_backlog()
+            self._queue_max = max(
+                self._queue_max, backlog, sum(len(d) for d in self._ready.values())
+            )
+            task = None
+            for depth in (2, 1):
+                if self._ready[depth]:
+                    task = self._ready[depth].popleft()
+                    break
+            if task is None and self._ready[0]:
+                if backlog >= self._queue_limit:
+                    # Sweeps are outrunning the handshake stages: stall
+                    # source dispatch and push the buffered targets into
+                    # consumer chunks instead, so the stall drains the
+                    # pipeline rather than wedging it.
+                    stalled = True
+                    flushed = False
+                    for node in self._nodes.values():
+                        if node.depth > 0 and not node.finalized and node.pending_items:
+                            self._flush(node, force=True)
+                            flushed = True
+                    if flushed:
+                        continue
+                    if self._inflight == 0:
+                        # Liveness: with nothing running and nothing to
+                        # flush, a stalled source is the only progress.
+                        task = self._ready[0].popleft()
+                else:
+                    task = self._ready[0].popleft()
+            if task is None:
+                break
+            self._submit(task)
+        if stalled:
+            self._stalls += 1
+
+    def _loop(self) -> None:
+        while not self._all_finalized():
+            self._dispatch()
+            if self._inflight == 0:
+                pending = [n.name for n in self._nodes.values() if not n.finalized]
+                raise RuntimeError(f"streaming scheduler wedged; pending: {pending}")
+            try:
+                kind, payload = self._completions.get(timeout=_COMPLETION_TIMEOUT)
+            except queue.Empty:
+                raise RuntimeError(
+                    f"no chunk completed within {_COMPLETION_TIMEOUT}s; "
+                    "worker pool presumed dead"
+                ) from None
+            self._handle(kind, payload)
+            while True:
+                try:
+                    kind, payload = self._completions.get_nowait()
+                except queue.Empty:
+                    break
+                self._handle(kind, payload)
+
+    def _handle(self, kind: str, payload) -> None:
+        if kind == "err":
+            stage, seq, exc = payload
+            result = (
+                stage,
+                seq,
+                [],
+                {},
+                [],
+                f"chunk {seq}: {type(exc).__name__}: {exc}",
+            )
+        else:
+            result = payload
+        stage, seq, pairs, snapshot, events, error = result
+        node = self._nodes[stage]
+        self._inflight -= 1
+        self._inflight_depth[node.depth] -= 1
+        node.results[seq] = (pairs, snapshot, events, error)
+        node.completed += 1
+        self._advance(node)
+
+    def _advance(self, node: _StageNode) -> None:
+        # Feed consumers strictly in prefix order: chunk seq N's records
+        # only flow once 0..N-1 have flowed (failed chunks flow nothing,
+        # matching the barrier engine's surviving-records degradation).
+        while node.next_seq in node.results:
+            pairs, _, _, error = node.results[node.next_seq]
+            node.next_seq += 1
+            if error is None and pairs:
+                self._feed_records(node.name, [record for _, record in pairs])
+        if (
+            node.total is not None
+            and node.completed == node.total
+            and not node.finalized
+        ):
+            self._finalize(node)
+
+    def _finalize(self, node: _StageNode) -> None:
+        from repro.experiments.campaign import StageHealth
+
+        campaign = self.campaign
+        merged: List[Tuple[int, object]] = []
+        for seq in range(node.total or 0):
+            pairs, snapshot, events, error = node.results[seq]
+            if error is not None:
+                node.errors.append(error)
+                continue
+            merged.extend(pairs)
+            if snapshot:
+                campaign.metrics.merge_snapshot(snapshot)
+            if events:
+                campaign.tracer.extend(events)
+        node.results.clear()
+        merged.sort(key=lambda item: item[0])
+        records = [record for _, record in merged]
+        if not node.errors:
+            status = "success"
+        elif len(node.errors) >= max(node.total or 0, 1):
+            status = "failed"
+        else:
+            status = "degraded"
+        health = StageHealth(
+            stage=node.name,
+            status=status,
+            error="; ".join(node.errors) or None,
+            shards=max(node.total or 0, 1),
+            shards_failed=len(node.errors),
+        )
+        self._complete(node, records, health)
+        self._upstream_finished(node)
+
+    def _complete(self, node: _StageNode, records: List, health) -> None:
+        """Install a finished stage on the campaign (shared with hits)."""
+        campaign = self.campaign
+        node.finalized = True
+        node.finished = time.perf_counter()
+        if node.started is None:
+            node.started = node.finished
+        node.records = records
+        campaign.__dict__[node.name] = records
+        if (
+            campaign.stage_cache is not None
+            and node.cache_state == "miss"
+            and health.status == "success"
+        ):
+            campaign.stage_cache.store(node.name, records)
+        health.records = len(records)
+        campaign.stage_health[node.name] = health
+        campaign._account_stage(
+            node.name, len(records), node.cache_state, node.started, health
+        )
+
+    def _all_finalized(self) -> bool:
+        return all(node.finalized for node in self._nodes.values())
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context("spawn")
+            # Publish the built world for the fork to inherit (same
+            # copy-on-write scheme as the barrier engine); no broadcast
+            # barrier — streaming workers never receive deps.
+            engine_module._FORK_SHARED = (self.campaign.config, self.campaign.world)
+            try:
+                self._pool = context.Pool(
+                    processes=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.campaign.config, None),
+                )
+            finally:
+                engine_module._FORK_SHARED = None
+        return self._pool
+
+    def _close_pool(self, timeout: float = 10.0) -> None:
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        pool.close()
+        workers = list(getattr(pool, "_pool", ()))
+        deadline = time.monotonic() + timeout
+        while any(p.is_alive() for p in workers) and time.monotonic() < deadline:
+            time.sleep(0.02)
+        if any(p.is_alive() for p in workers):
+            pool.terminate()
+        pool.join()
+
+    # -- telemetry ---------------------------------------------------------
+    def _record_telemetry(self, wall: float) -> None:
+        metrics = self.campaign.metrics
+        streamed = [
+            node
+            for node in self._nodes.values()
+            if node.cache_state != "hit" and (node.total or 0) > 0
+        ]
+        busy = sum(
+            (node.finished or 0.0) - (node.started or 0.0) for node in streamed
+        )
+        overlap = busy / wall if wall > 0 and streamed else 0.0
+        metrics.counter("stream.stages", volatile=True).inc(len(streamed))
+        metrics.counter("stream.tasks", volatile=True).inc(self._tasks_total)
+        metrics.counter("stream.backpressure_stalls", volatile=True).inc(self._stalls)
+        metrics.gauge("stream.queue_depth_max", volatile=True).set(self._queue_max)
+        metrics.gauge("stream.inflight_max", volatile=True).set(self._inflight_max)
+        metrics.gauge("stream.queue_limit", volatile=True).set(self._queue_limit)
+        metrics.gauge("stream.wall_seconds", volatile=True).set(round(wall, 6))
+        metrics.gauge("stream.overlap_ratio", volatile=True).set(round(overlap, 4))
+
+
+def run_streaming(campaign, workers: Optional[int] = None) -> None:
+    """Run every campaign stage through the streaming dataflow engine."""
+    StreamEngine(campaign, workers).run()

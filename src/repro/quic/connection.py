@@ -42,6 +42,7 @@ from repro.quic.packet import (
 )
 from repro.quic.protection import ProtectionKeys, protect_long, protect_short, unprotect
 from repro.quic.transport_params import TransportParameters
+from repro.quic.varint import varint_length
 from repro.quic.versions import QUIC_V1, is_forcing_negotiation
 from repro.tls.alerts import AlertError
 from repro.tls.ciphersuites import CipherSuite, suite_by_id
@@ -65,6 +66,24 @@ __all__ = [
 
 _MAX_DATAGRAM = 1452
 _INITIAL_MIN_SIZE = 1200
+
+
+def _initial_packet_length(
+    payload_len: int, dcid: bytes, scid: bytes, token: bytes, pn_length: int = 4
+) -> int:
+    """Length of a protected Initial packet carrying ``payload_len``
+    plaintext bytes — mirrors encode_long_header + AEAD expansion."""
+    ciphertext_len = payload_len + 16
+    return (
+        7  # first byte + version + the two CID length bytes
+        + len(dcid)
+        + len(scid)
+        + varint_length(len(token))
+        + len(token)
+        + varint_length(pn_length + ciphertext_len)
+        + pn_length
+        + ciphertext_len
+    )
 
 
 def quic_protection_keys(suite: CipherSuite, secret: bytes) -> ProtectionKeys:
@@ -148,6 +167,12 @@ class QuicClientConfig:
     application_streams: Dict[int, bytes] = field(default_factory=dict)
     retry_on_version_negotiation: bool = True
     fast_initial_protection: bool = False
+    # Batched-scan accelerator: reuse one (dcid, scid) pair across a
+    # whole scan batch so the Initial key ladder is derived once, not
+    # per connection.  Safe because the simulated fabric gives every
+    # connection a unique ephemeral source port (servers key state by
+    # (source, dcid)) and nothing recorded depends on CID values.
+    initial_cids: Optional[Tuple[bytes, bytes]] = None
     # Send application_streams as 0-RTT early data when the configured
     # session ticket permits it (requires tls.session_ticket +
     # tls.offer_early_data).
@@ -272,8 +297,14 @@ class QuicClientConnection:
     ) -> QuicHandshakeResult:
         if start is None:
             start = self._network.now
-        dcid = dcid_override if dcid_override is not None else self._rng.token(8)
-        scid = self._rng.token(8)
+        if dcid_override is not None:
+            dcid = dcid_override
+            scid = self._rng.token(8)
+        elif self._config.initial_cids is not None:
+            dcid, scid = self._config.initial_cids
+        else:
+            dcid = self._rng.token(8)
+            scid = self._rng.token(8)
         initial_keys = derive_initial_keys(dcid, version)
         fast = self._config.fast_initial_protection
         send_initial = _initial_protection(initial_keys.client, fast)
@@ -283,18 +314,19 @@ class QuicClientConnection:
         client_hello = tls.client_hello()
 
         payload = fr.encode_frames([fr.CryptoFrame(offset=0, data=client_hello)])
+        # Pad to 1200 B analytically so the packet is protected once,
+        # not protected, measured, re-encoded and protected again.
+        unpadded = _initial_packet_length(len(payload), dcid, scid, token)
+        if unpadded < _INITIAL_MIN_SIZE:
+            payload = fr.encode_frames(
+                [
+                    fr.CryptoFrame(offset=0, data=client_hello),
+                    fr.PaddingFrame(_INITIAL_MIN_SIZE - unpadded),
+                ]
+            )
         packet = protect_long(
             send_initial, PacketType.INITIAL, version, dcid, scid, 0, payload, token=token
         )
-        if len(packet) < _INITIAL_MIN_SIZE:
-            # Re-encode with PADDING frames so the datagram reaches 1200 B.
-            pad = _INITIAL_MIN_SIZE - len(packet)
-            payload = fr.encode_frames(
-                [fr.CryptoFrame(offset=0, data=client_hello), fr.PaddingFrame(pad)]
-            )
-            packet = protect_long(
-                send_initial, PacketType.INITIAL, version, dcid, scid, 0, payload, token=token
-            )
         # 0-RTT: early data coalesces with the Initial (RFC 9000 §12.2).
         early_sent = False
         if (

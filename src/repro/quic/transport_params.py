@@ -13,7 +13,9 @@ tokens, preferred addresses) are excluded, exactly as the paper
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, fields
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 from repro.quic.varint import Buffer, encode_varint
@@ -65,6 +67,35 @@ for _mapping in (_INT_PARAMS, _BYTES_PARAMS, _FLAG_PARAMS):
     for _pid, _name in _mapping.items():
         _NAME_TO_ID[_name] = _pid
 
+_SORTED_PARAMS: Tuple[Tuple[int, str], ...] = tuple(
+    sorted({**_INT_PARAMS, **_BYTES_PARAMS, **_FLAG_PARAMS}.items())
+)
+_ALL_FIELD_NAMES: Tuple[str, ...] = tuple(name for _pid, name in _SORTED_PARAMS)
+_FLAG_NAMES = frozenset(_FLAG_PARAMS.values())
+
+
+@lru_cache(maxsize=1024)
+def _encode_by_value(values: Tuple) -> bytes:
+    buf = Buffer()
+    for (pid, name), value in zip(_SORTED_PARAMS, values):
+        if name in _FLAG_NAMES:
+            if value:
+                buf.push_varint(pid)
+                buf.push_varint(0)
+        elif value is None:
+            continue
+        elif isinstance(value, int):
+            encoded = encode_varint(value)
+            buf.push_varint(pid)
+            buf.push_varint(len(encoded))
+            buf.push_bytes(encoded)
+        else:
+            buf.push_varint(pid)
+            buf.push_varint(len(value))
+            buf.push_bytes(value)
+    return buf.data()
+
+
 # Parameters excluded from configuration fingerprints (session specific).
 _SESSION_SPECIFIC = {
     "original_destination_connection_id",
@@ -102,28 +133,23 @@ class TransportParameters:
     retry_source_connection_id: Optional[bytes] = None
 
     def encode(self) -> bytes:
-        buf = Buffer()
-        for pid, name in sorted({**_INT_PARAMS, **_BYTES_PARAMS, **_FLAG_PARAMS}.items()):
-            value = getattr(self, name)
-            if name in _FLAG_PARAMS.values():
-                if value:
-                    buf.push_varint(pid)
-                    buf.push_varint(0)
-            elif value is None:
-                continue
-            elif isinstance(value, int):
-                encoded = encode_varint(value)
-                buf.push_varint(pid)
-                buf.push_varint(len(encoded))
-                buf.push_bytes(encoded)
-            else:
-                buf.push_varint(pid)
-                buf.push_varint(len(value))
-                buf.push_bytes(value)
-        return buf.data()
+        # Encodings are memoised by value: the scanners and servers
+        # encode the same handful of parameter sets for every one of
+        # the campaign's connections.
+        return _encode_by_value(
+            tuple(getattr(self, name) for name in _ALL_FIELD_NAMES)
+        )
 
     @classmethod
     def decode(cls, data: bytes) -> "TransportParameters":
+        # Decodes are memoised by wire bytes (each endpoint sees the
+        # same handful of parameter sets all campaign); callers get a
+        # fresh shallow copy so instances stay independently mutable.
+        return copy.copy(cls._decode_uncached(data))
+
+    @classmethod
+    @lru_cache(maxsize=1024)
+    def _decode_uncached(cls, data: bytes) -> "TransportParameters":
         params = cls()
         buf = Buffer(data)
         try:

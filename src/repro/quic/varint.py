@@ -29,26 +29,41 @@ def varint_length(value: int) -> int:
     raise ValueError(f"value too large for varint: {value}")
 
 
+# Single-byte encodings (values 0..63) pre-built: frame types, small
+# lengths and stream IDs dominate the wire, so most encodes hit here.
+_ONE_BYTE = tuple(bytes([v]) for v in range(64))
+
+# Value masks stripping the 2-bit length prefix from a whole-width read.
+_DECODE_MASKS = {2: 0x3FFF, 4: 0x3FFF_FFFF, 8: VARINT_MAX}
+
+
 def encode_varint(value: int) -> bytes:
-    length = varint_length(value)
-    prefix = {1: 0x00, 2: 0x40, 4: 0x80, 8: 0xC0}[length]
-    encoded = bytearray(value.to_bytes(length, "big"))
-    encoded[0] |= prefix
-    return bytes(encoded)
+    if 0 <= value < 64:
+        return _ONE_BYTE[value]
+    if value < 0:
+        raise ValueError("varint cannot encode negative values")
+    if value < 1 << 14:
+        return (value | 0x4000).to_bytes(2, "big")
+    if value < 1 << 30:
+        return (value | 0x8000_0000).to_bytes(4, "big")
+    if value <= VARINT_MAX:
+        return (value | (0xC0 << 56)).to_bytes(8, "big")
+    raise ValueError(f"value too large for varint: {value}")
 
 
 def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
     """Decode a varint at ``offset``; returns ``(value, next_offset)``."""
-    if offset >= len(data):
-        raise ValueError("truncated varint")
-    first = data[offset]
+    try:
+        first = data[offset]
+    except IndexError:
+        raise ValueError("truncated varint") from None
     length = 1 << (first >> 6)
-    if offset + length > len(data):
+    if length == 1:
+        return first & 0x3F, offset + 1
+    end = offset + length
+    if end > len(data):
         raise ValueError("truncated varint")
-    value = first & 0x3F
-    for i in range(1, length):
-        value = (value << 8) | data[offset + i]
-    return value, offset + length
+    return int.from_bytes(data[offset:end], "big") & _DECODE_MASKS[length], end
 
 
 class Buffer:

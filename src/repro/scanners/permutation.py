@@ -108,5 +108,31 @@ class CyclicGroupPermutation:
                 yield position, current - 1
             current = (current * step) % p
 
+    @property
+    def cycle_length(self) -> int:
+        """Number of walk positions (``p - 1``; a few exceed ``size``)."""
+        return self._p - 1
+
+    def iter_range(self, lo: int, hi: int) -> Iterator[Tuple[int, int]]:
+        """Walk the contiguous cycle segment ``[lo, hi)``.
+
+        One modular exponentiation jumps to position ``lo``; from there
+        the walk steps with ``g`` exactly like the serial iteration, so
+        concatenating consecutive ranges reproduces the full visit
+        order.  This is the streaming engine's sweep partition: unlike
+        :meth:`iter_shard`'s interleaved sub-cycles, completed range
+        blocks form a *prefix* of the serial order, which is what lets
+        downstream stages start on early responders while later blocks
+        are still sweeping.  Yields ``(position, index)`` pairs.
+        """
+        if not 0 <= lo <= hi <= self._p - 1:
+            raise ValueError(f"range [{lo}, {hi}) outside cycle of {self._p - 1}")
+        p, g = self._p, self._generator
+        current = (self._start * pow(g, lo, p)) % p
+        for position in range(lo, hi):
+            if current <= self.size:
+                yield position, current - 1
+            current = (current * g) % p
+
     def __len__(self) -> int:
         return self.size

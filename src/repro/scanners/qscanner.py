@@ -38,7 +38,8 @@ from repro.quic.versions import QSCANNER_SUPPORTED, QUIC_V1, alpn_for_version
 from repro.scanners.results import QScanOutcome, QScanRecord, TargetSource, table3_bucket
 from repro.scanners.retry import RetryPolicy
 from repro.tls.certificates import Certificate
-from repro.tls.engine import TlsClientConfig
+from repro.tls.engine import TlsClientConfig, generate_key_shares
+from repro.tls.extensions import GROUP_X25519
 
 __all__ = ["QScanner", "QScannerConfig"]
 
@@ -98,6 +99,30 @@ class QScanner:
         self._datagrams_histogram = self._metrics.histogram(
             "quic.datagrams_per_connection", buckets=DEFAULT_COUNT_BUCKETS
         )
+        # Batched hot path: per-connection invariants are computed once
+        # per scanner instead of once per scan.  The ECDH key shares and
+        # initial CIDs come from a labelled child generator, so the
+        # per-target rng streams (child(counter)) are unaffected and
+        # shard workers derive the identical batch context.
+        batch_rng = self._rng.child("batch")
+        self._client_groups = tuple(config.groups) or None
+        self._static_shares = generate_key_shares(
+            self._client_groups or (GROUP_X25519,), batch_rng
+        )
+        self._initial_cids = (batch_rng.token(8), batch_rng.token(8))
+        self._control_stream_bytes = (
+            h3.encode_control_stream({0x06: 16384})
+            if config.http3_head_request
+            else b""
+        )
+        self._tls_kwargs: Dict[str, object] = {}
+        if config.cipher_suites:
+            self._tls_kwargs["cipher_suites"] = tuple(config.cipher_suites)
+        if self._client_groups:
+            self._tls_kwargs["groups"] = self._client_groups
+        self._trusted_roots = tuple(config.trusted_roots)
+        self._alpn = tuple(config.alpn)
+        self._versions = tuple(config.versions)
 
     def seek(self, counter: int) -> None:
         """Position the per-target rng counter.
@@ -197,26 +222,23 @@ class QScanner:
         streams: Dict[int, bytes] = {}
         if self._config.http3_head_request:
             streams[_REQUEST_STREAM] = h3.encode_head_request(sni or str(address))
-            streams[_CONTROL_STREAM] = h3.encode_control_stream({0x06: 16384})
+            streams[_CONTROL_STREAM] = self._control_stream_bytes
 
-        tls_kwargs = {}
-        if self._config.cipher_suites:
-            tls_kwargs["cipher_suites"] = tuple(self._config.cipher_suites)
-        if self._config.groups:
-            tls_kwargs["groups"] = tuple(self._config.groups)
         quic_config = QuicClientConfig(
-            versions=tuple(self._config.versions),
+            versions=self._versions,
             tls=TlsClientConfig(
                 server_name=sni,
-                alpn=tuple(self._config.alpn),
+                alpn=self._alpn,
                 transport_params=self._config.transport_params,
-                trusted_roots=tuple(self._config.trusted_roots),
-                **tls_kwargs,
+                trusted_roots=self._trusted_roots,
+                static_key_shares=self._static_shares,
+                **self._tls_kwargs,
             ),
             timeout=self._config.timeout,
             application_streams=streams,
             fast_initial_protection=self._config.fast_initial_protection,
             collect_session_ticket=self._config.test_resumption,
+            initial_cids=self._initial_cids,
         )
         connection = QuicClientConnection(
             self._network, self._source, address, port, quic_config, rng

@@ -93,20 +93,44 @@ class ZmapQuicScanner:
         """
         rng = DeterministicRandom(self.seed)
         permutation = CyclicGroupPermutation(space.num_addresses, rng.child("perm"))
+        return self._sweep(space, permutation.iter_shard(shard, of), rng)
+
+    def sweep_cycle_length(self, space: Prefix) -> int:
+        """Walk positions in this scanner's permutation of ``space``."""
+        rng = DeterministicRandom(self.seed)
+        return CyclicGroupPermutation(
+            space.num_addresses, rng.child("perm")
+        ).cycle_length
+
+    def scan_ipv4_range(
+        self, space: Prefix, lo: int, hi: int
+    ) -> List[Tuple[int, ZmapQuicRecord]]:
+        """Sweep the contiguous walk segment ``[lo, hi)``.
+
+        The streaming engine's sweep partition: consecutive range
+        blocks concatenate into the serial visit order, so a completed
+        prefix of blocks can feed downstream stages while later blocks
+        are still sweeping (see :mod:`repro.parallel.stream`).  Bounds
+        index walk positions in ``[0, sweep_cycle_length(space)]``.
+        """
+        rng = DeterministicRandom(self.seed)
+        permutation = CyclicGroupPermutation(space.num_addresses, rng.child("perm"))
+        return self._sweep(space, permutation.iter_range(lo, hi), rng)
+
+    def _sweep(
+        self, space: Prefix, walk: Iterable[Tuple[int, int]], rng: DeterministicRandom
+    ) -> List[Tuple[int, ZmapQuicRecord]]:
         if self.pps is None and not self.retry.enabled:
-            return self._sweep_fast(space, permutation, shard, of, rng)
+            return self._sweep_fast(space, walk, rng)
         targets = (
-            (position, space.address_at(index))
-            for position, index in permutation.iter_shard(shard, of)
+            (position, space.address_at(index)) for position, index in walk
         )
         return self._probe_all(targets, rng)
 
     def _sweep_fast(
         self,
         space: Prefix,
-        permutation: CyclicGroupPermutation,
-        shard: int,
-        of: int,
+        walk: Iterable[Tuple[int, int]],
         rng: DeterministicRandom,
     ) -> List[Tuple[int, ZmapQuicRecord]]:
         """Space sweep specialised for the no-pacing, no-retry case.
@@ -135,7 +159,7 @@ class ZmapQuicScanner:
         probes = blocked = malformed = 0
         fast_sent = 0
         saw_target = False
-        for position, index in permutation.iter_shard(shard, of):
+        for position, index in walk:
             saw_target = True
             value = base + index
             if block_masks and any(

@@ -42,6 +42,29 @@ class ZmapTcpScanner:
             for position, index in permutation.iter_shard(shard, of)
         )
 
+    def sweep_cycle_length(self, space: Prefix) -> int:
+        """Walk positions in this scanner's permutation of ``space``."""
+        rng = DeterministicRandom(self.seed)
+        return CyclicGroupPermutation(
+            space.num_addresses, rng.child("perm")
+        ).cycle_length
+
+    def scan_ipv4_range(
+        self, space: Prefix, lo: int, hi: int
+    ) -> List[Tuple[int, SynRecord]]:
+        """Sweep the contiguous walk segment ``[lo, hi)``.
+
+        Range blocks concatenate into the serial visit order — the
+        streaming engine's sweep partition (see
+        :mod:`repro.parallel.stream`).
+        """
+        rng = DeterministicRandom(self.seed)
+        permutation = CyclicGroupPermutation(space.num_addresses, rng.child("perm"))
+        return self._probe_all(
+            (position, space.address_at(index))
+            for position, index in permutation.iter_range(lo, hi)
+        )
+
     def scan_targets(self, targets: Iterable[Address]) -> List[SynRecord]:
         return [record for _, record in self.scan_targets_shard(targets, 0)]
 

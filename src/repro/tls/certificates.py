@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.rand import DeterministicRandom
@@ -225,10 +226,27 @@ def verify_chain(
 
     An empty list means the chain verifies.  The QScanner records but
     does not enforce validation results, like the paper's tooling.
+
+    Results are memoised: a campaign validates the same per-deployment
+    chain for every domain pointing at that deployment, and the RSA
+    signature walk is by far the most expensive part of a successful
+    scan once the handshake itself is cached-key fast.
     """
+    return list(
+        _verify_chain_cached(tuple(chain), tuple(trusted_roots), server_name, week)
+    )
+
+
+@lru_cache(maxsize=4096)
+def _verify_chain_cached(
+    chain: Tuple[Certificate, ...],
+    trusted_roots: Tuple[Certificate, ...],
+    server_name: Optional[str],
+    week: Optional[int],
+) -> Tuple[str, ...]:
     errors: List[str] = []
     if not chain:
-        return ["empty certificate chain"]
+        return ("empty certificate chain",)
     leaf = chain[0]
     if server_name is not None:
         names = leaf.san or (leaf.subject,)
@@ -254,4 +272,4 @@ def verify_chain(
         except SignatureError:
             errors.append(f"bad signature on certificate {cert.subject!r}")
             break
-    return errors
+    return tuple(errors)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.rand import DeterministicRandom
@@ -77,6 +78,7 @@ __all__ = [
     "NegotiatedSession",
     "ServerFlight",
     "GROUP_NAMES",
+    "generate_key_shares",
 ]
 
 GROUP_NAMES = {
@@ -96,6 +98,42 @@ def _group_shared_secret(
     # deployments choosing other curves (paper §5.1, 206 targets).
     client_pub, server_pub = (own_public, peer_public) if is_client else (peer_public, own_public)
     return hashlib.sha256(b"sim-ecdh" + client_pub + server_pub).digest()
+
+
+# SignatureScheme for CertificateVerify under the simulated suite: a
+# hash binding of (certificate public key, signed content), checkable
+# from the public key alone.  Not a real signature — the same explicit
+# trade as the sim AEAD and sim-ecdh group above, and only negotiated
+# between our own endpoints (TLS_SIM_SHA256).  Real RSA PKCS#1 v1.5
+# still runs under TLS_AES_128_GCM_SHA256 and for every certificate
+# chain signature.
+_SIG_SCHEME_SIM = 0xFF01
+
+
+@lru_cache(maxsize=4096)
+def _pubkey_bytes(n: int, e: int) -> bytes:
+    return n.to_bytes((n.bit_length() + 7) // 8, "big") + e.to_bytes(4, "big")
+
+
+def _sim_certificate_signature(public_key, content: bytes) -> bytes:
+    return hashlib.sha256(
+        b"sim-cv" + _pubkey_bytes(public_key.n, public_key.e) + content
+    ).digest()
+
+
+def generate_key_shares(
+    groups: Sequence[int], rng: DeterministicRandom
+) -> Tuple[Tuple[int, bytes, bytes], ...]:
+    """(group, private, public) key shares for the offered groups."""
+    shares = []
+    for group in groups:
+        private = rng.token(32)
+        if group == GROUP_X25519:
+            public = x25519_base(private)
+        else:
+            public = hashlib.sha256(b"sim-pub" + private).digest() + private[:1]
+        shares.append((group, private, public))
+    return tuple(shares)
 
 
 @dataclass
@@ -134,6 +172,12 @@ class TlsClientConfig:
     # Resumption (RFC 8446 §4.2.11): present this ticket as a PSK.
     session_ticket: Optional[SessionTicket] = None
     offer_early_data: bool = False
+    # Batched-scan accelerator: (group -> (private, public)) key shares
+    # generated once per scan batch instead of per connection — the
+    # ephemeral-key reuse real scanners apply at campaign rates.  The
+    # handshake secrets still differ per connection (fresh randoms and
+    # server shares enter the transcript and key schedule).
+    static_key_shares: Optional[Tuple[Tuple[int, bytes, bytes], ...]] = None
 
 
 @dataclass
@@ -189,12 +233,10 @@ class TlsClientSession(_SessionBase):
     def client_hello(self) -> bytes:
         config = self.config
         shares: List[Tuple[int, bytes]] = []
-        for group in config.groups:
-            private = self._rng.token(32)
-            if group == GROUP_X25519:
-                public = x25519_base(private)
-            else:
-                public = hashlib.sha256(b"sim-pub" + private).digest() + private[:1]
+        key_shares = config.static_key_shares
+        if key_shares is None:
+            key_shares = generate_key_shares(config.groups, self._rng)
+        for group, private, public in key_shares:
             self._private_keys[group] = private
             self._public_keys[group] = public
             shares.append((group, public))
@@ -350,12 +392,24 @@ class TlsClientSession(_SessionBase):
                 content = CertificateVerify.signed_content(
                     schedule.transcript_hash(), server=True
                 )
-                try:
-                    server_cert.chain[0].public_key.verify(content, verify.signature)
-                except SignatureError as exc:
-                    raise AlertError(
-                        AlertDescription.DECRYPT_ERROR, f"CertificateVerify: {exc}"
-                    ) from exc
+                leaf_key = server_cert.chain[0].public_key
+                if (
+                    verify.algorithm == _SIG_SCHEME_SIM
+                    and self.suite is not None
+                    and self.suite.name == "TLS_SIM_SHA256"
+                ):
+                    if verify.signature != _sim_certificate_signature(leaf_key, content):
+                        raise AlertError(
+                            AlertDescription.DECRYPT_ERROR,
+                            "CertificateVerify: sim signature mismatch",
+                        )
+                else:
+                    try:
+                        leaf_key.verify(content, verify.signature)
+                    except SignatureError as exc:
+                        raise AlertError(
+                            AlertDescription.DECRYPT_ERROR, f"CertificateVerify: {exc}"
+                        ) from exc
                 schedule.update_transcript(raw)
             elif msg_type == HandshakeType.FINISHED:
                 finished = Finished.decode(body)
@@ -601,7 +655,13 @@ class TlsServerSession(_SessionBase):
             content = CertificateVerify.signed_content(
                 schedule.transcript_hash(), server=True
             )
-            cert_verify = CertificateVerify(signature=key.sign(content)).encode()
+            if suite.name == "TLS_SIM_SHA256":
+                cert_verify = CertificateVerify(
+                    signature=_sim_certificate_signature(key.public_key, content),
+                    algorithm=_SIG_SCHEME_SIM,
+                ).encode()
+            else:
+                cert_verify = CertificateVerify(signature=key.sign(content)).encode()
             schedule.update_transcript(cert_verify)
 
         verify_data = schedule.finished_verify_data(self.handshake_secrets.server)

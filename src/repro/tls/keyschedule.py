@@ -9,13 +9,19 @@ secrets to derive packet protection keys (RFC 9001 §5.1).
 from __future__ import annotations
 
 import hashlib
-import hmac
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
-from repro.crypto.hkdf import hkdf_expand_label, hkdf_extract
+from repro.crypto.hkdf import hkdf_expand_label, hkdf_extract, hmac_digest
 
 __all__ = ["KeySchedule", "TrafficSecrets"]
+
+
+@lru_cache(maxsize=None)
+def _empty_hash(hash_name: str) -> bytes:
+    """Hash of the empty string — the 'derived' context (RFC 8446 §7.1)."""
+    return hashlib.new(hash_name).digest()
 
 
 @dataclass
@@ -60,7 +66,7 @@ class KeySchedule:
         derived = hkdf_expand_label(
             self._early_secret,
             b"derived",
-            hashlib.new(self.hash_name).digest(),
+            _empty_hash(self.hash_name),
             self.hash_len,
             self.hash_name,
         )
@@ -80,7 +86,7 @@ class KeySchedule:
         derived = hkdf_expand_label(
             self._handshake_secret,
             b"derived",
-            hashlib.new(self.hash_name).digest(),
+            _empty_hash(self.hash_name),
             self.hash_len,
             self.hash_name,
         )
@@ -102,7 +108,7 @@ class KeySchedule:
         finished_key = hkdf_expand_label(
             base_secret, b"finished", b"", self.hash_len, self.hash_name
         )
-        return hmac.new(finished_key, self.transcript_hash(), self.hash_name).digest()
+        return hmac_digest(finished_key, self.transcript_hash(), self.hash_name)
 
     # -- resumption / 0-RTT (RFC 8446 §4.2.11, §4.6.1) ------------------------
     def psk_binder(self, truncated_client_hello: bytes) -> bytes:
@@ -110,7 +116,7 @@ class KeySchedule:
         binder_key = hkdf_expand_label(
             self._early_secret,
             b"res binder",
-            hashlib.new(self.hash_name).digest(),
+            _empty_hash(self.hash_name),
             self.hash_len,
             self.hash_name,
         )
@@ -118,7 +124,7 @@ class KeySchedule:
             binder_key, b"finished", b"", self.hash_len, self.hash_name
         )
         transcript = hashlib.new(self.hash_name, truncated_client_hello).digest()
-        return hmac.new(finished_key, transcript, self.hash_name).digest()
+        return hmac_digest(finished_key, transcript, self.hash_name)
 
     def early_traffic_secret(self) -> bytes:
         """client_early_traffic_secret over the (full) ClientHello."""

@@ -9,6 +9,7 @@ used both inside QUIC CRYPTO frames and TLS records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator, List, Optional, Tuple
 
 from repro.tls.certificates import Certificate
@@ -196,30 +197,42 @@ class CertificateMessage:
     chain: List[Certificate] = field(default_factory=list)
 
     def encode(self) -> bytes:
-        body = b"\x00"  # empty certificate_request_context
-        entries = b""
-        for cert in self.chain:
-            encoded = cert.encode()
-            entries += len(encoded).to_bytes(3, "big") + encoded + b"\x00\x00"
-        body += len(entries).to_bytes(3, "big") + entries
-        return frame_message(HandshakeType.CERTIFICATE, body)
+        # Memoised by chain: every connection to a deployment sends the
+        # same certificate flight.
+        return _encode_certificate_message(tuple(self.chain))
 
     @classmethod
     def decode(cls, body: bytes) -> "CertificateMessage":
-        context_len = body[0]
-        offset = 1 + context_len
-        total = int.from_bytes(body[offset : offset + 3], "big")
+        return cls(chain=list(_decode_certificate_chain(body)))
+
+
+@lru_cache(maxsize=2048)
+def _encode_certificate_message(chain: Tuple[Certificate, ...]) -> bytes:
+    body = b"\x00"  # empty certificate_request_context
+    entries = b""
+    for cert in chain:
+        encoded = cert.encode()
+        entries += len(encoded).to_bytes(3, "big") + encoded + b"\x00\x00"
+    body += len(entries).to_bytes(3, "big") + entries
+    return frame_message(HandshakeType.CERTIFICATE, body)
+
+
+@lru_cache(maxsize=2048)
+def _decode_certificate_chain(body: bytes) -> Tuple[Certificate, ...]:
+    context_len = body[0]
+    offset = 1 + context_len
+    total = int.from_bytes(body[offset : offset + 3], "big")
+    offset += 3
+    end = offset + total
+    chain = []
+    while offset < end:
+        cert_len = int.from_bytes(body[offset : offset + 3], "big")
         offset += 3
-        end = offset + total
-        chain = []
-        while offset < end:
-            cert_len = int.from_bytes(body[offset : offset + 3], "big")
-            offset += 3
-            chain.append(Certificate.decode(body[offset : offset + cert_len]))
-            offset += cert_len
-            ext_len = int.from_bytes(body[offset : offset + 2], "big")
-            offset += 2 + ext_len
-        return cls(chain=chain)
+        chain.append(Certificate.decode(body[offset : offset + cert_len]))
+        offset += cert_len
+        ext_len = int.from_bytes(body[offset : offset + 2], "big")
+        offset += 2 + ext_len
+    return tuple(chain)
 
 
 # RSA PKCS#1 v1.5 with SHA-256; fine for the simulated PKI.

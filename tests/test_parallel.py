@@ -124,10 +124,13 @@ def full_serial():
 
 @pytest.fixture(scope="module")
 def full_parallel():
+    # Pinned to the barrier engine: the tests below assert its internals
+    # (dep broadcast, inline threshold, oversharding).  The streaming
+    # engine's equivalents live in tests/test_stream.py.
     campaign = Campaign(
         CampaignConfig(week=18, scale=TINY_SCALE, seed=7), workers=2
     )
-    campaign.run_all_stages()
+    campaign.run_all_stages(streaming=False)
     yield campaign
     campaign.close()
 

@@ -319,7 +319,9 @@ def test_parallel_shard_failure_marks_stage_degraded(monkeypatch):
     monkeypatch.setitem(_STAGE_COMPUTE, "syn_v4", boom_on_shard_one)
     campaign = Campaign(CampaignConfig(scale=FAULT_SCALE, seed=31), workers=2)
     try:
-        campaign.run_all_stages()
+        # Barrier engine pinned: this test asserts its exact 2-shard
+        # split (streaming chunk failure is covered in test_stream.py).
+        campaign.run_all_stages(streaming=False)
     finally:
         campaign.close()
     health = campaign.stage_health["syn_v4"]
