@@ -1,16 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-smoke bench-check bench-profile report artefacts interop chaos chaos-smoke conform conform-smoke fuzz-smoke clean
+.PHONY: test docs-check bench bench-smoke bench-check bench-profile report artefacts interop chaos chaos-smoke conform conform-smoke fuzz-smoke warehouse-smoke clean
 
 # chaos-smoke keeps the fault-injection/degradation path exercised,
 # fuzz-smoke the wire-format conformance suite, conform-smoke the
-# serial-vs-streaming differential oracle, and bench-smoke the
-# pipeline-overlap/backpressure gate on every `make test` run (the
-# full suite includes tests/test_resilience.py, tests/test_stream.py
-# and tests/test_conformance.py; deep fuzzing runs via
-# `pytest -m slow_fuzz`).
-test: docs-check chaos-smoke fuzz-smoke conform-smoke bench-smoke
+# serial-vs-streaming differential oracle, bench-smoke the
+# pipeline-overlap/backpressure gate, and warehouse-smoke the
+# load → QA → query path on every `make test` run (the full suite
+# includes tests/test_resilience.py, tests/test_stream.py,
+# tests/test_conformance.py and tests/test_warehouse.py; deep
+# fuzzing runs via `pytest -m slow_fuzz`).
+test: docs-check chaos-smoke fuzz-smoke conform-smoke bench-smoke warehouse-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Validates intra-repo markdown links + module docstring presence.
@@ -54,6 +55,14 @@ bench:
 # collapses. Wired into `make test`.
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --workers 2
+
+# End-to-end warehouse smoke: load a tiny campaign into a throwaway
+# sqlite file (QA runs strictly inside the load, so any integrity
+# failure is a nonzero exit) and read Table 1 back from the mart.
+warehouse-smoke:
+	rm -f .cache/warehouse-smoke.sqlite
+	$(PYTHON) -m repro load --scale 200000 --seed 23 --db .cache/warehouse-smoke.sqlite
+	$(PYTHON) -m repro query table1 --db .cache/warehouse-smoke.sqlite
 
 # Per-stage cProfile dump (top cumulative functions) for hot-path work.
 bench-profile:

@@ -1,17 +1,45 @@
-"""Plain-text table rendering for the experiment harness output."""
+"""Shared table rendering for every tabular CLI surface.
+
+``repro report``, ``repro experiment``/``artefacts`` and
+``repro query`` all funnel through this module, so a table renders
+identically no matter which subcommand produced it.  :func:`render`
+dispatches on the output format: the aligned monospace ``table``
+(paper-style), ``csv``, or ``json`` (a ``{title, headers, rows}``
+document).
+"""
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Iterable, List, Sequence
 
-__all__ = ["render_table", "render_series"]
+__all__ = [
+    "format_cell",
+    "render",
+    "render_table",
+    "render_csv",
+    "render_json",
+    "render_series",
+    "FORMATS",
+]
+
+FORMATS = ("table", "csv", "json")
+
+
+def format_cell(value: object) -> str:
+    """One cell's canonical text form (floats always with 2 decimals)."""
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
 
 
 def render_table(
     headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
 ) -> str:
     """Render an aligned text table (monospace, paper-style)."""
-    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    rendered_rows = [[format_cell(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in rendered_rows:
         for index, cell in enumerate(row):
@@ -26,15 +54,49 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """RFC-4180 CSV with the same cell formatting as the text table."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([format_cell(cell) for cell in row])
+    return buffer.getvalue().rstrip("\n")
+
+
+def render_json(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """A ``{title, headers, rows}`` JSON document (raw cell values)."""
+    return json.dumps(
+        {"title": title, "headers": list(headers), "rows": [list(row) for row in rows]},
+        indent=2,
+    )
+
+
+def render(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    fmt: str = "table",
+) -> str:
+    """Render one table in the requested output format."""
+    if fmt == "table":
+        return render_table(headers, rows, title=title)
+    if fmt == "csv":
+        return render_csv(headers, rows)
+    if fmt == "json":
+        return render_json(headers, rows, title=title)
+    raise ValueError(f"unknown format {fmt!r}; choose from {FORMATS}")
+
+
 def render_series(title: str, points: Iterable[Sequence[object]]) -> str:
     """Render a figure's data series as aligned columns."""
     lines = [title]
     for point in points:
-        lines.append("  " + "  ".join(_fmt(value) for value in point))
+        lines.append("  " + "  ".join(format_cell(value) for value in point))
     return "\n".join(lines)
 
 
-def _fmt(value: object) -> str:
-    if isinstance(value, float):
-        return f"{value:.2f}"
-    return str(value)
+# Backwards-compatible alias (pre-warehouse name).
+_fmt = format_cell

@@ -23,7 +23,15 @@ Subcommands:
   vectors, the deterministic mutation fuzzer over every parser entry
   point, and the serial-vs-parallel differential oracle; exits nonzero
   on any vector failure, parser crash, or campaign divergence — see
-  ``docs/CONFORMANCE.md``.
+  ``docs/CONFORMANCE.md``,
+- ``load``        — run (or replay from the stage cache) a campaign and
+  ingest every stage's records into the sqlite results warehouse:
+  staging tables, QA integrity checks, materialised marts — see
+  ``docs/WAREHOUSE.md``; exits nonzero on any QA failure,
+- ``query``       — read the warehouse: named mart reports
+  (``table1`` … ``table6``, ``versions``, ``outcomes``, ``qa``,
+  ``campaigns``), a raw ``--sql`` escape hatch, and
+  ``--format table|csv|json`` output.
 
 ``--workers N`` shards scan stages across a process pool (ZMap-style
 permutation sharding; identical output — records *and* merged metrics
@@ -393,6 +401,13 @@ def _cmd_bench(args) -> int:
         f"  warm stage cache:  {campaign['cache_warm_seconds']}s "
         f"({campaign['warm_cache_speedup']}x)"
     )
+    warehouse = results.get("warehouse")
+    if warehouse:
+        print(
+            f"  warehouse load:    {warehouse['rows_loaded']:,} rows in"
+            f" {warehouse['load_seconds']}s ({warehouse['rows_per_sec']:,.0f}/s,"
+            f" QA {warehouse['qa_passed']} passed)"
+        )
     _print_streaming(results)
     _print_data_movement(results["data_movement"])
     if args.check:
@@ -401,6 +416,62 @@ def _cmd_bench(args) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if failures else 0
     return 0
+
+
+def _cmd_load(args) -> int:
+    from repro.warehouse import WarehouseQaError, connect, load_campaign
+
+    campaign = _campaign(args)
+    conn = connect(args.db)
+    try:
+        result = load_campaign(campaign, conn)
+    except WarehouseQaError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    finally:
+        conn.close()
+        campaign.close()
+    print(f"loaded campaign {result.campaign_id} into {args.db}")
+    print(f"  rows: {result.total_rows:,} across {len(result.rows)} tables")
+    for table, count in sorted(result.rows.items()):
+        print(f"    {table:<28} {count:>8,}")
+    passed = sum(1 for check in result.qa if check.status == "pass")
+    print(f"  QA: {passed}/{len(result.qa)} checks passed")
+    print(f"  load time: {result.seconds:.3f}s")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import sqlite3
+    from pathlib import Path
+
+    from repro.analysis.tables import render
+    from repro.warehouse import ensure_schema
+    from repro.warehouse.queries import REPORTS, named_report, run_sql
+
+    if not args.report and not args.sql:
+        print("available reports (or use --sql):")
+        for name, description in REPORTS.items():
+            print(f"  {name:<10} {description}")
+        return 2
+    if not Path(args.db).exists():
+        print(f"no warehouse at {args.db} — run `repro load` first", file=sys.stderr)
+        return 2
+    conn = sqlite3.connect(args.db)
+    try:
+        ensure_schema(conn)
+        if args.sql:
+            headers, rows = run_sql(conn, args.sql)
+            print(render(headers, rows, fmt=args.format))
+            return 0
+        result = named_report(conn, args.report, campaign_id=args.campaign)
+        print(result.render(fmt=args.format))
+        return 0
+    except LookupError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    finally:
+        conn.close()
 
 
 def _cmd_interop(args) -> int:
@@ -571,6 +642,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker count for the parallel side of the differential (default 2)",
     )
     conform_parser.set_defaults(func=_cmd_conform)
+
+    load_parser = subparsers.add_parser(
+        "load",
+        help="ingest a campaign into the sqlite results warehouse (staging + QA + marts)",
+    )
+    _add_common(load_parser)
+    load_parser.add_argument(
+        "--db",
+        default="warehouse.sqlite",
+        help="warehouse database path (default warehouse.sqlite)",
+    )
+    load_parser.set_defaults(func=_cmd_load)
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help="query the results warehouse: named mart reports or raw SQL",
+    )
+    query_parser.add_argument(
+        "report",
+        nargs="?",
+        default=None,
+        help="named report: table1-table6, versions, outcomes, qa, campaigns "
+        "(omit to list)",
+    )
+    query_parser.add_argument(
+        "--db",
+        default="warehouse.sqlite",
+        help="warehouse database path (default warehouse.sqlite)",
+    )
+    query_parser.add_argument(
+        "--campaign",
+        default=None,
+        help="campaign id to query (default: most recently loaded)",
+    )
+    query_parser.add_argument(
+        "--sql",
+        default=None,
+        help="raw SQL escape hatch (read the schema in docs/WAREHOUSE.md)",
+    )
+    query_parser.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        help="output format (default table)",
+    )
+    query_parser.set_defaults(func=_cmd_query)
 
     args = parser.parse_args(argv)
     return args.func(args)

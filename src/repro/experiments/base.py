@@ -1,11 +1,11 @@
-"""Shared experiment result type."""
+"""Shared experiment result type and table metadata specs."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "TableSpec"]
 
 
 @dataclass
@@ -19,12 +19,43 @@ class ExperimentResult:
     paper_reference: str = ""
     notes: str = ""
 
-    def render(self) -> str:
-        from repro.analysis.tables import render_table
+    def render(self, fmt: str = "table") -> str:
+        from repro.analysis.tables import render
 
-        parts = [render_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}")]
+        titled = f"[{self.experiment_id}] {self.title}"
+        if fmt != "table":
+            return render(self.headers, self.rows, title=titled, fmt=fmt)
+        parts = [render(self.headers, self.rows, title=titled, fmt="table")]
         if self.paper_reference:
             parts.append(f"paper: {self.paper_reference}")
         if self.notes:
             parts.append(f"note: {self.notes}")
         return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Presentation metadata for one paper table.
+
+    Shared between the in-memory builders
+    (:mod:`repro.experiments.tables`) and the warehouse mart readers
+    (:mod:`repro.warehouse.queries`), so ``repro experiment T1`` and
+    ``repro query table1`` can never drift in title or headers —
+    only the row *source* differs, and QA proves the rows equal.
+    """
+
+    experiment_id: str
+    title: str  # may carry {week}/{family}/{source} placeholders
+    headers: Tuple[str, ...]
+    paper_reference: str = ""
+    notes: str = ""
+
+    def result(self, rows: List[Sequence[object]], **fmt) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title.format(**fmt) if fmt else self.title,
+            headers=self.headers,
+            rows=rows,
+            paper_reference=self.paper_reference,
+            notes=self.notes,
+        )

@@ -8,11 +8,70 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.analysis.asview import as_distribution, top_providers
 from repro.analysis.tlscompare import compare_tls
 from repro.analysis.tparams import server_value_summary
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, TableSpec
 from repro.experiments.campaign import Campaign
 from repro.scanners.results import QScanOutcome, QScanRecord, TargetSource
 
-__all__ = ["table1", "table2", "table3", "table4", "table5", "table6"]
+__all__ = ["TABLE_SPECS", "table1", "table2", "table3", "table4", "table5", "table6"]
+
+# Presentation metadata shared with the warehouse mart readers
+# (repro.warehouse.queries) — one source of truth for titles/headers.
+TABLE_SPECS: Dict[str, TableSpec] = {
+    "T1": TableSpec(
+        experiment_id="T1",
+        title="Found QUIC targets per discovery method (week {week})",
+        headers=("Source", "Family", "Addresses", "ASes", "Domains"),
+        paper_reference=(
+            "ZMap v4 2,134,964 addr / 4,736 AS / 30.9M dom; ZMap v6 210,997 / 1,704 / 18.0M; "
+            "ALT-SVC v4 232,585 / 2,174 / 36.9M; ALT-SVC v6 283,169 / 292 / 17.0M; "
+            "HTTPS v4 85,092 / 1,287 / 2.96M; HTTPS v6 69,684 / 112 / 2.74M"
+        ),
+        notes="counts scaled by the campaign scale; compare ratios, not absolutes",
+    ),
+    "T2": TableSpec(
+        experiment_id="T2",
+        title="Top providers (IPv{family}, {source})",
+        headers=("Rank", "Provider", "#Addr", "#Domains"),
+        paper_reference=(
+            "v4 ZMap top5: Cloudflare 676k, Google 510k, Akamai 321k, Fastly 233k, "
+            "Cloudflare London 23k (Table 2)"
+        ),
+    ),
+    "T3": TableSpec(
+        experiment_id="T3",
+        title="Stateful scan results of combined sources (%)",
+        headers=("Outcome", "v4 no SNI", "v4 SNI", "v6 no SNI", "v6 SNI"),
+        paper_reference=(
+            "no-SNI v4: 7.25/34.50/48.26/8.83/1.16; SNI v4: 76.06/11.09/5.73/5.77/1.35; "
+            "no-SNI v6: 27.66/12.35/58.85/0.74/0.40; SNI v6: 90.70/6.01/1.90/0.99/0.39"
+        ),
+        notes="no-SNI success share is inflated vs the paper because edge-POP AS counts are preserved at a milder scale than addresses (DESIGN.md)",
+    ),
+    "T4": TableSpec(
+        experiment_id="T4",
+        title="Individual success rate per input source",
+        headers=("Source", "Family", "Targets", "Success %"),
+        paper_reference="IPv4: ZMAP+DNS 85.6 %, ALT-SVC 85.2 %, HTTPS 77.6 % (IPv6: 85.3/84.9/77.0)",
+    ),
+    "T5": TableSpec(
+        experiment_id="T5",
+        title="Share of hosts (%) using the same TLS properties on TCP and QUIC",
+        headers=("Property", "v4 no SNI", "v4 SNI", "v6 no SNI", "v6 SNI"),
+        paper_reference=(
+            "v4: cert 31.7/98.1, version 99.6/99.7, group 100/100, cipher 99.2/100, "
+            "extensions 67.3/99.9 (no SNI/SNI)"
+        ),
+    ),
+    "T6": TableSpec(
+        experiment_id="T6",
+        title="Top HTTP Server values by #ASes",
+        headers=("Server", "#ASes", "#Targets", "#Parameters"),
+        paper_reference=(
+            "proxygen-bolt 2224/46421/4; gvs 1.0 1537/5664/1; LiteSpeed 238/23846/2; "
+            "nginx 156/10526/16; Caddy 105/1526/1"
+        ),
+    ),
+}
 
 
 def _asn_count(addresses, registry) -> int:
@@ -63,18 +122,7 @@ def table1(campaign: Campaign) -> ExperimentResult:
     rows.append(("HTTPS", "IPv4", len(https4_addresses), _asn_count(https4_addresses, registry), len(https4_domains)))
     rows.append(("HTTPS", "IPv6", len(https6_addresses), _asn_count(https6_addresses, registry), len(https6_domains)))
 
-    return ExperimentResult(
-        experiment_id="T1",
-        title="Found QUIC targets per discovery method (week %d)" % campaign.config.week,
-        headers=("Source", "Family", "Addresses", "ASes", "Domains"),
-        rows=rows,
-        paper_reference=(
-            "ZMap v4 2,134,964 addr / 4,736 AS / 30.9M dom; ZMap v6 210,997 / 1,704 / 18.0M; "
-            "ALT-SVC v4 232,585 / 2,174 / 36.9M; ALT-SVC v6 283,169 / 292 / 17.0M; "
-            "HTTPS v4 85,092 / 1,287 / 2.96M; HTTPS v6 69,684 / 112 / 2.74M"
-        ),
-        notes="counts scaled by the campaign scale; compare ratios, not absolutes",
-    )
+    return TABLE_SPECS["T1"].result(rows, week=campaign.config.week)
 
 
 def table2(
@@ -114,16 +162,7 @@ def table2(
         (row.rank, row.name, row.addresses, row.domains)
         for row in top_providers(addresses, registry, domains_of, limit=limit)
     ]
-    return ExperimentResult(
-        experiment_id="T2",
-        title=f"Top providers (IPv{family}, {source})",
-        headers=("Rank", "Provider", "#Addr", "#Domains"),
-        rows=rows,
-        paper_reference=(
-            "v4 ZMap top5: Cloudflare 676k, Google 510k, Akamai 321k, Fastly 233k, "
-            "Cloudflare London 23k (Table 2)"
-        ),
-    )
+    return TABLE_SPECS["T2"].result(rows, family=family, source=source)
 
 
 def _outcome_shares(records: Sequence[QScanRecord]) -> Dict[QScanOutcome, float]:
@@ -157,17 +196,7 @@ def table3(campaign: Campaign) -> ExperimentResult:
             )
         )
     rows.append(("Total Targets", *[len(records) for records in columns.values()]))
-    return ExperimentResult(
-        experiment_id="T3",
-        title="Stateful scan results of combined sources (%)",
-        headers=("Outcome", "v4 no SNI", "v4 SNI", "v6 no SNI", "v6 SNI"),
-        rows=rows,
-        paper_reference=(
-            "no-SNI v4: 7.25/34.50/48.26/8.83/1.16; SNI v4: 76.06/11.09/5.73/5.77/1.35; "
-            "no-SNI v6: 27.66/12.35/58.85/0.74/0.40; SNI v6: 90.70/6.01/1.90/0.99/0.39"
-        ),
-        notes="no-SNI success share is inflated vs the paper because edge-POP AS counts are preserved at a milder scale than addresses (DESIGN.md)",
-    )
+    return TABLE_SPECS["T3"].result(rows)
 
 
 def table4(campaign: Campaign) -> ExperimentResult:
@@ -179,13 +208,7 @@ def table4(campaign: Campaign) -> ExperimentResult:
             successes = sum(1 for record in records if record.is_success)
             rate = 100.0 * successes / len(records) if records else 0.0
             rows.append((source.value, f"IPv{family}", len(records), round(rate, 2)))
-    return ExperimentResult(
-        experiment_id="T4",
-        title="Individual success rate per input source",
-        headers=("Source", "Family", "Targets", "Success %"),
-        rows=rows,
-        paper_reference="IPv4: ZMAP+DNS 85.6 %, ALT-SVC 85.2 %, HTTPS 77.6 % (IPv6: 85.3/84.9/77.0)",
-    )
+    return TABLE_SPECS["T4"].result(rows)
 
 
 def table5(campaign: Campaign) -> ExperimentResult:
@@ -205,16 +228,7 @@ def table5(campaign: Campaign) -> ExperimentResult:
                 *[round(parity.as_rows()[index][1], 1) for parity in comparisons.values()],
             )
         )
-    return ExperimentResult(
-        experiment_id="T5",
-        title="Share of hosts (%) using the same TLS properties on TCP and QUIC",
-        headers=("Property", "v4 no SNI", "v4 SNI", "v6 no SNI", "v6 SNI"),
-        rows=rows,
-        paper_reference=(
-            "v4: cert 31.7/98.1, version 99.6/99.7, group 100/100, cipher 99.2/100, "
-            "extensions 67.3/99.9 (no SNI/SNI)"
-        ),
-    )
+    return TABLE_SPECS["T5"].result(rows)
 
 
 def table6(campaign: Campaign, limit: int = 5) -> ExperimentResult:
@@ -230,13 +244,4 @@ def table6(campaign: Campaign, limit: int = 5) -> ExperimentResult:
         (row.server_value, row.ases, row.targets, row.parameter_configs)
         for row in summary
     ]
-    return ExperimentResult(
-        experiment_id="T6",
-        title="Top HTTP Server values by #ASes",
-        headers=("Server", "#ASes", "#Targets", "#Parameters"),
-        rows=rows,
-        paper_reference=(
-            "proxygen-bolt 2224/46421/4; gvs 1.0 1537/5664/1; LiteSpeed 238/23846/2; "
-            "nginx 156/10526/16; Caddy 105/1526/1"
-        ),
-    )
+    return TABLE_SPECS["T6"].result(rows)

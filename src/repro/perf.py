@@ -8,7 +8,10 @@ and the end-to-end campaign wall-clock under each acceleration:
   QUIC-capable targets,
 - **campaign wall-clock** — every scan stage of a weekly campaign,
   serial vs. sharded-parallel (cold) and cold vs. warm persistent
-  stage cache.
+  stage cache,
+- **warehouse load** — rows/sec ingesting the campaign into the sqlite
+  results warehouse (staging + QA + marts) and one pass over every
+  named mart report; gated on clean QA.
 
 Beyond the headline rates, the result document carries per-stage wall
 times (serial and parallel) and the parallel engine's data-movement
@@ -135,6 +138,38 @@ def _bench_probe_rate(campaign: Campaign) -> Dict[str, float]:
     }
 
 
+def _bench_warehouse(campaign: Campaign) -> Dict[str, object]:
+    """Warehouse load throughput and mart query latency.
+
+    Loads the (already-run) campaign into an in-memory sqlite
+    warehouse — staging, QA and mart materialisation included — then
+    times one pass over every named mart report.
+    """
+    import sqlite3
+
+    from repro.warehouse import load_campaign
+    from repro.warehouse.queries import REPORTS, named_report
+
+    conn = sqlite3.connect(":memory:")
+    try:
+        result, load_seconds = _time(lambda: load_campaign(campaign, conn))
+        _, query_seconds = _time(
+            lambda: [named_report(conn, name) for name in REPORTS]
+        )
+    finally:
+        conn.close()
+    return {
+        "rows_loaded": result.total_rows,
+        "load_seconds": round(load_seconds, 3),
+        "rows_per_sec": round(result.total_rows / load_seconds, 1)
+        if load_seconds
+        else None,
+        "qa_passed": sum(1 for check in result.qa if check.status == "pass"),
+        "qa_failed": len(result.qa_failures),
+        "mart_query_seconds": round(query_seconds, 3),
+    }
+
+
 def _bench_handshake_rate(campaign: Campaign) -> Dict[str, float]:
     """Stateful QScanner handshake throughput over responsive targets."""
     targets = campaign._zmap_compatible(campaign.zmap_v4)
@@ -178,6 +213,7 @@ def run_benchmarks(
     # -- microbenchmarks on the warm serial campaign -----------------------
     probe = _bench_probe_rate(serial)
     handshake = _bench_handshake_rate(serial)
+    warehouse = _bench_warehouse(serial)
 
     # -- parallel cold runs ------------------------------------------------
     # Streaming dataflow (the default for workers > 1) and the barrier
@@ -226,6 +262,7 @@ def run_benchmarks(
         "seed": seed,
         "zmap_probe_rate": probe,
         "qscanner_handshake_rate": handshake,
+        "warehouse": warehouse,
         "campaign": {
             "stage_record_counts": serial_counts,
             "world_build_seconds": round(world_seconds, 3),
@@ -421,6 +458,15 @@ def check_benchmarks(
     }
     if unhealthy:
         failures.append(f"stage health not clean: {unhealthy}")
+    warehouse = results.get("warehouse")
+    if warehouse is not None:
+        if warehouse.get("qa_failed"):
+            failures.append(
+                f"warehouse QA: {warehouse['qa_failed']} integrity check(s)"
+                " failed during the bench load"
+            )
+        if not warehouse.get("rows_loaded"):
+            failures.append("warehouse load staged no rows")
     movement = results.get("data_movement", {})
     shipped = movement.get("dep_bytes_shipped", 0)
     naive = movement.get("dep_bytes_naive", 0)

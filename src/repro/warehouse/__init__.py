@@ -1,0 +1,39 @@
+"""Results warehouse: a sqlite-backed staging → mart analytics layer.
+
+The in-memory analysis layer (:mod:`repro.analysis`) re-joins Python
+record lists per run, which caps campaign scale at RAM and makes
+cross-campaign queries impossible.  This package persists every
+stage's records into typed *staging* tables keyed by
+``(campaign_id, stage, position)``, runs QA integrity checks recorded
+in ``qa_results``, and materialises the paper's tables as *marts*
+(``mart_table1_targets`` … ``mart_table6_fingerprints`` plus
+version-deployment and outcome-mix marts) that reproduce the
+in-memory tables row for row.
+
+- :mod:`repro.warehouse.schema` — DDL plus the data dictionary
+  (``docs/WAREHOUSE.md`` is checked against it),
+- :mod:`repro.warehouse.loader` — idempotent campaign ingestion,
+- :mod:`repro.warehouse.qa` — integrity checks (row counts, join-key
+  coverage, NULL-rate gates, mart-vs-memory equality),
+- :mod:`repro.warehouse.marts` — SQL aggregation + exact Python
+  rounding/ranking into the mart tables,
+- :mod:`repro.warehouse.queries` — named mart reports and the raw-SQL
+  escape hatch behind ``repro query``.
+"""
+
+from repro.warehouse.loader import LoadResult, campaign_warehouse_id, load_campaign
+from repro.warehouse.qa import QaResult, WarehouseQaError, run_qa
+from repro.warehouse.schema import SCHEMA_VERSION, TABLES, connect, ensure_schema
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TABLES",
+    "connect",
+    "ensure_schema",
+    "LoadResult",
+    "campaign_warehouse_id",
+    "load_campaign",
+    "QaResult",
+    "WarehouseQaError",
+    "run_qa",
+]

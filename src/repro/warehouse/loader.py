@@ -1,0 +1,388 @@
+"""Campaign ingestion: records → staging tables → QA → marts.
+
+:func:`load_campaign` ingests a campaign's stage record lists into the
+staging tables, resolves the address → AS dimension against the
+world's registry, records the expected stage counts, materialises the
+marts and runs the QA suite — all inside one transaction, deleting any
+previous rows for the same ``campaign_id`` first, so re-loading a
+campaign is exactly idempotent (byte-identical database content).
+
+The campaign may have run its scans in this process, or the stages may
+come straight from the persistent stage cache (construct the campaign
+with ``cache_dir`` pointing at a warm cache) — the loader only reads
+the stage record lists, so both paths produce identical rows.
+
+Row counts land in the campaign's
+:class:`~repro.observability.metrics.MetricsRegistry` as deterministic
+``warehouse.rows`` counters; load timings are volatile
+``warehouse.load_seconds`` / ``warehouse.rows_per_sec`` gauges (wall
+clock must never enter the deterministic ``metrics.json``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.experiments.campaign import Campaign
+from repro.quic.versions import QSCANNER_SUPPORTED
+from repro.warehouse import marts as marts_module
+from repro.warehouse import qa as qa_module
+from repro.warehouse.schema import SCHEMA_VERSION, TABLES, ensure_schema
+
+__all__ = ["LoadResult", "campaign_warehouse_id", "load_campaign"]
+
+# Stages staged per record-holding table, in canonical order.
+_ZMAP_STAGES = ("zmap_v4", "zmap_v6")
+_SYN_STAGES = ("syn_v4", "syn_v6")
+_GOSCANNER_STAGES = (
+    "goscanner_nosni_v4",
+    "goscanner_sni_v4",
+    "goscanner_nosni_v6",
+    "goscanner_sni_v6",
+)
+_QSCAN_STAGES = ("qscan_nosni_v4", "qscan_nosni_v6", "qscan_sni_v4", "qscan_sni_v6")
+
+
+def campaign_warehouse_id(config) -> str:
+    """Deterministic warehouse key for a campaign configuration.
+
+    Mirrors the stage cache's digest recipe: the full
+    ``CampaignConfig.cache_key()`` (every field, nested dataclasses
+    flattened) plus the warehouse schema version, so a schema change
+    can never mix with rows loaded under the old shape.
+    """
+    key = ("warehouse", SCHEMA_VERSION, config.cache_key())
+    return hashlib.sha256(repr(key).encode()).hexdigest()[:16]
+
+
+@dataclass
+class LoadResult:
+    """What one :func:`load_campaign` call ingested."""
+
+    campaign_id: str
+    rows: Dict[str, int] = field(default_factory=dict)
+    qa: List["qa_module.QaResult"] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.rows.values())
+
+    @property
+    def qa_failures(self) -> List["qa_module.QaResult"]:
+        return [result for result in self.qa if result.status != "pass"]
+
+
+def _family(address) -> int:
+    return address.version
+
+
+def _extensions_set(extensions: Sequence[str]) -> str:
+    return json.dumps(sorted(set(extensions)))
+
+
+def _fingerprint_json(fingerprint) -> object:
+    if fingerprint is None:
+        return None
+    return json.dumps([[name, value] for name, value in fingerprint])
+
+
+def _dns_rows(campaign: Campaign, campaign_id: str) -> List[Tuple]:
+    rows = []
+    for position, record in enumerate(campaign.all_dns_records):
+        rows.append(
+            (
+                campaign_id,
+                "dns_records",
+                position,
+                record.domain,
+                record.source_list,
+                json.dumps([str(a) for a in record.a]),
+                json.dumps([str(a) for a in record.aaaa]),
+                json.dumps(list(record.https_alpn)),
+                json.dumps([str(a) for a in record.https_ipv4hints]),
+                json.dumps([str(a) for a in record.https_ipv6hints]),
+                int(record.has_https_rr),
+            )
+        )
+    return rows
+
+
+def _dns_address_rows(campaign: Campaign, campaign_id: str) -> List[Tuple]:
+    """The deduplicated (domain, address) pairs, in first-seen order.
+
+    Walks the records exactly like
+    :func:`repro.analysis.joins.join_dns_addresses` so positions mirror
+    the in-memory join's insertion order.
+    """
+    rows = []
+    seen: Set[Tuple[str, object]] = set()
+    position = 0
+    for record in campaign.all_dns_records:
+        for answers in (record.a, record.aaaa):
+            for address in answers:
+                key = (record.domain, address)
+                if key in seen:
+                    continue
+                seen.add(key)
+                rows.append(
+                    (campaign_id, position, record.domain, str(address), _family(address))
+                )
+                position += 1
+    return rows
+
+
+def _https_hint_rows(campaign: Campaign, campaign_id: str) -> List[Tuple]:
+    rows = []
+    position = 0
+    for record in campaign.all_dns_records:
+        if not record.has_https_rr:
+            continue
+        for hints in (record.https_ipv4hints, record.https_ipv6hints):
+            for address in hints:
+                rows.append(
+                    (campaign_id, position, record.domain, str(address), _family(address))
+                )
+                position += 1
+    return rows
+
+
+def _zmap_rows(campaign: Campaign, campaign_id: str) -> List[Tuple]:
+    rows = []
+    for stage in _ZMAP_STAGES:
+        for position, record in enumerate(getattr(campaign, stage)):
+            rows.append(
+                (
+                    campaign_id,
+                    stage,
+                    position,
+                    str(record.address),
+                    _family(record.address),
+                    json.dumps([f"0x{v:08x}" for v in record.versions]),
+                    int(bool(set(record.versions) & QSCANNER_SUPPORTED)),
+                )
+            )
+    return rows
+
+
+def _syn_rows(campaign: Campaign, campaign_id: str) -> List[Tuple]:
+    rows = []
+    for stage in _SYN_STAGES:
+        for position, record in enumerate(getattr(campaign, stage)):
+            rows.append(
+                (
+                    campaign_id,
+                    stage,
+                    position,
+                    str(record.address),
+                    _family(record.address),
+                    record.port,
+                    int(record.open),
+                )
+            )
+    return rows
+
+
+def _goscanner_rows(campaign: Campaign, campaign_id: str) -> List[Tuple]:
+    from repro.experiments.campaign import COMPATIBLE_ALPN_TOKENS
+
+    rows = []
+    for stage in _GOSCANNER_STAGES:
+        for position, record in enumerate(getattr(campaign, stage)):
+            tokens = sorted({e.alpn for e in record.alt_svc if e.indicates_http3})
+            rows.append(
+                (
+                    campaign_id,
+                    stage,
+                    position,
+                    str(record.address),
+                    _family(record.address),
+                    record.sni,
+                    int(record.success),
+                    record.tls_version,
+                    record.cipher_suite,
+                    record.key_exchange_group,
+                    record.certificate_fingerprint,
+                    json.dumps(list(record.server_extensions)),
+                    _extensions_set(record.server_extensions),
+                    record.server_header,
+                    json.dumps(
+                        [
+                            {"alpn": e.alpn, "host": e.host, "port": e.port, "ma": e.max_age}
+                            for e in record.alt_svc
+                        ]
+                    ),
+                    json.dumps(tokens),
+                    int(bool(tokens)),
+                    int(bool(set(tokens) & COMPATIBLE_ALPN_TOKENS)),
+                    record.error,
+                    record.attempts,
+                )
+            )
+    return rows
+
+
+def _qscan_rows(campaign: Campaign, campaign_id: str) -> List[Tuple]:
+    rows = []
+    for stage in _QSCAN_STAGES:
+        for position, record in enumerate(getattr(campaign, stage)):
+            rows.append(
+                (
+                    campaign_id,
+                    stage,
+                    position,
+                    str(record.address),
+                    _family(record.address),
+                    record.sni,
+                    record.source.value,
+                    record.outcome.value,
+                    int(record.is_success),
+                    f"0x{record.quic_version:08x}" if record.quic_version else None,
+                    record.tls_version,
+                    record.cipher_suite,
+                    record.key_exchange_group,
+                    record.certificate_fingerprint,
+                    json.dumps(list(record.server_extensions)),
+                    _extensions_set(record.server_extensions),
+                    _fingerprint_json(record.transport_params_fingerprint),
+                    record.server_header,
+                    record.http_status,
+                    record.attempts,
+                )
+            )
+    return rows
+
+
+def _sni_target_rows(campaign: Campaign, campaign_id: str) -> List[Tuple]:
+    rows = []
+    for family in (4, 6):
+        targets = campaign.sni_targets_v4 if family == 4 else campaign.sni_targets_v6
+        position = 0
+        for (address, domain), sources in targets.items():
+            for source in sorted(sources, key=lambda s: s.value):
+                rows.append(
+                    (campaign_id, family, position, str(address), domain, source.value)
+                )
+                position += 1
+    return rows
+
+
+def _address_rows(campaign: Campaign, campaign_id: str) -> List[Tuple]:
+    """The address → AS dimension over every address staged anywhere."""
+    registry = campaign.world.as_registry
+    addresses: Dict[str, object] = {}
+
+    def note(address) -> None:
+        addresses.setdefault(str(address), address)
+
+    for stage in _ZMAP_STAGES + _SYN_STAGES + _GOSCANNER_STAGES + _QSCAN_STAGES:
+        for record in getattr(campaign, stage):
+            note(record.address)
+    for record in campaign.all_dns_records:
+        for answers in (record.a, record.aaaa, record.https_ipv4hints, record.https_ipv6hints):
+            for address in answers:
+                note(address)
+    for targets in (campaign.sni_targets_v4, campaign.sni_targets_v6):
+        for address, _domain in targets:
+            note(address)
+    rows = []
+    for text in sorted(addresses):
+        address = addresses[text]
+        asn = registry.origin(address)
+        rows.append((campaign_id, text, _family(address), asn, registry.name_of(asn)))
+    return rows
+
+
+def _insert(conn: sqlite3.Connection, table: str, rows: List[Tuple]) -> int:
+    if rows:
+        placeholders = ", ".join("?" * len(TABLES[table].columns))
+        conn.executemany(f"INSERT INTO {table} VALUES ({placeholders})", rows)
+    return len(rows)
+
+
+def load_campaign(
+    campaign: Campaign,
+    conn: sqlite3.Connection,
+    strict: bool = True,
+) -> LoadResult:
+    """Ingest ``campaign`` into the warehouse behind ``conn``.
+
+    Runs (or replays from the stage cache) every scan stage, stages the
+    records, materialises the marts and runs the QA suite.  All writes
+    happen in one transaction keyed by the campaign's warehouse id;
+    existing rows for the same id are deleted first, so repeated loads
+    are idempotent.  With ``strict`` (the default) a QA failure raises
+    :class:`~repro.warehouse.qa.WarehouseQaError` *after* committing,
+    so the failing evidence stays queryable in ``qa_results``.
+    """
+    ensure_schema(conn)
+    campaign_id = campaign_warehouse_id(campaign.config)
+    start = time.perf_counter()
+    stage_counts = campaign.run_all_stages()
+
+    result = LoadResult(campaign_id=campaign_id)
+    config = campaign.config
+    with conn:  # one transaction: delete + stage + marts + QA
+        for name in TABLES:
+            conn.execute(f"DELETE FROM {name} WHERE campaign_id = ?", (campaign_id,))
+        conn.execute(
+            "INSERT INTO campaigns VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                campaign_id,
+                config.week,
+                config.seed,
+                config.scale.addresses,
+                config.scale.ases,
+                config.scale.domains,
+                config.fault_profile,
+                json.dumps(config.cache_key(), default=repr),
+                json.dumps(stage_counts, sort_keys=True),
+                SCHEMA_VERSION,
+            ),
+        )
+        result.rows["campaigns"] = 1
+        result.rows["stg_dns"] = _insert(conn, "stg_dns", _dns_rows(campaign, campaign_id))
+        result.rows["stg_dns_address"] = _insert(
+            conn, "stg_dns_address", _dns_address_rows(campaign, campaign_id)
+        )
+        result.rows["stg_https_hints"] = _insert(
+            conn, "stg_https_hints", _https_hint_rows(campaign, campaign_id)
+        )
+        result.rows["stg_zmap"] = _insert(conn, "stg_zmap", _zmap_rows(campaign, campaign_id))
+        result.rows["stg_syn"] = _insert(conn, "stg_syn", _syn_rows(campaign, campaign_id))
+        result.rows["stg_goscanner"] = _insert(
+            conn, "stg_goscanner", _goscanner_rows(campaign, campaign_id)
+        )
+        result.rows["stg_qscan"] = _insert(
+            conn, "stg_qscan", _qscan_rows(campaign, campaign_id)
+        )
+        result.rows["stg_sni_targets"] = _insert(
+            conn, "stg_sni_targets", _sni_target_rows(campaign, campaign_id)
+        )
+        result.rows["stg_addresses"] = _insert(
+            conn, "stg_addresses", _address_rows(campaign, campaign_id)
+        )
+        result.rows.update(marts_module.build_marts(conn, campaign_id))
+        result.qa = qa_module.run_qa(conn, campaign_id, campaign=campaign, strict=False)
+    result.seconds = time.perf_counter() - start
+
+    metrics = campaign.metrics
+    for table, count in sorted(result.rows.items()):
+        metrics.counter("warehouse.rows", table=table).inc(count)
+    for status in ("pass", "fail"):
+        matched = sum(1 for check in result.qa if check.status == status)
+        if matched:
+            metrics.counter("warehouse.qa", status=status).inc(matched)
+    metrics.gauge("warehouse.load_seconds", volatile=True).set(round(result.seconds, 6))
+    if result.seconds:
+        metrics.gauge("warehouse.rows_per_sec", volatile=True).set(
+            round(result.total_rows / result.seconds, 1)
+        )
+    if strict and result.qa_failures:
+        raise qa_module.WarehouseQaError(result.qa_failures)
+    return result

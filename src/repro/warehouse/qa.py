@@ -1,0 +1,294 @@
+"""Warehouse QA: integrity checks recorded in ``qa_results``.
+
+Four families of checks run on every load (and on demand against an
+existing database):
+
+- **row counts** — every staged stage's row count must equal the
+  record count the campaign reported at load time (stored in
+  ``campaigns.stage_counts_json``), and positions must form the exact
+  contiguous range ``0..count-1`` (a deleted or duplicated staging row
+  fails both),
+- **join-key coverage** — every address referenced by any staging
+  table must resolve in the ``stg_addresses`` dimension, and every
+  ``qscan_sni_*`` record's ``(address, sni)`` pair must exist in
+  ``stg_sni_targets`` for its family (the joins Tables 1-6 rest on),
+- **NULL-rate gates** — columns that can never legitimately be NULL
+  (addresses, outcomes, DNS domains, the SNI on SNI-scan records)
+  must have a NULL rate of exactly zero,
+- **mart equivalence** — when the loading campaign is available, every
+  ``mart_table*`` must equal the in-memory
+  :mod:`repro.experiments.tables` output row for row (the
+  byte-identical fallback check).
+
+Each check inserts one ``qa_results`` row per subject with
+``status`` pass/fail plus expected/actual evidence;
+:class:`WarehouseQaError` raises loudly on any failure when
+``strict``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["QaResult", "WarehouseQaError", "run_qa"]
+
+# stage-counts key (as reported by Campaign.run_all_stages) → staging table
+_STAGE_TABLES: Tuple[Tuple[str, str, str], ...] = (
+    ("dns", "stg_dns", "dns_records"),
+    ("zmap_v4", "stg_zmap", "zmap_v4"),
+    ("zmap_v6", "stg_zmap", "zmap_v6"),
+    ("syn_v4", "stg_syn", "syn_v4"),
+    ("syn_v6", "stg_syn", "syn_v6"),
+    ("goscanner_nosni_v4", "stg_goscanner", "goscanner_nosni_v4"),
+    ("goscanner_sni_v4", "stg_goscanner", "goscanner_sni_v4"),
+    ("goscanner_nosni_v6", "stg_goscanner", "goscanner_nosni_v6"),
+    ("goscanner_sni_v6", "stg_goscanner", "goscanner_sni_v6"),
+    ("qscan_nosni_v4", "stg_qscan", "qscan_nosni_v4"),
+    ("qscan_nosni_v6", "stg_qscan", "qscan_nosni_v6"),
+    ("qscan_sni_v4", "stg_qscan", "qscan_sni_v4"),
+    ("qscan_sni_v6", "stg_qscan", "qscan_sni_v6"),
+)
+
+_ADDRESS_TABLES = ("stg_zmap", "stg_syn", "stg_goscanner", "stg_qscan", "stg_sni_targets")
+
+# (table, column, extra predicate) whose NULL rate must be exactly 0.
+_NULL_GATES: Tuple[Tuple[str, str, str], ...] = (
+    ("stg_zmap", "address", ""),
+    ("stg_syn", "address", ""),
+    ("stg_goscanner", "address", ""),
+    ("stg_qscan", "address", ""),
+    ("stg_qscan", "outcome", ""),
+    ("stg_qscan", "sni", "AND stage LIKE 'qscan_sni%'"),
+    ("stg_goscanner", "sni", "AND stage LIKE 'goscanner_sni%'"),
+    ("stg_dns", "domain", ""),
+    ("stg_sni_targets", "address", ""),
+    ("stg_addresses", "address", ""),
+)
+
+
+@dataclass
+class QaResult:
+    """One integrity-check outcome (one ``qa_results`` row)."""
+
+    check: str
+    stage: str
+    status: str  # pass | fail
+    expected: object = None
+    actual: object = None
+    detail: str = ""
+
+
+class WarehouseQaError(Exception):
+    """Raised when any QA check fails under ``strict``."""
+
+    def __init__(self, failures: List[QaResult]):
+        self.failures = failures
+        summary = "; ".join(
+            f"{failure.check}[{failure.stage}]: expected {failure.expected!r},"
+            f" got {failure.actual!r}"
+            for failure in failures
+        )
+        super().__init__(f"{len(failures)} warehouse QA check(s) failed: {summary}")
+
+
+def _one(conn: sqlite3.Connection, sql: str, params: Tuple) -> object:
+    return conn.execute(sql, params).fetchone()[0]
+
+
+def _check_row_counts(conn, campaign_id: str, results: List[QaResult]) -> None:
+    import json
+
+    row = conn.execute(
+        "SELECT stage_counts_json FROM campaigns WHERE campaign_id = ?", (campaign_id,)
+    ).fetchone()
+    if row is None:
+        results.append(
+            QaResult(
+                check="row_counts",
+                stage="campaigns",
+                status="fail",
+                expected=1,
+                actual=0,
+                detail="no campaigns row for this campaign_id",
+            )
+        )
+        return
+    expected_counts = json.loads(row[0])
+    for key, table, stage in _STAGE_TABLES:
+        expected = expected_counts.get(key)
+        if expected is None:
+            continue
+        actual = _one(
+            conn,
+            f"SELECT COUNT(*) FROM {table} WHERE campaign_id = ? AND stage = ?",
+            (campaign_id, stage),
+        )
+        results.append(
+            QaResult(
+                check="row_counts",
+                stage=stage,
+                status="pass" if actual == expected else "fail",
+                expected=expected,
+                actual=actual,
+                detail=f"{table} rows vs. campaign stage record count",
+            )
+        )
+        if actual:
+            lo, hi, distinct = conn.execute(
+                f"SELECT MIN(position), MAX(position), COUNT(DISTINCT position)"
+                f" FROM {table} WHERE campaign_id = ? AND stage = ?",
+                (campaign_id, stage),
+            ).fetchone()
+            contiguous = lo == 0 and hi == actual - 1 and distinct == actual
+            results.append(
+                QaResult(
+                    check="position_continuity",
+                    stage=stage,
+                    status="pass" if contiguous else "fail",
+                    expected=f"0..{actual - 1}",
+                    actual=f"{lo}..{hi} ({distinct} distinct)",
+                    detail=f"{table} positions must cover the serial order exactly",
+                )
+            )
+
+
+def _check_join_coverage(conn, campaign_id: str, results: List[QaResult]) -> None:
+    for table in _ADDRESS_TABLES:
+        missing = _one(
+            conn,
+            f"SELECT COUNT(*) FROM {table} t WHERE t.campaign_id = ?"
+            f" AND t.address IS NOT NULL AND NOT EXISTS ("
+            f"   SELECT 1 FROM stg_addresses a"
+            f"   WHERE a.campaign_id = t.campaign_id AND a.address = t.address)",
+            (campaign_id,),
+        )
+        results.append(
+            QaResult(
+                check="join_coverage_addresses",
+                stage=table,
+                status="pass" if missing == 0 else "fail",
+                expected=0,
+                actual=missing,
+                detail="addresses missing from the stg_addresses dimension",
+            )
+        )
+    for family in (4, 6):
+        missing = _one(
+            conn,
+            "SELECT COUNT(*) FROM stg_qscan q WHERE q.campaign_id = ?"
+            " AND q.stage = ? AND NOT EXISTS ("
+            "   SELECT 1 FROM stg_sni_targets t"
+            "   WHERE t.campaign_id = q.campaign_id AND t.family = ?"
+            "     AND t.address = q.address AND t.domain = q.sni)",
+            (campaign_id, f"qscan_sni_v{family}", family),
+        )
+        results.append(
+            QaResult(
+                check="join_coverage_sni",
+                stage=f"qscan_sni_v{family}",
+                status="pass" if missing == 0 else "fail",
+                expected=0,
+                actual=missing,
+                detail="SNI-scan records without a stg_sni_targets membership",
+            )
+        )
+
+
+def _check_null_rates(conn, campaign_id: str, results: List[QaResult]) -> None:
+    for table, column, predicate in _NULL_GATES:
+        nulls = _one(
+            conn,
+            f"SELECT COUNT(*) FROM {table} WHERE campaign_id = ?"
+            f" AND {column} IS NULL {predicate}",
+            (campaign_id,),
+        )
+        results.append(
+            QaResult(
+                check="null_rate",
+                stage=f"{table}.{column}",
+                status="pass" if nulls == 0 else "fail",
+                expected=0,
+                actual=nulls,
+                detail=f"NULL {column} rows{' (' + predicate[4:] + ')' if predicate else ''}",
+            )
+        )
+
+
+def _check_mart_equivalence(conn, campaign_id: str, campaign, results: List[QaResult]) -> None:
+    from repro.experiments.tables import table1, table2, table3, table4, table5, table6
+    from repro.warehouse.marts import MART_FOR_TABLE, mart_rows
+
+    runners = {
+        "T1": table1,
+        "T2": table2,
+        "T3": table3,
+        "T4": table4,
+        "T5": table5,
+        "T6": table6,
+    }
+    for experiment_id, runner in runners.items():
+        memory = [tuple(row) for row in runner(campaign).rows]
+        mart = mart_rows(conn, campaign_id, MART_FOR_TABLE[experiment_id])
+        mismatch = ""
+        if len(memory) != len(mart):
+            mismatch = f"{len(mart)} mart rows vs {len(memory)} in-memory rows"
+        else:
+            for index, (ours, theirs) in enumerate(zip(mart, memory)):
+                if ours != theirs:
+                    mismatch = f"row {index}: mart {ours!r} != memory {theirs!r}"
+                    break
+        results.append(
+            QaResult(
+                check="mart_equivalence",
+                stage=MART_FOR_TABLE[experiment_id],
+                status="pass" if not mismatch else "fail",
+                expected=len(memory),
+                actual=len(mart),
+                detail=mismatch or "mart rows equal the in-memory table row for row",
+            )
+        )
+
+
+def run_qa(
+    conn: sqlite3.Connection,
+    campaign_id: str,
+    campaign=None,
+    strict: bool = True,
+) -> List[QaResult]:
+    """Run every applicable QA check; record and return the results.
+
+    Structural checks (row counts, coverage, NULL gates) need only the
+    database; the mart-equivalence check additionally needs the loaded
+    ``campaign`` to recompute the in-memory tables and is skipped when
+    it is not supplied.  Existing ``qa_results`` rows for the campaign
+    are replaced.  With ``strict`` (the default when invoked
+    standalone), any failure raises :class:`WarehouseQaError`.
+    """
+    results: List[QaResult] = []
+    _check_row_counts(conn, campaign_id, results)
+    _check_join_coverage(conn, campaign_id, results)
+    _check_null_rates(conn, campaign_id, results)
+    if campaign is not None:
+        _check_mart_equivalence(conn, campaign_id, campaign, results)
+    conn.execute("DELETE FROM qa_results WHERE campaign_id = ?", (campaign_id,))
+    conn.executemany(
+        "INSERT INTO qa_results VALUES (?, ?, ?, ?, ?, ?, ?)",
+        [
+            (
+                campaign_id,
+                result.check,
+                result.stage,
+                result.status,
+                result.expected,
+                result.actual,
+                result.detail,
+            )
+            for result in results
+        ],
+    )
+    failures = [result for result in results if result.status != "pass"]
+    if strict and failures:
+        raise WarehouseQaError(failures)
+    return results

@@ -1,0 +1,157 @@
+"""Named mart reports and the raw-SQL escape hatch (``repro query``).
+
+Every named report reads a mart (never the staging layer) and wraps
+the rows in the same :class:`~repro.experiments.base.TableSpec`
+presentation metadata the in-memory experiment runners use, so
+``repro query table1`` and ``repro experiment T1`` render identically
+— titles, headers, rows, formatting.  The warehouse-only reports
+(``versions``, ``outcomes``, ``qa``, ``campaigns``) expose the extra
+marts and the QA ledger; ``--sql`` runs arbitrary read-only SQL.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.warehouse.marts import MART_FOR_TABLE, mart_rows
+
+__all__ = ["REPORTS", "latest_campaign", "named_report", "run_sql"]
+
+# report name → one-line description (surfaced by ``repro query --list``
+# and docs/WAREHOUSE.md).
+REPORTS: Dict[str, str] = {
+    "table1": "Table 1: found QUIC targets per discovery method",
+    "table2": "Table 2: top providers (IPv4, zmap)",
+    "table3": "Table 3: stateful scan outcome mix (%)",
+    "table4": "Table 4: SNI-scan success rate per input source",
+    "table5": "Table 5: TLS property parity TCP vs QUIC (%)",
+    "table6": "Table 6: top HTTP Server values by AS spread",
+    "versions": "QUIC version deployment per family (Figures 5-7 substrate)",
+    "outcomes": "raw outcome counts per qscan stage (Table 3 numerators)",
+    "qa": "integrity-check ledger for the campaign's load",
+    "campaigns": "every campaign loaded into this warehouse",
+}
+
+
+def latest_campaign(conn: sqlite3.Connection) -> Optional[str]:
+    """The most recently loaded campaign id, or None on an empty warehouse."""
+    row = conn.execute(
+        "SELECT campaign_id FROM campaigns ORDER BY rowid DESC LIMIT 1"
+    ).fetchone()
+    return row[0] if row else None
+
+
+def _campaign_week(conn: sqlite3.Connection, campaign_id: str) -> int:
+    row = conn.execute(
+        "SELECT week FROM campaigns WHERE campaign_id = ?", (campaign_id,)
+    ).fetchone()
+    if row is None:
+        raise LookupError(f"campaign {campaign_id!r} is not loaded in this warehouse")
+    return row[0]
+
+
+def _paper_table(conn, campaign_id: str, name: str) -> ExperimentResult:
+    from repro.experiments.tables import TABLE_SPECS
+
+    experiment_id = f"T{name[-1]}"
+    rows = mart_rows(conn, campaign_id, MART_FOR_TABLE[experiment_id])
+    spec = TABLE_SPECS[experiment_id]
+    if experiment_id == "T1":
+        return spec.result(rows, week=_campaign_week(conn, campaign_id))
+    if experiment_id == "T2":
+        return spec.result(rows, family=4, source="zmap")
+    return spec.result(rows)
+
+
+def _versions(conn, campaign_id: str) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="WH",
+        title="QUIC version deployment (ZMap VN packets)",
+        headers=("Family", "Version", "Addresses"),
+        rows=mart_rows(conn, campaign_id, "mart_version_deployment"),
+    )
+
+
+def _outcomes(conn, campaign_id: str) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="WH",
+        title="Stateful scan outcome counts per stage",
+        headers=("Stage", "Outcome", "Records"),
+        rows=mart_rows(conn, campaign_id, "mart_outcome_mix"),
+    )
+
+
+def _qa(conn, campaign_id: str) -> ExperimentResult:
+    rows = [
+        tuple(row)
+        for row in conn.execute(
+            "SELECT check_name, stage, status, expected, actual, detail"
+            " FROM qa_results WHERE campaign_id = ?"
+            " ORDER BY status != 'fail', check_name, stage",
+            (campaign_id,),
+        )
+    ]
+    return ExperimentResult(
+        experiment_id="WH",
+        title="Warehouse QA ledger (failures first)",
+        headers=("Check", "Stage", "Status", "Expected", "Actual", "Detail"),
+        rows=rows,
+    )
+
+
+def _campaigns(conn, campaign_id: str) -> ExperimentResult:
+    rows = [
+        tuple(row)
+        for row in conn.execute(
+            "SELECT campaign_id, week, seed, scale_addresses, scale_ases,"
+            " scale_domains, COALESCE(fault_profile, '-'), schema_version"
+            " FROM campaigns ORDER BY rowid"
+        )
+    ]
+    return ExperimentResult(
+        experiment_id="WH",
+        title="Loaded campaigns",
+        headers=(
+            "Campaign",
+            "Week",
+            "Seed",
+            "1:Addresses",
+            "1:ASes",
+            "1:Domains",
+            "Faults",
+            "Schema",
+        ),
+        rows=rows,
+    )
+
+
+def named_report(
+    conn: sqlite3.Connection, name: str, campaign_id: Optional[str] = None
+) -> ExperimentResult:
+    """Run one named report against a loaded campaign (default: latest)."""
+    if name not in REPORTS:
+        raise LookupError(f"unknown report {name!r}; choose from {sorted(REPORTS)}")
+    if campaign_id is None:
+        campaign_id = latest_campaign(conn)
+        if campaign_id is None:
+            raise LookupError("warehouse is empty — run `repro load` first")
+    if name.startswith("table"):
+        return _paper_table(conn, campaign_id, name)
+    runner = {
+        "versions": _versions,
+        "outcomes": _outcomes,
+        "qa": _qa,
+        "campaigns": _campaigns,
+    }[name]
+    return runner(conn, campaign_id)
+
+
+def run_sql(
+    conn: sqlite3.Connection, sql: str
+) -> Tuple[List[str], List[Sequence[object]]]:
+    """The ``--sql`` escape hatch: headers from the cursor, raw rows."""
+    cursor = conn.execute(sql)
+    headers = [column[0] for column in cursor.description or ()]
+    return headers, [tuple(row) for row in cursor.fetchall()]

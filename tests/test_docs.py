@@ -69,6 +69,47 @@ def test_intra_repo_markdown_links_resolve(path):
 
 def test_docs_exist_and_are_linked_from_readme():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    for name in ("docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md"):
+    for name in ("docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md", "docs/WAREHOUSE.md"):
         assert (REPO_ROOT / name).exists(), f"{name} is missing"
         assert name in readme, f"README.md does not link {name}"
+
+
+def test_warehouse_doc_matches_schema():
+    """docs/WAREHOUSE.md and repro.warehouse.schema must agree, both ways.
+
+    Every ``stg_*``/``mart_*`` table in the schema module has to be
+    documented (backticked) in the data dictionary, and every such
+    name the document mentions has to exist in the schema — so a
+    renamed or dropped table cannot leave the docs silently stale.
+    """
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.warehouse.schema import TABLES
+    finally:
+        sys.path.pop(0)
+
+    doc = (REPO_ROOT / "docs" / "WAREHOUSE.md").read_text(encoding="utf-8")
+    documented = set(re.findall(r"`((?:stg|mart)_[a-z0-9_]+)`", doc))
+    in_schema = {name for name in TABLES if name.startswith(("stg_", "mart_"))}
+
+    undocumented = sorted(in_schema - documented)
+    assert not undocumented, f"tables missing from docs/WAREHOUSE.md: {undocumented}"
+    # QA check names (e.g. mart_equivalence) share the prefix but are
+    # not tables.
+    qa_checks = {"mart_equivalence"}
+    phantom = sorted(documented - in_schema - qa_checks)
+    assert not phantom, f"docs/WAREHOUSE.md mentions unknown tables: {phantom}"
+
+    # Every staging column must appear in the data dictionary too.
+    from repro.warehouse.schema import STAGING_TABLES
+
+    missing_columns = []
+    for name in STAGING_TABLES:
+        for column in TABLES[name].columns:
+            if f"`{column.name}`" not in doc:
+                missing_columns.append(f"{name}.{column.name}")
+    assert not missing_columns, (
+        "staging columns missing from docs/WAREHOUSE.md: " + ", ".join(missing_columns)
+    )

@@ -1,0 +1,268 @@
+"""Results warehouse: load → QA → marts must mirror the in-memory path.
+
+The contract under test (docs/WAREHOUSE.md):
+
+- every mart table reproduces its in-memory
+  ``repro.experiments.tables`` output **row for row** (values *and*
+  types — STRICT tables must not coerce 50.0 into 50),
+- the QA suite passes on a clean load and fails loudly on injected
+  corruption (deleted staging row, NULLed join key),
+- re-loading the same campaign is exactly idempotent (byte-identical
+  database dump),
+- ``repro query`` renders the same bytes as ``repro experiment`` for
+  Tables 1-6, in every output format, through the shared renderer.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.experiments import get_campaign
+from repro.experiments.tables import table1, table2, table3, table4, table5, table6
+from repro.internet.providers import Scale
+from repro.warehouse import (
+    SCHEMA_VERSION,
+    TABLES,
+    WarehouseQaError,
+    campaign_warehouse_id,
+    load_campaign,
+)
+from repro.warehouse.marts import MART_FOR_TABLE, mart_rows
+from repro.warehouse.qa import run_qa
+from repro.warehouse.queries import REPORTS, latest_campaign, named_report, run_sql
+from repro.warehouse.schema import MART_TABLES, STAGING_TABLES
+
+# Small world (big divisor), distinct from the shared tiny_campaign so
+# these tests stay cheap; the CLI test below reuses the same memoised
+# campaign via identical parameters.
+_SCALE = Scale(addresses=200_000, ases=4_000, domains=200_000)
+_SEED = 23
+
+_TABLE_RUNNERS = {
+    "T1": table1,
+    "T2": table2,
+    "T3": table3,
+    "T4": table4,
+    "T5": table5,
+    "T6": table6,
+}
+
+
+@pytest.fixture(scope="module")
+def wh_campaign():
+    return get_campaign(week=18, scale=_SCALE, seed=_SEED)
+
+
+@pytest.fixture(scope="module")
+def loaded(wh_campaign):
+    conn = sqlite3.connect(":memory:")
+    result = load_campaign(wh_campaign, conn)
+    yield conn, result, wh_campaign
+    conn.close()
+
+
+def _copy(conn):
+    """An independent in-memory copy of a warehouse database."""
+    duplicate = sqlite3.connect(":memory:")
+    duplicate.executescript("\n".join(conn.iterdump()))
+    return duplicate
+
+
+def test_load_stages_every_table(loaded):
+    conn, result, _campaign = loaded
+    # qa_results is accounted for by result.qa, not the row ledger.
+    assert set(result.rows) == set(TABLES) - {"qa_results"}
+    for table in STAGING_TABLES:
+        assert result.rows[table] > 0, f"{table} staged no rows"
+    for table in MART_TABLES:
+        assert result.rows[table] > 0, f"{table} materialised no rows"
+
+
+def test_qa_clean_on_fresh_load(loaded):
+    conn, result, _campaign = loaded
+    assert result.qa, "load ran no QA checks"
+    assert not result.qa_failures
+    ledger = conn.execute(
+        "SELECT status, COUNT(*) FROM qa_results GROUP BY status"
+    ).fetchall()
+    assert ledger == [("pass", len(result.qa))]
+    checks = {row[0] for row in conn.execute("SELECT DISTINCT check_name FROM qa_results")}
+    assert {
+        "row_counts",
+        "position_continuity",
+        "join_coverage_addresses",
+        "join_coverage_sni",
+        "null_rate",
+        "mart_equivalence",
+    } <= checks
+
+
+@pytest.mark.parametrize("experiment_id", sorted(_TABLE_RUNNERS))
+def test_marts_equal_in_memory_tables(loaded, experiment_id):
+    conn, result, campaign = loaded
+    memory = [tuple(row) for row in _TABLE_RUNNERS[experiment_id](campaign).rows]
+    mart = mart_rows(conn, result.campaign_id, MART_FOR_TABLE[experiment_id])
+    assert mart == memory
+    # Row-for-row includes types: STRICT/ANY storage must round-trip a
+    # float share as a float even when it is integral (e.g. 50.0).
+    for ours, theirs in zip(mart, memory):
+        assert [type(cell) for cell in ours] == [type(cell) for cell in theirs]
+
+
+def test_reload_is_idempotent(loaded):
+    conn, _result, campaign = loaded
+    before = list(conn.iterdump())
+    second = load_campaign(campaign, conn)
+    assert not second.qa_failures
+    assert list(conn.iterdump()) == before
+
+
+def test_qa_fails_on_deleted_staging_row(loaded):
+    conn, result, _campaign = loaded
+    corrupt = _copy(conn)
+    corrupt.execute(
+        "DELETE FROM stg_zmap WHERE stage = 'zmap_v4' AND position = 0"
+    )
+    with pytest.raises(WarehouseQaError) as excinfo:
+        run_qa(corrupt, result.campaign_id, strict=True)
+    checks = {failure.check for failure in excinfo.value.failures}
+    assert "row_counts" in checks and "position_continuity" in checks
+    # The evidence is recorded, not just raised.
+    assert corrupt.execute(
+        "SELECT COUNT(*) FROM qa_results WHERE status = 'fail'"
+    ).fetchone()[0] == len(excinfo.value.failures)
+    corrupt.close()
+
+
+def test_qa_fails_on_nulled_join_key(loaded):
+    conn, result, _campaign = loaded
+    corrupt = _copy(conn)
+    corrupt.execute(
+        "UPDATE stg_qscan SET address = NULL"
+        " WHERE stage = 'qscan_sni_v4' AND position = 0"
+    )
+    with pytest.raises(WarehouseQaError) as excinfo:
+        run_qa(corrupt, result.campaign_id, strict=True)
+    checks = {failure.check for failure in excinfo.value.failures}
+    assert "null_rate" in checks
+    corrupt.close()
+
+
+def test_qa_mart_equivalence_fails_on_tampered_mart(loaded):
+    conn, result, campaign = loaded
+    corrupt = _copy(conn)
+    corrupt.execute("UPDATE mart_table1_targets SET addresses = addresses + 1")
+    with pytest.raises(WarehouseQaError) as excinfo:
+        run_qa(corrupt, result.campaign_id, campaign=campaign, strict=True)
+    assert {failure.check for failure in excinfo.value.failures} == {"mart_equivalence"}
+    corrupt.close()
+
+
+def test_campaign_warehouse_id_is_deterministic(wh_campaign):
+    ours = campaign_warehouse_id(wh_campaign.config)
+    assert ours == campaign_warehouse_id(wh_campaign.config)
+    assert len(ours) == 16
+    other = get_campaign(week=18, scale=_SCALE, seed=_SEED + 1)
+    assert campaign_warehouse_id(other.config) != ours
+
+
+def test_load_wires_metrics(loaded):
+    _conn, result, campaign = loaded
+    rows = campaign.metrics.counter_value("warehouse.rows", table="stg_qscan")
+    assert rows and rows % result.rows["stg_qscan"] == 0
+    assert campaign.metrics.counter_value("warehouse.qa", status="pass") > 0
+    # Wall-clock timings must stay volatile (never in metrics.json).
+    volatile = campaign.metrics.snapshot(include_volatile=True)["gauges"]
+    stable = campaign.metrics.snapshot(include_volatile=False)["gauges"]
+    assert "warehouse.load_seconds" in volatile
+    assert "warehouse.load_seconds" not in stable
+
+
+def test_named_reports_render_like_experiments(loaded):
+    conn, result, campaign = loaded
+    assert latest_campaign(conn) == result.campaign_id
+    for name, runner in (("table1", table1), ("table3", table3), ("table6", table6)):
+        from_mart = named_report(conn, name)
+        in_memory = runner(campaign)
+        for fmt in ("table", "csv", "json"):
+            assert from_mart.render(fmt=fmt) == in_memory.render(fmt=fmt)
+
+
+def test_every_named_report_runs(loaded):
+    conn, _result, _campaign = loaded
+    for name in REPORTS:
+        report = named_report(conn, name)
+        assert report.headers and report.rows is not None
+        assert report.render()
+
+
+def test_named_report_errors(loaded):
+    conn, _result, _campaign = loaded
+    with pytest.raises(LookupError):
+        named_report(conn, "table9")
+    with pytest.raises(LookupError):
+        named_report(conn, "table1", campaign_id="no-such-campaign")
+    empty = sqlite3.connect(":memory:")
+    from repro.warehouse import ensure_schema
+
+    ensure_schema(empty)
+    with pytest.raises(LookupError):
+        named_report(empty, "table1")
+    empty.close()
+
+
+def test_run_sql_escape_hatch(loaded):
+    conn, result, _campaign = loaded
+    headers, rows = run_sql(
+        conn, "SELECT stage, COUNT(*) AS records FROM stg_zmap GROUP BY stage"
+    )
+    assert headers == ["stage", "records"]
+    assert dict(rows) == {
+        "zmap_v4": result.rows["stg_zmap"] - dict(rows)["zmap_v6"],
+        "zmap_v6": dict(rows)["zmap_v6"],
+    }
+
+
+def test_schema_version_guards_campaign_id(wh_campaign):
+    key = ("warehouse", SCHEMA_VERSION, wh_campaign.config.cache_key())
+    import hashlib
+
+    assert campaign_warehouse_id(wh_campaign.config) == hashlib.sha256(
+        repr(key).encode()
+    ).hexdigest()[:16]
+
+
+def test_cli_load_and_query_agree(tmp_path, capsys, loaded):
+    from repro.cli import main
+
+    _conn, _result, campaign = loaded
+    db = tmp_path / "warehouse.sqlite"
+    common = ["--scale", str(_SCALE.addresses), "--seed", str(_SEED)]
+    assert main(["load", *common, "--db", str(db)]) == 0
+    capsys.readouterr()
+    assert main(["query", "table1", "--db", str(db)]) == 0
+    from_query = capsys.readouterr().out
+    assert from_query == table1(campaign).render() + "\n"
+    assert main(["query", "--db", str(db), "--sql", "SELECT COUNT(*) AS n FROM campaigns"]) == 0
+    assert "1" in capsys.readouterr().out
+    assert main(["query", "--db", str(db)]) == 2  # lists the reports
+    assert "table6" in capsys.readouterr().out
+
+
+def test_shared_renderer_formats():
+    from repro.analysis.tables import FORMATS, format_cell, render
+
+    headers = ("A", "B")
+    rows = [("x", 1.0), ("y", 2)]
+    assert format_cell(1.0) == "1.00" and format_cell(2) == "2"
+    table = render(headers, rows, title="t", fmt="table")
+    assert table.splitlines()[0] == "t" and "1.00" in table
+    csv_text = render(headers, rows, fmt="csv")
+    assert csv_text.splitlines() == ["A,B", "x,1.00", "y,2"]
+    import json
+
+    document = json.loads(render(headers, rows, title="t", fmt="json"))
+    assert document == {"title": "t", "headers": ["A", "B"], "rows": [["x", 1.0], ["y", 2]]}
+    with pytest.raises(ValueError):
+        render(headers, rows, fmt="yaml")
+    assert set(FORMATS) == {"table", "csv", "json"}
