@@ -1,17 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-smoke bench-check bench-profile report artefacts interop chaos chaos-smoke conform conform-smoke fuzz-smoke warehouse-smoke clean
+.PHONY: test docs-check bench bench-smoke bench-check bench-profile report artefacts interop chaos chaos-smoke conform conform-smoke fuzz-smoke warehouse-smoke longitudinal-smoke clean
 
 # chaos-smoke keeps the fault-injection/degradation path exercised,
 # fuzz-smoke the wire-format conformance suite, conform-smoke the
 # serial-vs-streaming differential oracle, bench-smoke the
-# pipeline-overlap/backpressure gate, and warehouse-smoke the
-# load → QA → query path on every `make test` run (the full suite
-# includes tests/test_resilience.py, tests/test_stream.py,
-# tests/test_conformance.py and tests/test_warehouse.py; deep
-# fuzzing runs via `pytest -m slow_fuzz`).
-test: docs-check chaos-smoke fuzz-smoke conform-smoke bench-smoke warehouse-smoke
+# pipeline-overlap/backpressure gate, warehouse-smoke the
+# load → QA → query path, and longitudinal-smoke the crash/resume
+# ledger path on every `make test` run (the full suite includes
+# tests/test_resilience.py, tests/test_stream.py,
+# tests/test_conformance.py, tests/test_warehouse.py and
+# tests/test_longitudinal.py; deep fuzzing runs via
+# `pytest -m slow_fuzz`).
+test: docs-check chaos-smoke fuzz-smoke conform-smoke bench-smoke warehouse-smoke longitudinal-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Validates intra-repo markdown links + module docstring presence.
@@ -63,6 +65,20 @@ warehouse-smoke:
 	rm -f .cache/warehouse-smoke.sqlite
 	$(PYTHON) -m repro load --scale 200000 --seed 23 --db .cache/warehouse-smoke.sqlite
 	$(PYTHON) -m repro query table1 --db .cache/warehouse-smoke.sqlite
+
+# Crash/resume smoke: run a 3-week series with a SIGKILL injected
+# mid-week-17 (the leading `-` tolerates the intentional death), then
+# resume — completed weeks are skipped, the interrupted week replays
+# from its stage cache — and read the week ledger back.  Nonzero exit
+# if the resumed series leaves any week incomplete.
+longitudinal-smoke:
+	rm -rf .cache/longitudinal-smoke .cache/longitudinal-smoke.sqlite
+	-REPRO_SERVICE_FAULT=kill@mid-week:17 $(PYTHON) -m repro longitudinal \
+		--weeks 16-18 --scale 200000 --seed 23 \
+		--db .cache/longitudinal-smoke.sqlite --cache-dir .cache/longitudinal-smoke
+	$(PYTHON) -m repro longitudinal --weeks 16-18 --scale 200000 --seed 23 \
+		--db .cache/longitudinal-smoke.sqlite --cache-dir .cache/longitudinal-smoke --resume
+	$(PYTHON) -m repro query weeks --db .cache/longitudinal-smoke.sqlite
 
 # Per-stage cProfile dump (top cumulative functions) for hot-path work.
 bench-profile:

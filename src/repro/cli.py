@@ -30,8 +30,15 @@ Subcommands:
   ``docs/WAREHOUSE.md``; exits nonzero on any QA failure,
 - ``query``       — read the warehouse: named mart reports
   (``table1`` … ``table6``, ``versions``, ``outcomes``, ``qa``,
-  ``campaigns``), a raw ``--sql`` escape hatch, and
-  ``--format table|csv|json`` output.
+  ``campaigns``, ``runs``, ``weeks``, ``https-timeline``,
+  ``version-timeline``, ``churn``), a raw ``--sql`` escape hatch, and
+  ``--format table|csv|json`` output,
+- ``longitudinal`` — run the paper's week series as one durable,
+  crash-safe job: a ledger in the warehouse checkpoints each week,
+  ``--resume`` restarts an interrupted series without redoing
+  completed weeks, and delta scans rescan only week-over-week changes
+  — see ``docs/LONGITUDINAL.md``; exits nonzero only when *no* week
+  completed.
 
 ``--workers N`` shards scan stages across a process pool (ZMap-style
 permutation sharding; identical output — records *and* merged metrics
@@ -474,6 +481,79 @@ def _cmd_query(args) -> int:
         conn.close()
 
 
+def _parse_weeks(spec: str) -> List[int]:
+    """Parse a week spec: ``5-18``, ``5,7,9``, or a mix (``5-9,14``)."""
+    weeks: List[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            lo, hi = part.split("-", 1)
+            weeks.extend(range(int(lo), int(hi) + 1))
+        else:
+            weeks.append(int(part))
+    if not weeks:
+        raise ValueError(f"empty week spec {spec!r}")
+    return sorted(set(weeks))
+
+
+def _cmd_longitudinal(args) -> int:
+    from pathlib import Path
+
+    from repro.longitudinal import LongitudinalScheduler, SeriesConfig
+    from repro.longitudinal.scheduler import render_series_metrics
+    from repro.scanners.retry import RetryPolicy
+    from repro.warehouse import connect
+
+    try:
+        weeks = _parse_weeks(args.weeks)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    config = SeriesConfig(
+        weeks=tuple(weeks),
+        scale=Scale(
+            addresses=args.scale, ases=max(1, args.scale // 50), domains=args.scale
+        ),
+        seed=args.seed,
+        fast_crypto=not args.real_crypto,
+        fault_profile=args.fault_profile,
+        scan_retry=RetryPolicy(attempts=max(1, args.scan_retries)),
+        week_retry=RetryPolicy(attempts=max(1, args.week_retries)),
+        delta=not args.no_delta,
+        watchdog_seconds=args.watchdog,
+        workers=args.workers,
+        cache_dir=args.cache_dir or ".cache/longitudinal",
+    )
+    conn = connect(args.db)
+    try:
+        result = LongitudinalScheduler(config).run(conn, resume=args.resume)
+    finally:
+        conn.close()
+    print(f"longitudinal run {result.run_id} ({len(result.weeks)} weeks) -> {args.db}")
+    for state in result.weeks:
+        delta = (
+            f" delta {state.delta_hits}/{state.delta_hits + state.delta_misses} hits"
+            f" (base week {state.delta_base_week})"
+            if state.delta_base_week is not None
+            else ""
+        )
+        detail = f" [{state.error}]" if state.error else ""
+        print(
+            f"  week {state.week:>2}: {state.status:<8}"
+            f" attempts={state.attempts}{delta}{detail}"
+        )
+    completed = len(result.completed)
+    print(f"  {completed}/{len(result.weeks)} weeks complete")
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_series_metrics(config, result))
+        print(f"wrote {path}")
+    return result.exit_code
+
+
 def _cmd_interop(args) -> int:
     from repro.interop import InteropRunner
 
@@ -688,6 +768,83 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="output format (default table)",
     )
     query_parser.set_defaults(func=_cmd_query)
+
+    longitudinal_parser = subparsers.add_parser(
+        "longitudinal",
+        help="run the week series as one crash-safe job with checkpointed resume",
+    )
+    longitudinal_parser.add_argument(
+        "--weeks",
+        default="5-18",
+        help="weeks to run: a range (5-18), a list (5,7,9) or a mix (default 5-18)",
+    )
+    longitudinal_parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    longitudinal_parser.add_argument(
+        "--scale", type=int, default=1000, help="address scale divisor (default 1000)"
+    )
+    longitudinal_parser.add_argument(
+        "--real-crypto",
+        action="store_true",
+        help="use real AES-GCM/X25519 everywhere (slower)",
+    )
+    longitudinal_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for full (non-delta) weeks (default 1)",
+    )
+    longitudinal_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="stage-cache directory (default .cache/longitudinal); resume"
+        " replays an interrupted week from here",
+    )
+    longitudinal_parser.add_argument(
+        "--db",
+        default="warehouse.sqlite",
+        help="warehouse database holding the run ledger (default warehouse.sqlite)",
+    )
+    longitudinal_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted run: completed weeks are skipped,"
+        " the interrupted week replays from its stage cache",
+    )
+    longitudinal_parser.add_argument(
+        "--no-delta",
+        action="store_true",
+        help="rescan every target every week (disable incremental delta scans)",
+    )
+    longitudinal_parser.add_argument(
+        "--watchdog",
+        type=float,
+        default=0.0,
+        help="per-week scan deadline in seconds; a hung week is force-failed"
+        " (default 0: disabled)",
+    )
+    longitudinal_parser.add_argument(
+        "--week-retries",
+        type=int,
+        default=2,
+        help="attempts per week before recording it failed (default 2)",
+    )
+    longitudinal_parser.add_argument(
+        "--scan-retries",
+        type=int,
+        default=1,
+        help="scanner retry attempts per target (default 1: no retries)",
+    )
+    longitudinal_parser.add_argument(
+        "--fault-profile",
+        default=None,
+        help="run every week under this fault profile (see `repro chaos`)",
+    )
+    longitudinal_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the deterministic series metrics JSON to this path",
+    )
+    longitudinal_parser.set_defaults(func=_cmd_longitudinal)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -277,8 +277,14 @@ class Campaign:
             else:
                 records, health = self._serial_compute(name)
             # Partial or empty results must never poison future runs:
-            # only fully successful stages are persisted.
-            if self._cache is not None and health.status == "success":
+            # only fully successful stages with healthy dependencies are
+            # persisted — a stage downstream of a degraded one can be
+            # silently short even when its own compute succeeded.
+            if (
+                self._cache is not None
+                and health.status == "success"
+                and not self._tainted(name)
+            ):
                 self._cache.store(name, records)
         if health is None:
             health = StageHealth(stage=name)
@@ -286,6 +292,28 @@ class Campaign:
         self.stage_health[name] = health
         self._account_stage(name, len(records), cache_state, start, health)
         return records
+
+    def _tainted(self, name: str) -> bool:
+        """Whether any transitive input of ``name`` finished non-``success``.
+
+        Inputs always execute before their dependents, so at store time
+        their health is final: a stage computed over a degraded or
+        failed input may be silently short and must not be cached as
+        authoritative.  Stages independent of the failure still cache
+        normally.
+        """
+        seen: Set[str] = set()
+        stack = list(_STAGE_INPUTS.get(name, ()))
+        while stack:
+            dep = stack.pop()
+            if dep in seen:
+                continue
+            seen.add(dep)
+            entry = self.stage_health.get(dep)
+            if entry is not None and entry.status != "success":
+                return True
+            stack.extend(_STAGE_INPUTS.get(dep, ()))
+        return False
 
     def _serial_compute(self, name: str) -> Tuple[List, StageHealth]:
         """Compute a stage in-process, degrading gracefully on failure."""
@@ -333,7 +361,11 @@ class Campaign:
                         shards=1,
                         shards_failed=1,
                     )
-            if self._cache is not None and health.status == "success":
+            if (
+                self._cache is not None
+                and health.status == "success"
+                and not self._tainted(name)
+            ):
                 self._cache.store(name, value)
         if health is None:
             health = StageHealth(stage=name)
@@ -949,6 +981,27 @@ _STAGE_DEPS: Dict[str, Tuple[str, ...]] = {
     "qscan_nosni_v6": ("zmap_v6",),
     "qscan_sni_v4": ("sni_targets_v4",),
     "qscan_sni_v6": ("sni_targets_v6",),
+}
+
+# Health-tracked stages each stage's compute reads, including through
+# the derived target lists (dns_join, Alt-Svc/HTTPS-RR/SNI targets)
+# that sit between them.  Used for cache-taint propagation: a stage is
+# only cached when every transitive input completed ``success``.
+_STAGE_INPUTS: Dict[str, Tuple[str, ...]] = {
+    "dns_records": (),
+    "ipv6_scan_input": ("dns_records",),
+    "zmap_v4": (),
+    "zmap_v6": ("ipv6_scan_input",),
+    "syn_v4": (),
+    "syn_v6": ("ipv6_scan_input",),
+    "goscanner_nosni_v4": ("syn_v4",),
+    "goscanner_nosni_v6": ("syn_v6",),
+    "goscanner_sni_v4": ("syn_v4", "dns_records"),
+    "goscanner_sni_v6": ("syn_v6", "dns_records"),
+    "qscan_nosni_v4": ("zmap_v4",),
+    "qscan_nosni_v6": ("zmap_v6",),
+    "qscan_sni_v4": ("zmap_v4", "dns_records", "goscanner_sni_v4"),
+    "qscan_sni_v6": ("zmap_v6", "dns_records", "goscanner_sni_v6"),
 }
 
 # Canonical execution order for full-campaign runs (dependencies first).

@@ -14,6 +14,7 @@ purely from scan results.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -69,6 +70,10 @@ class DeploymentInfo:
     tparam_key: Optional[str]
     domains: List[str] = field(default_factory=list)
     altsvc_tokens: Optional[Tuple[str, ...]] = None
+    # Digest of the served certificate (serial included), so consumers
+    # such as delta scans can detect week-over-week cert changes that
+    # no other deployment attribute reflects.
+    cert_digest: str = ""
 
 
 @dataclass
@@ -383,6 +388,7 @@ def build_world(
                 tparam_key=tparam_key,
                 domains=hosted,
                 altsvc_tokens=altsvc_tokens,
+                cert_digest=hashlib.sha256(cert.tbs_bytes()).hexdigest()[:16],
             )
             deployments.append(info)
 

@@ -59,6 +59,13 @@ __all__ = [
     "PROFILES",
     "get_profile",
     "apply_profile",
+    "profile_selected",
+    "ServiceFault",
+    "ServiceFaultError",
+    "SERVICE_FAULT_ENV",
+    "SERVICE_FAULT_POINTS",
+    "parse_service_fault",
+    "maybe_inject_service_fault",
 ]
 
 
@@ -444,6 +451,20 @@ def _selected(seed: int, profile: FaultProfile, index: int, address: Address) ->
     return score < entry.fraction * 1_000_000
 
 
+def profile_selected(seed: int, profile: FaultProfile, address: Address) -> bool:
+    """Whether ``address`` gets *any* fault spec under the profile.
+
+    Recomputes the exact :func:`apply_profile` selection hash — the
+    longitudinal delta differ uses it to force fault-afflicted hosts
+    onto the rescan path (their records depend on fault state, not just
+    on the deployment's week-over-week world signature).
+    """
+    return any(
+        _selected(seed, profile, index, address)
+        for index in range(len(profile.entries))
+    )
+
+
 def apply_profile(
     network,
     addresses: Iterable[Address],
@@ -474,3 +495,101 @@ def apply_profile(
                 dataclasses.replace(base, faults=base.faults + tuple(specs)),
             )
     return counts
+
+
+# -- service-granularity faults ------------------------------------------------
+#
+# The faults above afflict simulated *hosts*; the longitudinal
+# measurement service also has to survive faults in the measurement
+# process itself — a SIGKILL mid-week, a hung scan, a transient crash.
+# A service fault is armed through the environment
+# (``REPRO_SERVICE_FAULT=kill@mid-week:7``) so it propagates to
+# watchdog child processes and — crucially for crash/resume tests —
+# vanishes when the operator restarts the service with ``--resume``.
+
+SERVICE_FAULT_ENV = "REPRO_SERVICE_FAULT"
+
+# Injection points the longitudinal scheduler/loader consult, in the
+# order they occur within one week's processing.
+SERVICE_FAULT_POINTS = ("week-start", "mid-week", "mid-load", "after-commit")
+
+_SERVICE_FAULT_KINDS = ("kill", "hang", "fail")
+_HANG_SECONDS = 3600.0
+
+
+class ServiceFaultError(RuntimeError):
+    """Raised by a ``fail``-kind service fault (a transient crash the
+    week-level retry policy is expected to absorb)."""
+
+
+@dataclass(frozen=True)
+class ServiceFault:
+    """A parsed service-fault spec: ``<kind>@<point>:<week>``.
+
+    ``kill`` SIGKILLs the process (no cleanup, no commit — the crash
+    the run ledger must survive); ``hang`` sleeps far past any
+    reasonable watchdog deadline; ``fail`` raises
+    :class:`ServiceFaultError` on every attempt, exhausting the week's
+    retries.
+    """
+
+    kind: str
+    point: str
+    week: int
+
+    def matches(self, point: str, week: int) -> bool:
+        return self.point == point and self.week == week
+
+    def trigger(self) -> None:
+        import os
+        import signal
+        import time
+
+        if self.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.kind == "hang":
+            time.sleep(_HANG_SECONDS)
+        else:
+            raise ServiceFaultError(
+                f"injected service fault at {self.point} of week {self.week}"
+            )
+
+
+def parse_service_fault(text: str) -> ServiceFault:
+    """Parse ``kill@mid-week:7`` style specs (raises ValueError)."""
+    try:
+        kind, rest = text.split("@", 1)
+        point, week_text = rest.rsplit(":", 1)
+        week = int(week_text)
+    except ValueError:
+        raise ValueError(
+            f"malformed service fault {text!r}; expected <kind>@<point>:<week>"
+        ) from None
+    if kind not in _SERVICE_FAULT_KINDS:
+        raise ValueError(
+            f"unknown service fault kind {kind!r};"
+            f" expected one of {', '.join(_SERVICE_FAULT_KINDS)}"
+        )
+    if point not in SERVICE_FAULT_POINTS:
+        raise ValueError(
+            f"unknown service fault point {point!r};"
+            f" expected one of {', '.join(SERVICE_FAULT_POINTS)}"
+        )
+    return ServiceFault(kind=kind, point=point, week=week)
+
+
+def maybe_inject_service_fault(point: str, week: int) -> None:
+    """Fire the armed service fault if it matches ``(point, week)``.
+
+    Reads :data:`SERVICE_FAULT_ENV` on every call so child processes
+    inherit the arming and a ``--resume`` restart without the variable
+    runs clean.
+    """
+    import os
+
+    text = os.environ.get(SERVICE_FAULT_ENV)
+    if not text:
+        return
+    fault = parse_service_fault(text)
+    if fault.matches(point, week):
+        fault.trigger()

@@ -381,10 +381,25 @@ class ScanEngine:
         if metrics is not None:
             metrics.counter("engine.stages_sharded", volatile=True).inc()
             metrics.counter("engine.tasks", volatile=True).inc(shards)
-        results = sorted(
-            pool.imap_unordered(_run_shard, tasks, chunksize=1),
-            key=lambda item: item[0],
-        )
+        # A close()/terminate() racing this merge (watchdog, signal
+        # handler, interpreter teardown) kills workers with shards in
+        # flight.  Whatever subset of results made it back must NOT be
+        # returned as a quietly-short merge — report every shard failed
+        # so the stage degrades to "failed" instead.
+        try:
+            results = sorted(
+                pool.imap_unordered(_run_shard, tasks, chunksize=1),
+                key=lambda item: item[0],
+            )
+        except Exception as exc:
+            abort = (
+                f"shards aborted: engine closed with tasks in flight"
+                f" ({type(exc).__name__}: {exc})"
+            )
+            return [], [abort] * shards, shards
+        if self._pool is not pool or len(results) < shards:
+            abort = "shards aborted: engine closed with tasks in flight"
+            return [], [abort] * shards, shards
         tagged: List[Tuple[int, object]] = []
         errors: List[str] = []
         for _shard, pairs, snapshot, events, error in results:

@@ -11,7 +11,12 @@ and the end-to-end campaign wall-clock under each acceleration:
   stage cache,
 - **warehouse load** — rows/sec ingesting the campaign into the sqlite
   results warehouse (staging + QA + marts) and one pass over every
-  named mart report; gated on clean QA.
+  named mart report; gated on clean QA,
+- **longitudinal series** — a short crash-safe week series through the
+  scheduler: weeks/hour, the delta-scan hit rate (fraction of stateful
+  targets merged from the previous week instead of rescanned), and the
+  pure resume overhead (re-invoking ``--resume`` over an
+  already-complete ledger).
 
 Beyond the headline rates, the result document carries per-stage wall
 times (serial and parallel) and the parallel engine's data-movement
@@ -170,6 +175,63 @@ def _bench_warehouse(campaign: Campaign) -> Dict[str, object]:
     }
 
 
+# World-scale divisor for the longitudinal bench: three weeks of a
+# very small world, so the section stays seconds-scale inside the
+# minutes-scale full bench.
+LONGITUDINAL_BENCH_SCALE = Scale(addresses=200_000, ases=4_000, domains=200_000)
+LONGITUDINAL_BENCH_WEEKS = (16, 17, 18)
+
+
+def _bench_longitudinal(seed: int = 0) -> Dict[str, object]:
+    """Longitudinal scheduler throughput and resume overhead.
+
+    Runs a three-week delta series into a scratch warehouse, then
+    re-invokes the scheduler in resume mode over the fully-complete
+    ledger — the second wall time is the pure cost of a no-op resume
+    (ledger reads, week skips), the metric an operator restarting a
+    crashed series actually pays on top of the interrupted week.
+    """
+    from repro.longitudinal.scheduler import LongitudinalScheduler, SeriesConfig
+    from repro.warehouse import connect
+
+    root = Path(tempfile.mkdtemp(prefix="repro-longi-bench-"))
+    try:
+        config = SeriesConfig(
+            weeks=LONGITUDINAL_BENCH_WEEKS,
+            scale=LONGITUDINAL_BENCH_SCALE,
+            seed=seed,
+            cache_dir=root / "cache",
+        )
+        conn = connect(root / "warehouse.sqlite")
+        try:
+            result, series_seconds = _time(
+                lambda: LongitudinalScheduler(config).run(conn)
+            )
+            _, resume_seconds = _time(
+                lambda: LongitudinalScheduler(config).run(conn, resume=True)
+            )
+        finally:
+            conn.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    hits = sum(state.delta_hits for state in result.weeks)
+    misses = sum(state.delta_misses for state in result.weeks)
+    return {
+        "weeks": len(result.weeks),
+        "weeks_complete": len(result.completed),
+        "series_seconds": round(series_seconds, 3),
+        "weeks_per_hour": round(3600 * len(result.completed) / series_seconds, 1)
+        if series_seconds
+        else None,
+        "delta_hits": hits,
+        "delta_misses": misses,
+        "delta_hit_rate": round(hits / (hits + misses), 4)
+        if hits + misses
+        else None,
+        "resume_overhead_seconds": round(resume_seconds, 3),
+    }
+
+
 def _bench_handshake_rate(campaign: Campaign) -> Dict[str, float]:
     """Stateful QScanner handshake throughput over responsive targets."""
     targets = campaign._zmap_compatible(campaign.zmap_v4)
@@ -214,6 +276,7 @@ def run_benchmarks(
     probe = _bench_probe_rate(serial)
     handshake = _bench_handshake_rate(serial)
     warehouse = _bench_warehouse(serial)
+    longitudinal = _bench_longitudinal(seed=seed)
 
     # -- parallel cold runs ------------------------------------------------
     # Streaming dataflow (the default for workers > 1) and the barrier
@@ -263,6 +326,7 @@ def run_benchmarks(
         "zmap_probe_rate": probe,
         "qscanner_handshake_rate": handshake,
         "warehouse": warehouse,
+        "longitudinal": longitudinal,
         "campaign": {
             "stage_record_counts": serial_counts,
             "world_build_seconds": round(world_seconds, 3),
@@ -409,6 +473,10 @@ def check_benchmarks(
     - dependency-broadcast bytes must stay ``min_dep_reduction`` times
       below the naive per-task-pickle baseline (skipped when the run
       shipped no deps at all),
+    - the longitudinal section (when present) must have completed every
+      week, merged at least one unchanged target from the previous week
+      (delta hit rate > 0), and kept the no-op resume overhead well
+      under the series wall time,
     - against a ``baseline`` document (the committed
       ``BENCH_scan.json``), the probe and handshake rates and the
       pipeline speedup / overlap ratio must not drop below
@@ -467,6 +535,27 @@ def check_benchmarks(
             )
         if not warehouse.get("rows_loaded"):
             failures.append("warehouse load staged no rows")
+    longitudinal = results.get("longitudinal")
+    if longitudinal is not None:
+        if longitudinal.get("weeks_complete") != longitudinal.get("weeks"):
+            failures.append(
+                f"longitudinal series incomplete:"
+                f" {longitudinal.get('weeks_complete')}/{longitudinal.get('weeks')}"
+                " weeks completed"
+            )
+        hit_rate = longitudinal.get("delta_hit_rate")
+        if hit_rate is not None and hit_rate <= 0.0:
+            failures.append(
+                "delta-scan collapse: 0% of unchanged targets merged from"
+                " the previous week"
+            )
+        series = longitudinal.get("series_seconds")
+        resume = longitudinal.get("resume_overhead_seconds")
+        if series and resume and resume > max(5.0, 0.5 * series):
+            failures.append(
+                f"resume overhead: a no-op resume took {resume}s against a"
+                f" {series}s series"
+            )
     movement = results.get("data_movement", {})
     shipped = movement.get("dep_bytes_shipped", 0)
     naive = movement.get("dep_bytes_naive", 0)

@@ -18,16 +18,33 @@ in-memory tables row for row.
 - :mod:`repro.warehouse.marts` — SQL aggregation + exact Python
   rounding/ranking into the mart tables,
 - :mod:`repro.warehouse.queries` — named mart reports and the raw-SQL
-  escape hatch behind ``repro query``.
+  escape hatch behind ``repro query``,
+- :mod:`repro.warehouse.timeline` — run-scoped cross-week timeline
+  marts appended by the longitudinal scheduler (Figures 3 and 5-7
+  over time, plus per-provider churn).
+
+The longitudinal run ledger (``runs``/``run_weeks``, see
+:mod:`repro.longitudinal.ledger`) lives in the same database so week
+checkpoints commit atomically with the week's staging load.
 """
 
 from repro.warehouse.loader import LoadResult, campaign_warehouse_id, load_campaign
 from repro.warehouse.qa import QaResult, WarehouseQaError, run_qa
-from repro.warehouse.schema import SCHEMA_VERSION, TABLES, connect, ensure_schema
+from repro.warehouse.schema import (
+    LEDGER_TABLES,
+    SCHEMA_VERSION,
+    TABLES,
+    TIMELINE_TABLES,
+    connect,
+    ensure_schema,
+)
+from repro.warehouse.timeline import append_week_timelines, timeline_rows
 
 __all__ = [
     "SCHEMA_VERSION",
     "TABLES",
+    "LEDGER_TABLES",
+    "TIMELINE_TABLES",
     "connect",
     "ensure_schema",
     "LoadResult",
@@ -36,4 +53,6 @@ __all__ = [
     "QaResult",
     "WarehouseQaError",
     "run_qa",
+    "append_week_timelines",
+    "timeline_rows",
 ]

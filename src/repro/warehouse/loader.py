@@ -26,13 +26,18 @@ import json
 import sqlite3
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.experiments.campaign import Campaign
 from repro.quic.versions import QSCANNER_SUPPORTED
 from repro.warehouse import marts as marts_module
 from repro.warehouse import qa as qa_module
-from repro.warehouse.schema import SCHEMA_VERSION, TABLES, ensure_schema
+from repro.warehouse.schema import (
+    CAMPAIGN_SCOPED_KINDS,
+    SCHEMA_VERSION,
+    TABLES,
+    ensure_schema,
+)
 
 __all__ = ["LoadResult", "campaign_warehouse_id", "load_campaign"]
 
@@ -309,6 +314,7 @@ def load_campaign(
     campaign: Campaign,
     conn: sqlite3.Connection,
     strict: bool = True,
+    on_commit: Optional[Callable[[sqlite3.Connection, Dict[str, int]], None]] = None,
 ) -> LoadResult:
     """Ingest ``campaign`` into the warehouse behind ``conn``.
 
@@ -319,6 +325,12 @@ def load_campaign(
     are idempotent.  With ``strict`` (the default) a QA failure raises
     :class:`~repro.warehouse.qa.WarehouseQaError` *after* committing,
     so the failing evidence stays queryable in ``qa_results``.
+
+    ``on_commit`` (if given) runs inside the same transaction after QA,
+    receiving the connection and the observed stage counts — the
+    longitudinal scheduler uses it to write the run-ledger checkpoint
+    and timeline-mart rows atomically with the week's staging load, so
+    a crash can never record a week the warehouse does not hold.
     """
     ensure_schema(conn)
     campaign_id = campaign_warehouse_id(campaign.config)
@@ -328,8 +340,11 @@ def load_campaign(
     result = LoadResult(campaign_id=campaign_id)
     config = campaign.config
     with conn:  # one transaction: delete + stage + marts + QA
-        for name in TABLES:
-            conn.execute(f"DELETE FROM {name} WHERE campaign_id = ?", (campaign_id,))
+        # Only campaign-scoped tables are replaced; ledger/timeline rows
+        # are keyed by run_id and accumulate across weekly loads.
+        for name, table in TABLES.items():
+            if table.kind in CAMPAIGN_SCOPED_KINDS:
+                conn.execute(f"DELETE FROM {name} WHERE campaign_id = ?", (campaign_id,))
         conn.execute(
             "INSERT INTO campaigns VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
@@ -369,6 +384,8 @@ def load_campaign(
         )
         result.rows.update(marts_module.build_marts(conn, campaign_id))
         result.qa = qa_module.run_qa(conn, campaign_id, campaign=campaign, strict=False)
+        if on_commit is not None and not (strict and result.qa_failures):
+            on_commit(conn, stage_counts)
     result.seconds = time.perf_counter() - start
 
     metrics = campaign.metrics

@@ -18,7 +18,13 @@ existing database):
 - **mart equivalence** — when the loading campaign is available, every
   ``mart_table*`` must equal the in-memory
   :mod:`repro.experiments.tables` output row for row (the
-  byte-identical fallback check).
+  byte-identical fallback check),
+- **stage health** — when the loading campaign is available, every
+  executed stage's :class:`~repro.parallel.engine.StageHealth` must be
+  ``success``.  Degraded stages are never written to the stage cache,
+  so a load that mixes a degraded in-process stage with cache-sourced
+  upstream stages would silently ingest an inconsistent campaign — the
+  check records the degradation and strict loads refuse it.
 
 Each check inserts one ``qa_results`` row per subject with
 ``status`` pass/fail plus expected/actual evidence;
@@ -251,6 +257,40 @@ def _check_mart_equivalence(conn, campaign_id: str, campaign, results: List[QaRe
         )
 
 
+def _check_stage_health(campaign, results: List[QaResult]) -> None:
+    health = getattr(campaign, "stage_health", None) or {}
+    degraded = sorted(
+        (entry for entry in health.values() if entry.status != "success"),
+        key=lambda entry: entry.stage,
+    )
+    if not degraded:
+        results.append(
+            QaResult(
+                check="stage_health",
+                stage="campaign",
+                status="pass",
+                expected="success",
+                actual="success",
+                detail="every executed stage completed cleanly",
+            )
+        )
+        return
+    for entry in degraded:
+        results.append(
+            QaResult(
+                check="stage_health",
+                stage=entry.stage,
+                status="fail",
+                expected="success",
+                actual=entry.status,
+                detail=(
+                    f"{entry.shards_failed}/{entry.shards} shard(s) failed"
+                    f"{': ' + entry.error if entry.error else ''}"
+                ),
+            )
+        )
+
+
 def run_qa(
     conn: sqlite3.Connection,
     campaign_id: str,
@@ -260,11 +300,11 @@ def run_qa(
     """Run every applicable QA check; record and return the results.
 
     Structural checks (row counts, coverage, NULL gates) need only the
-    database; the mart-equivalence check additionally needs the loaded
-    ``campaign`` to recompute the in-memory tables and is skipped when
-    it is not supplied.  Existing ``qa_results`` rows for the campaign
-    are replaced.  With ``strict`` (the default when invoked
-    standalone), any failure raises :class:`WarehouseQaError`.
+    database; the mart-equivalence and stage-health checks additionally
+    need the loaded ``campaign`` and are skipped when it is not
+    supplied.  Existing ``qa_results`` rows for the campaign are
+    replaced.  With ``strict`` (the default when invoked standalone),
+    any failure raises :class:`WarehouseQaError`.
     """
     results: List[QaResult] = []
     _check_row_counts(conn, campaign_id, results)
@@ -272,6 +312,7 @@ def run_qa(
     _check_null_rates(conn, campaign_id, results)
     if campaign is not None:
         _check_mart_equivalence(conn, campaign_id, campaign, results)
+        _check_stage_health(campaign, results)
     conn.execute("DELETE FROM qa_results WHERE campaign_id = ?", (campaign_id,))
     conn.executemany(
         "INSERT INTO qa_results VALUES (?, ?, ?, ?, ?, ?, ?)",

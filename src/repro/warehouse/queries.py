@@ -6,7 +6,10 @@ presentation metadata the in-memory experiment runners use, so
 ``repro query table1`` and ``repro experiment T1`` render identically
 — titles, headers, rows, formatting.  The warehouse-only reports
 (``versions``, ``outcomes``, ``qa``, ``campaigns``) expose the extra
-marts and the QA ledger; ``--sql`` runs arbitrary read-only SQL.
+marts and the QA ledger; the run-scoped reports (``runs``, ``weeks``,
+``https-timeline``, ``version-timeline``, ``churn``) read the
+longitudinal ledger and timeline marts; ``--sql`` runs arbitrary
+read-only SQL.
 """
 
 from __future__ import annotations
@@ -17,7 +20,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.base import ExperimentResult
 from repro.warehouse.marts import MART_FOR_TABLE, mart_rows
 
-__all__ = ["REPORTS", "latest_campaign", "named_report", "run_sql"]
+__all__ = [
+    "REPORTS",
+    "RUN_REPORTS",
+    "latest_campaign",
+    "latest_run",
+    "named_report",
+    "run_sql",
+]
 
 # report name → one-line description (surfaced by ``repro query --list``
 # and docs/WAREHOUSE.md).
@@ -32,7 +42,24 @@ REPORTS: Dict[str, str] = {
     "outcomes": "raw outcome counts per qscan stage (Table 3 numerators)",
     "qa": "integrity-check ledger for the campaign's load",
     "campaigns": "every campaign loaded into this warehouse",
+    "runs": "every longitudinal run recorded in this warehouse",
+    "weeks": "per-week ledger for a longitudinal run (status, attempts, delta)",
+    "https-timeline": "HTTPS RR adoption per input list per week (paper Fig. 3)",
+    "version-timeline": "version/ALPN share per week (paper Figs. 5-7)",
+    "churn": "new/gone/changed targets per provider per week",
 }
+
+# Reports keyed by run_id (longitudinal ledger + timeline marts) rather
+# than campaign_id.
+RUN_REPORTS = ("runs", "weeks", "https-timeline", "version-timeline", "churn")
+
+
+def latest_run(conn: sqlite3.Connection) -> Optional[str]:
+    """The most recently recorded longitudinal run id, or None."""
+    row = conn.execute(
+        "SELECT run_id FROM runs ORDER BY rowid DESC LIMIT 1"
+    ).fetchone()
+    return row[0] if row else None
 
 
 def latest_campaign(conn: sqlite3.Connection) -> Optional[str]:
@@ -127,12 +154,108 @@ def _campaigns(conn, campaign_id: str) -> ExperimentResult:
     )
 
 
+def _runs(conn, run_id: str) -> ExperimentResult:
+    rows = [
+        tuple(row)
+        for row in conn.execute(
+            "SELECT run_id, weeks_json, seed, scale_addresses,"
+            " COALESCE(fault_profile, '-'), delta_enabled, status"
+            " FROM runs ORDER BY rowid"
+        )
+    ]
+    return ExperimentResult(
+        experiment_id="WH",
+        title="Longitudinal runs",
+        headers=("Run", "Weeks", "Seed", "1:Addresses", "Faults", "Delta", "Status"),
+        rows=rows,
+    )
+
+
+def _weeks(conn, run_id: str) -> ExperimentResult:
+    rows = [
+        tuple(row)
+        for row in conn.execute(
+            "SELECT week, status, attempts, COALESCE(campaign_id, '-'),"
+            " delta_hits, delta_misses, COALESCE(delta_base_week, '-'),"
+            " COALESCE(error, '-')"
+            " FROM run_weeks WHERE run_id = ? ORDER BY week",
+            (run_id,),
+        )
+    ]
+    return ExperimentResult(
+        experiment_id="WH",
+        title=f"Week ledger for run {run_id}",
+        headers=(
+            "Week",
+            "Status",
+            "Attempts",
+            "Campaign",
+            "DeltaHits",
+            "DeltaMisses",
+            "BaseWeek",
+            "Error",
+        ),
+        rows=rows,
+    )
+
+
+def _https_timeline(conn, run_id: str) -> ExperimentResult:
+    from repro.warehouse.timeline import timeline_rows
+
+    return ExperimentResult(
+        experiment_id="WH",
+        title=f"HTTPS RR adoption per week (Fig. 3) — run {run_id}",
+        headers=("Week", "List", "Resolved", "HTTPS RR", "%"),
+        rows=timeline_rows(conn, run_id, "mart_https_rr_timeline"),
+    )
+
+
+def _version_timeline(conn, run_id: str) -> ExperimentResult:
+    from repro.warehouse.timeline import timeline_rows
+
+    return ExperimentResult(
+        experiment_id="WH",
+        title=f"Version/ALPN shares per week (Figs. 5-7) — run {run_id}",
+        headers=("Week", "Kind", "Label", "Share %", "Total"),
+        rows=timeline_rows(conn, run_id, "mart_version_timeline"),
+    )
+
+
+def _churn(conn, run_id: str) -> ExperimentResult:
+    from repro.warehouse.timeline import timeline_rows
+
+    return ExperimentResult(
+        experiment_id="WH",
+        title=f"Target churn per provider per week — run {run_id}",
+        headers=("Week", "Provider", "New", "Gone", "Changed"),
+        rows=timeline_rows(conn, run_id, "mart_week_churn"),
+    )
+
+
 def named_report(
     conn: sqlite3.Connection, name: str, campaign_id: Optional[str] = None
 ) -> ExperimentResult:
-    """Run one named report against a loaded campaign (default: latest)."""
+    """Run one named report against a loaded campaign (default: latest).
+
+    Run-scoped reports interpret ``campaign_id`` as a run id instead
+    (default: the most recently recorded run).
+    """
     if name not in REPORTS:
         raise LookupError(f"unknown report {name!r}; choose from {sorted(REPORTS)}")
+    if name in RUN_REPORTS:
+        run_id = campaign_id or latest_run(conn)
+        if run_id is None:
+            raise LookupError(
+                "no longitudinal runs recorded — run `repro longitudinal` first"
+            )
+        runner = {
+            "runs": _runs,
+            "weeks": _weeks,
+            "https-timeline": _https_timeline,
+            "version-timeline": _version_timeline,
+            "churn": _churn,
+        }[name]
+        return runner(conn, run_id)
     if campaign_id is None:
         campaign_id = latest_campaign(conn)
         if campaign_id is None:

@@ -16,7 +16,15 @@ Layering:
 - ``qa_results`` — the integrity-check ledger (see
   :mod:`repro.warehouse.qa`),
 - ``mart_*`` — the paper's tables, materialised (see
-  :mod:`repro.warehouse.marts`).
+  :mod:`repro.warehouse.marts`),
+- ``runs``/``run_weeks`` — the longitudinal run ledger: one row per
+  scheduled series and per (run, week), committed transactionally with
+  the week's staging load so a ``kill -9`` can never record a week the
+  warehouse does not hold (see :mod:`repro.longitudinal.ledger`),
+- timeline marts (``mart_https_rr_timeline``, ``mart_version_timeline``,
+  ``mart_week_churn``) — run-keyed series marts appended one week at a
+  time inside the same transaction (see
+  :mod:`repro.warehouse.timeline`).
 
 Tables are ``STRICT`` so sqlite stores exactly the value types the
 loader inserts; mixed-type mart cells (Table 3 carries percentage
@@ -40,13 +48,16 @@ __all__ = [
     "TABLES",
     "STAGING_TABLES",
     "MART_TABLES",
+    "LEDGER_TABLES",
+    "TIMELINE_TABLES",
+    "CAMPAIGN_SCOPED_KINDS",
     "connect",
     "ensure_schema",
 ]
 
 # Bumped whenever a table or column changes shape; part of the
 # campaign_id digest, so a schema change never mixes with old rows.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -59,7 +70,7 @@ class Column:
 @dataclass(frozen=True)
 class Table:
     name: str
-    kind: str  # meta | staging | dimension | qa | mart
+    kind: str  # meta | staging | dimension | qa | mart | ledger | timeline
     description: str
     feeds: str  # which paper tables/figures the rows feed
     columns: Tuple[Column, ...]
@@ -435,6 +446,106 @@ TABLES: Dict[str, Table] = {
             ],
             primary_key=("campaign_id", "row_order"),
         ),
+        _table(
+            "runs",
+            "ledger",
+            "Longitudinal run ledger: one row per scheduled weekly series "
+            "(the run id is a digest of the week list + campaign config, "
+            "so `--resume` re-derives it without any state file).",
+            "longitudinal resume / timeline marts",
+            [
+                ("run_id", "TEXT", "longitudinal run digest"),
+                ("weeks_json", "TEXT", "scheduled calendar weeks (JSON array)"),
+                ("seed", "INTEGER", "campaign seed shared by every week"),
+                ("scale_addresses", "INTEGER", "address scale divisor"),
+                ("scale_ases", "INTEGER", "AS scale divisor"),
+                ("scale_domains", "INTEGER", "domain scale divisor"),
+                ("fault_profile", "TEXT", "named fault profile, if any"),
+                ("delta_enabled", "INTEGER", "1 when incremental delta scans are on"),
+                ("status", "TEXT", "running | complete | failed"),
+                ("config_json", "TEXT", "full per-week CampaignConfig.cache_key() as JSON"),
+                ("schema_version", "INTEGER", "warehouse schema version"),
+            ],
+            primary_key=("run_id",),
+        ),
+        _table(
+            "run_weeks",
+            "ledger",
+            "Per-week checkpoint rows for a longitudinal run, committed in "
+            "the same transaction as the week's staging load; `--resume` "
+            "skips weeks already marked complete and replays any week left "
+            "running from its stage cache.",
+            "longitudinal resume / week health",
+            [
+                ("run_id", "TEXT", "longitudinal run digest"),
+                ("week", "INTEGER", "calendar week"),
+                ("campaign_id", "TEXT", "warehouse campaign digest for the week"),
+                ("status", "TEXT", "pending | running | complete | failed"),
+                ("attempts", "INTEGER", "scan attempts spent on the week"),
+                ("error", "TEXT", "last failure reason, if any"),
+                ("stage_counts_json", "TEXT", "stage → record count at load time"),
+                ("delta_hits", "INTEGER", "records merged from the previous week's cache"),
+                ("delta_misses", "INTEGER", "records rescanned by the delta pass"),
+                ("delta_base_week", "INTEGER", "previous week the delta diffed against (NULL on full scans)"),
+            ],
+            primary_key=("run_id", "week"),
+        ),
+        _table(
+            "mart_https_rr_timeline",
+            "timeline",
+            "Figure 3 series: HTTPS resource-record adoption rate per input "
+            "list per week, appended as each week of a longitudinal run "
+            "commits.",
+            "Figure 3",
+            [
+                ("run_id", "TEXT", "longitudinal run digest"),
+                ("row_order", "INTEGER", "append order across the series"),
+                ("week", "INTEGER", "calendar week"),
+                ("list_name", "TEXT", "DNS input list"),
+                ("resolved", "INTEGER", "domains resolved from the list"),
+                ("hits", "INTEGER", "domains serving an HTTPS RR"),
+                ("rate", "REAL", "HTTPS-RR adoption rate (%)"),
+            ],
+            primary_key=("run_id", "row_order"),
+        ),
+        _table(
+            "mart_version_timeline",
+            "timeline",
+            "Figures 5-7 series: per-week IPv4 version-set shares "
+            "(kind 'version-set'), individual version support (kind "
+            "'version') and Alt-Svc ALPN-set shares (kind 'alpn-set'), "
+            "computed with the exact analysis-module share/rounding/fold "
+            "idioms.",
+            "Figures 5, 6, 7",
+            [
+                ("run_id", "TEXT", "longitudinal run digest"),
+                ("row_order", "INTEGER", "append order across the series"),
+                ("week", "INTEGER", "calendar week"),
+                ("kind", "TEXT", "version-set | version | alpn-set"),
+                ("label", "TEXT", "version/set/ALPN label"),
+                ("share", "REAL", "share of the week's population (%)"),
+                ("total", "INTEGER", "population size the share is over"),
+            ],
+            primary_key=("run_id", "row_order"),
+        ),
+        _table(
+            "mart_week_churn",
+            "timeline",
+            "Week-over-week churn per provider: ZMap responder addresses "
+            "that appeared, disappeared or changed their advertised "
+            "version list relative to the previous completed week.",
+            "deployment churn",
+            [
+                ("run_id", "TEXT", "longitudinal run digest"),
+                ("row_order", "INTEGER", "append order across the series"),
+                ("week", "INTEGER", "calendar week"),
+                ("provider", "TEXT", "AS display name (address's week)"),
+                ("new_targets", "INTEGER", "addresses absent the previous week"),
+                ("gone_targets", "INTEGER", "previous-week addresses now absent"),
+                ("changed_targets", "INTEGER", "addresses whose version list changed"),
+            ],
+            primary_key=("run_id", "row_order"),
+        ),
     )
 }
 
@@ -444,6 +555,16 @@ STAGING_TABLES: Tuple[str, ...] = tuple(
 MART_TABLES: Tuple[str, ...] = tuple(
     name for name, table in TABLES.items() if table.kind == "mart"
 )
+LEDGER_TABLES: Tuple[str, ...] = tuple(
+    name for name, table in TABLES.items() if table.kind == "ledger"
+)
+TIMELINE_TABLES: Tuple[str, ...] = tuple(
+    name for name, table in TABLES.items() if table.kind == "timeline"
+)
+# Kinds whose rows belong to a single campaign load (and are therefore
+# replaced wholesale when a campaign is reloaded); ledger/timeline rows
+# are keyed by run_id and survive per-campaign reloads.
+CAMPAIGN_SCOPED_KINDS: Tuple[str, ...] = ("meta", "staging", "dimension", "qa", "mart")
 
 _INDEXES = (
     "CREATE INDEX IF NOT EXISTS idx_stg_dns_address_addr"

@@ -69,7 +69,12 @@ def test_intra_repo_markdown_links_resolve(path):
 
 def test_docs_exist_and_are_linked_from_readme():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    for name in ("docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md", "docs/WAREHOUSE.md"):
+    for name in (
+        "docs/ARCHITECTURE.md",
+        "docs/OBSERVABILITY.md",
+        "docs/WAREHOUSE.md",
+        "docs/LONGITUDINAL.md",
+    ):
         assert (REPO_ROOT / name).exists(), f"{name} is missing"
         assert name in readme, f"README.md does not link {name}"
 
@@ -112,4 +117,33 @@ def test_warehouse_doc_matches_schema():
                 missing_columns.append(f"{name}.{column.name}")
     assert not missing_columns, (
         "staging columns missing from docs/WAREHOUSE.md: " + ", ".join(missing_columns)
+    )
+
+
+def test_longitudinal_doc_matches_ledger_schema():
+    """docs/LONGITUDINAL.md must document the ledger and timeline layer.
+
+    Both run-ledger tables and every column of the ledger and timeline
+    tables have to appear (backticked) in the document, so a schema
+    change cannot leave the operator-facing contract silently stale.
+    """
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.warehouse.schema import LEDGER_TABLES, TABLES, TIMELINE_TABLES
+    finally:
+        sys.path.pop(0)
+
+    doc = (REPO_ROOT / "docs" / "LONGITUDINAL.md").read_text(encoding="utf-8")
+    missing = []
+    for name in (*LEDGER_TABLES, *TIMELINE_TABLES):
+        if f"`{name}`" not in doc:
+            missing.append(name)
+        for column in TABLES[name].columns:
+            if f"`{column.name}`" not in doc:
+                missing.append(f"{name}.{column.name}")
+    assert not missing, (
+        "ledger/timeline names missing from docs/LONGITUDINAL.md: "
+        + ", ".join(missing)
     )
