@@ -1,19 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-smoke bench-check bench-profile report artefacts interop chaos chaos-smoke conform conform-smoke fuzz-smoke warehouse-smoke longitudinal-smoke clean
+.PHONY: test docs-check bench bench-smoke bench-check bench-profile report artefacts interop chaos chaos-smoke conform conform-smoke fuzz-smoke warehouse-smoke longitudinal-smoke matrix-smoke clean
 
 # chaos-smoke keeps the fault-injection/degradation path exercised,
 # fuzz-smoke the wire-format conformance suite, conform-smoke the
 # serial-vs-streaming differential oracle, bench-smoke the
 # pipeline-overlap/backpressure gate, warehouse-smoke the
-# load → QA → query path, and longitudinal-smoke the crash/resume
-# ledger path on every `make test` run (the full suite includes
+# load → QA → query path, longitudinal-smoke the crash/resume
+# ledger path, and matrix-smoke the path-condition scenario grid on
+# every `make test` run (the full suite includes
 # tests/test_resilience.py, tests/test_stream.py,
-# tests/test_conformance.py, tests/test_warehouse.py and
-# tests/test_longitudinal.py; deep fuzzing runs via
-# `pytest -m slow_fuzz`).
-test: docs-check chaos-smoke fuzz-smoke conform-smoke bench-smoke warehouse-smoke longitudinal-smoke
+# tests/test_conformance.py, tests/test_warehouse.py,
+# tests/test_longitudinal.py and tests/test_paths.py; deep fuzzing
+# runs via `pytest -m slow_fuzz`).
+test: docs-check chaos-smoke fuzz-smoke conform-smoke bench-smoke warehouse-smoke longitudinal-smoke matrix-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Validates intra-repo markdown links + module docstring presence.
@@ -79,6 +80,16 @@ longitudinal-smoke:
 	$(PYTHON) -m repro longitudinal --weeks 16-18 --scale 200000 --seed 23 \
 		--db .cache/longitudinal-smoke.sqlite --cache-dir .cache/longitudinal-smoke --resume
 	$(PYTHON) -m repro query weeks --db .cache/longitudinal-smoke.sqlite
+
+# Scenario-matrix smoke: fan a 2x2 datarate x latency grid over a tiny
+# world, load every cell into a throwaway sqlite file (per-cell and
+# matrix QA run strictly inside, so any integrity failure is a nonzero
+# exit) and read the heatmap report back.
+matrix-smoke:
+	rm -f .cache/matrix-smoke.sqlite
+	$(PYTHON) -m repro matrix --grid 2x2 --scale 200000 --seed 23 \
+		--db .cache/matrix-smoke.sqlite
+	$(PYTHON) -m repro query matrix --db .cache/matrix-smoke.sqlite
 
 # Per-stage cProfile dump (top cumulative functions) for hot-path work.
 bench-profile:

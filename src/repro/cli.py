@@ -31,8 +31,14 @@ Subcommands:
 - ``query``       — read the warehouse: named mart reports
   (``table1`` … ``table6``, ``versions``, ``outcomes``, ``qa``,
   ``campaigns``, ``runs``, ``weeks``, ``https-timeline``,
-  ``version-timeline``, ``churn``), a raw ``--sql`` escape hatch, and
-  ``--format table|csv|json`` output,
+  ``version-timeline``, ``churn``, ``matrix``, ``matrix-cells``), a
+  raw ``--sql`` escape hatch, and ``--format table|csv|json`` output,
+- ``matrix``      — sweep the campaign over a path-condition grid
+  (datarate x latency, or a list of named path profiles from
+  ``repro.netsim.paths``), one campaign per cell, every cell loaded
+  into the warehouse with QA and queryable as a heatmap-ready table
+  via ``repro query matrix`` — see ``docs/SCENARIOS.md``; exits
+  nonzero on any QA failure,
 - ``longitudinal`` — run the paper's week series as one durable,
   crash-safe job: a ledger in the warehouse checkpoints each week,
   ``--resume`` restarts an interrupted series without redoing
@@ -415,6 +421,13 @@ def _cmd_bench(args) -> int:
             f" {warehouse['load_seconds']}s ({warehouse['rows_per_sec']:,.0f}/s,"
             f" QA {warehouse['qa_passed']} passed)"
         )
+    matrix = results.get("matrix")
+    if matrix:
+        print(
+            f"  matrix sweep:      {matrix['cells_complete']}/{matrix['cells']} cells"
+            f" in {matrix['matrix_seconds']}s ({matrix['cells_per_minute']}"
+            f" cells/min, {matrix['per_cell_overhead']}x bare campaign)"
+        )
     _print_streaming(results)
     _print_data_movement(results["data_movement"])
     if args.check:
@@ -477,6 +490,81 @@ def _cmd_query(args) -> int:
     except LookupError as error:
         print(str(error), file=sys.stderr)
         return 2
+    finally:
+        conn.close()
+
+
+def _cmd_matrix(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments.matrix import (
+        MatrixConfig,
+        grid_cells,
+        profile_cells,
+        run_matrix,
+    )
+    from repro.netsim.paths import PathSpecError
+    from repro.warehouse import WarehouseQaError, connect
+    from repro.warehouse.queries import named_report
+
+    try:
+        if args.profiles:
+            names = [name.strip() for name in args.profiles.split(",") if name.strip()]
+            if not names:
+                raise ValueError("--profiles lists no profile names")
+            cells = profile_cells(names)
+        else:
+            rates = (
+                [float(value) for value in args.rates.split(",")]
+                if args.rates
+                else None
+            )
+            rtts = (
+                [float(value) for value in args.rtts.split(",")] if args.rtts else None
+            )
+            try:
+                rows_text, cols_text = args.grid.lower().split("x", 1)
+                rows, cols = int(rows_text), int(cols_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad --grid {args.grid!r}; expected RxC like 3x3"
+                ) from None
+            if rates is not None:
+                rows = len(rates)
+            if rtts is not None:
+                cols = len(rtts)
+            cells = grid_cells(rows, cols, rates_mbps=rates, rtts_ms=rtts)
+    except (PathSpecError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    matrix = MatrixConfig(
+        cells=tuple(cells),
+        week=args.week,
+        scale=Scale(
+            addresses=args.scale, ases=max(1, args.scale // 50), domains=args.scale
+        ),
+        seed=args.seed,
+        fast_crypto=not args.real_crypto,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    conn = connect(args.db)
+    try:
+        result = run_matrix(
+            matrix,
+            conn,
+            metrics_dir=Path(args.metrics_dir) if args.metrics_dir else None,
+            log=print,
+        )
+        print(
+            f"matrix {result.matrix_id}: {len(result.cells)} cells loaded"
+            f" into {args.db}"
+        )
+        print(named_report(conn, "matrix", campaign_id=result.matrix_id).render())
+        return 0
+    except WarehouseQaError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
     finally:
         conn.close()
 
@@ -743,8 +831,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report",
         nargs="?",
         default=None,
-        help="named report: table1-table6, versions, outcomes, qa, campaigns "
-        "(omit to list)",
+        help="named report: table1-table6, versions, outcomes, qa, campaigns, "
+        "matrix, matrix-cells (omit to list)",
     )
     query_parser.add_argument(
         "--db",
@@ -768,6 +856,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="output format (default table)",
     )
     query_parser.set_defaults(func=_cmd_query)
+
+    matrix_parser = subparsers.add_parser(
+        "matrix",
+        help="sweep the campaign over a path-condition grid, load every cell",
+    )
+    _add_common(matrix_parser)
+    matrix_parser.add_argument(
+        "--grid",
+        default="3x3",
+        help="RxC datarate x latency grid over the canonical axes (default 3x3)",
+    )
+    matrix_parser.add_argument(
+        "--profiles",
+        default=None,
+        help="comma-separated path profiles/specs to run instead of a grid "
+        "(e.g. baseline,geo-satellite,bufferbloat)",
+    )
+    matrix_parser.add_argument(
+        "--rates",
+        default=None,
+        help="explicit rate axis in Mbit/s (comma-separated, overrides --grid rows)",
+    )
+    matrix_parser.add_argument(
+        "--rtts",
+        default=None,
+        help="explicit RTT axis in ms (comma-separated, overrides --grid columns)",
+    )
+    matrix_parser.add_argument(
+        "--db",
+        default="warehouse.sqlite",
+        help="warehouse database path (default warehouse.sqlite)",
+    )
+    matrix_parser.add_argument(
+        "--metrics-dir",
+        default=None,
+        help="write each cell's deterministic metrics.json into this directory",
+    )
+    matrix_parser.set_defaults(func=_cmd_matrix)
 
     longitudinal_parser = subparsers.add_parser(
         "longitudinal",

@@ -200,6 +200,14 @@ def _seed_corpus():
             encode_alert(AlertDescription.HANDSHAKE_FAILURE),
             b"\x16\x03\x03\x00\x04\x08\x00\x00\x00",
         ),
+        "netsim.paths": (
+            b"baseline",
+            b"geo-satellite",
+            b"bufferbloat,queue=120kb",
+            b"rate=2mbps,rtt=600ms",
+            b"rate=500kbps,loss=5%,burst=9kb",
+            b"up=1mbps,down=10mbps,rtt=40ms",
+        ),
     }
 
 
@@ -248,6 +256,7 @@ def build_targets() -> Tuple[FuzzTarget, ...]:
     from repro.dns.records import DnsWireError, HttpsRecord
     from repro.http.altsvc import parse_alt_svc
     from repro.http.qpack import QpackError, decode_header_block, encode_header_block
+    from repro.netsim.paths import PathSpecError, parse_path_spec
     from repro.quic.frames import FrameDecodeError, decode_frames, encode_frames
     from repro.quic.packet import PacketDecodeError
     from repro.quic.transport_params import TransportParameterError, TransportParameters
@@ -279,6 +288,9 @@ def build_targets() -> Tuple[FuzzTarget, ...]:
         assert HttpsRecord.decode_rdata(record.name, record.encode_rdata()) == record, (
             "HTTPS RDATA round-trip"
         )
+
+    def path_spec_roundtrip(spec) -> None:
+        assert parse_path_spec(spec.canonical()) == spec, "path-spec round-trip"
 
     return (
         FuzzTarget(
@@ -333,6 +345,16 @@ def build_targets() -> Tuple[FuzzTarget, ...]:
             corpus["tls.record"],
             lambda data: RecordLayer().unwrap(data),
             (RecordDecodeError, AlertError),
+        ),
+        # The scenario-matrix path-spec grammar (docs/SCENARIOS.md): a
+        # text parser, so mutated bytes go through a lossy decode; any
+        # malformed spec must surface as PathSpecError, nothing else.
+        FuzzTarget(
+            "netsim.paths",
+            corpus["netsim.paths"],
+            lambda data: parse_path_spec(data.decode("utf-8", errors="replace")),
+            (PathSpecError,),
+            path_spec_roundtrip,
         ),
     )
 

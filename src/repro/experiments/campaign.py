@@ -99,6 +99,10 @@ class CampaignConfig:
     # policy (the default never retries — baseline runs unchanged).
     fault_profile: Optional[str] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    # Path-condition profile (repro.netsim.paths): a named profile
+    # ("geo-satellite") or a "rate=2mbps,rtt=600ms" spec string applied
+    # to every deployment's conditions.  None = ambient baseline paths.
+    path_profile: Optional[str] = None
 
     def cache_key(self) -> Tuple:
         """A hashable key covering *every* configuration field.
@@ -220,6 +224,8 @@ class Campaign:
             )
             if self.config.fault_profile:
                 self._apply_fault_profile(self._world)
+            if self.config.path_profile:
+                self._apply_path_profile(self._world)
             self.metrics.gauge("campaign.world_build_seconds", volatile=True).set(
                 round(time.perf_counter() - start, 6)
             )
@@ -243,6 +249,25 @@ class Campaign:
         )
         for kind in sorted(counts):
             self.metrics.gauge("faults.hosts", fault=kind).set(counts[kind])
+
+    def _apply_path_profile(self, world: World) -> None:
+        """Attach the configured path profile to the freshly built world.
+
+        The shaping seed derives from the campaign seed and the spec's
+        canonical form only, so serial runs and shard workers' replicas
+        shape the exact same hosts identically.  Composes with
+        ``fault_profile`` (applied first; faults tuples are preserved).
+        """
+        from repro.netsim.paths import apply_path_profile, parse_path_spec
+
+        spec = parse_path_spec(self.config.path_profile)
+        count = apply_path_profile(
+            world.network,
+            [deployment.address for deployment in world.deployments],
+            spec,
+            derive_seed("paths", self.config.seed, spec.canonical()),
+        )
+        self.metrics.gauge("paths.hosts", profile=spec.name).set(count)
 
     @property
     def stage_cache(self):
@@ -1034,6 +1059,7 @@ def get_campaign(
     cache_dir: Optional[object] = None,
     fault_profile: Optional[str] = None,
     retry: Optional[RetryPolicy] = None,
+    path_profile: Optional[str] = None,
 ) -> Campaign:
     """Memoised campaign accessor shared by tests and benchmarks.
 
@@ -1049,6 +1075,7 @@ def get_campaign(
         max_domains_per_address=max_domains_per_address,
         fault_profile=fault_profile,
         retry=retry if retry is not None else RetryPolicy(),
+        path_profile=path_profile,
     )
     key = config.cache_key()
     if key not in _CAMPAIGNS:

@@ -13,13 +13,25 @@ simulated one (see DESIGN.md §2).  The substrate provides:
   ethics: the paper filters a local blocklist),
 - :mod:`repro.netsim.faults` — composable, deterministic fault
   profiles (burst loss, rate limits, UDP blackholes, truncation,
-  corruption, flapping, crashes) for chaos campaigns.
+  corruption, flapping, crashes) for chaos campaigns,
+- :mod:`repro.netsim.paths` — named path-condition profiles
+  (geo-satellite, lossy-edge, bufferbloat, asymmetric) with
+  token-bucket rate limiting and bounded drop-tail queues, the
+  substrate of the ``repro matrix`` scenario sweeps.
 """
 
 from repro.netsim.addresses import IPv4Address, IPv6Address, Prefix
 from repro.netsim.asn import AutonomousSystem, AsRegistry
 from repro.netsim.blocklist import Blocklist
 from repro.netsim.faults import PROFILES, FaultProfile, apply_profile, get_profile
+from repro.netsim.paths import (
+    PATH_PROFILES,
+    PathSpec,
+    PathSpecError,
+    apply_path_profile,
+    get_path_profile,
+    parse_path_spec,
+)
 from repro.netsim.topology import Network, NetworkConditions, UdpEndpoint
 
 __all__ = [
@@ -36,4 +48,10 @@ __all__ = [
     "PROFILES",
     "apply_profile",
     "get_profile",
+    "PATH_PROFILES",
+    "PathSpec",
+    "PathSpecError",
+    "apply_path_profile",
+    "get_path_profile",
+    "parse_path_spec",
 ]

@@ -21,6 +21,12 @@ epoch* (:meth:`Network.begin_fault_epoch`) and consults it on every
 datagram and TCP operation.  Fault decisions depend only on the fault
 seed, the epoch and the host's own traffic — see
 :mod:`repro.netsim.faults` for the determinism contract.
+
+Path shaping: conditions may additionally carry a
+:class:`~repro.netsim.paths.PathSpec` — token-bucket rate limiting
+with a bounded drop-tail queue per host and direction.  Shaping state
+follows the same per-host, per-epoch lifecycle as fault state, so the
+serial == sharded determinism contract extends to every path profile.
 """
 
 from __future__ import annotations
@@ -28,11 +34,15 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.crypto.rand import DeterministicRandom
 from repro.netsim.addresses import Address, Prefix
 from repro.observability.metrics import get_metrics
+
+if TYPE_CHECKING:  # import cycle: faults/paths import nothing from here
+    from repro.netsim.faults import FaultSpec
+    from repro.netsim.paths import PathSpec, PathState
 
 __all__ = [
     "NetworkConditions",
@@ -54,7 +64,12 @@ class NetworkConditions:
     silent: bool = False  # host drops everything (scan timeout)
     # Fault templates (see repro.netsim.faults); instantiated per host
     # per stage epoch by the network.  Empty for the baseline paths.
-    faults: Tuple = ()
+    # Entries are validated at epoch-begin so a stray non-FaultSpec
+    # fails loudly before any delivery depends on it.
+    faults: Tuple["FaultSpec", ...] = ()
+    # Path-shaping template (see repro.netsim.paths); instantiated per
+    # host per stage epoch, exactly like faults.  None = unshaped.
+    path: Optional["PathSpec"] = None
 
 
 @dataclass
@@ -66,6 +81,7 @@ class TrafficStats:
     datagrams_delivered: int = 0
     syn_sent: int = 0
     faults_injected: int = 0
+    path_drops: int = 0  # datagrams/segments lost to path shaping
 
     def record_send(self, size: int) -> None:
         self.datagrams_sent += 1
@@ -162,6 +178,8 @@ class TcpSession:
         self._network.stats.record_send(len(data))
         if not self._network.tcp_data_allowed(self.server_address[0]):
             return  # bytes vanish mid-session; the peer never replies
+        if self._network.path_segment(self.server_address[0], len(data), "up") is None:
+            return  # tail-dropped at the access link
         self._listener.data_received(self, data)
 
     def receive(self, timeout: float) -> Optional[bytes]:
@@ -184,7 +202,10 @@ class TcpSession:
     def reply(self, data: bytes) -> None:
         if not self._network.tcp_data_allowed(self.server_address[0]):
             return
-        arrival = self._network.now + self._conditions.rtt / 2
+        delay = self._network.path_segment(self.server_address[0], len(data), "down")
+        if delay is None:
+            return
+        arrival = self._network.now + self._conditions.rtt / 2 + delay
         self._to_client.append((arrival, self._network.next_seq(), data))
 
     def server_close(self) -> None:
@@ -211,6 +232,10 @@ class Network:
         self._fault_seed: int = 0
         self._fault_epoch: str = "root"
         self._fault_states: Dict[Tuple[Address, int], object] = {}
+        # Path-shaping state: per-host token buckets, same epoch scope
+        # (see repro.netsim.paths).
+        self._path_seed: int = 0
+        self._path_states: Dict[Address, "PathState"] = {}
 
     # -- registration ----------------------------------------------------------
     def bind_udp(self, address: Address, port: int, endpoint: UdpEndpoint) -> None:
@@ -241,16 +266,84 @@ class Network:
         self._fault_seed = seed
         self._fault_states.clear()
 
+    # -- path shaping ----------------------------------------------------------
+    def configure_paths(self, seed: int) -> None:
+        """Set the path-shaping seed; clears live per-host path state."""
+        self._path_seed = seed
+        self._path_states.clear()
+
+    def _active_path(
+        self, address: Address, conditions: Optional[NetworkConditions] = None
+    ) -> Optional["PathState"]:
+        if conditions is None:
+            conditions = self.conditions_for(address)
+        spec = conditions.path
+        if spec is None:
+            return None
+        state = self._path_states.get(address)
+        if state is None:
+            rng = DeterministicRandom(
+                (self._path_seed, self._fault_epoch, str(address), "path")
+            )
+            state = spec.instantiate(rng)
+            self._path_states[address] = state
+        return state
+
+    def _path_drop(self, direction: str, transport: str) -> None:
+        self.stats.path_drops += 1
+        get_metrics().counter(
+            "path.dropped", direction=direction, transport=transport
+        ).inc()
+
+    def path_segment(self, address: Address, size: int, direction: str) -> Optional[float]:
+        """Charge a TCP segment against ``address``'s path shaping.
+
+        Returns the queueing delay in seconds, or ``None`` when the
+        segment is tail-dropped (the session sees silence, like
+        :meth:`tcp_data_allowed` fault drops).
+        """
+        state = self._active_path(address)
+        if state is None:
+            return 0.0
+        delay = state.admit_segment(self.now, size, direction)
+        if delay is None:
+            self._path_drop(direction, "tcp")
+        return delay
+
     def begin_fault_epoch(self, label: str) -> None:
-        """Reset per-host fault state at a stage boundary.
+        """Reset per-host fault and path state at a stage boundary.
 
         Each campaign stage runs in its own epoch, so a host's fault
         behaviour within a stage depends only on its own traffic there —
         the property that makes sharded runs replay serial decisions.
+        Condition entries are validated here so a malformed ``faults``
+        tuple fails loudly at the stage boundary, not deep in delivery.
         """
         if label != self._fault_epoch:
+            self._validate_fault_specs()
             self._fault_epoch = label
             self._fault_states.clear()
+            self._path_states.clear()
+
+    def _validate_fault_specs(self) -> None:
+        from repro.netsim.faults import FaultSpec
+
+        def check(where, conditions: NetworkConditions) -> None:
+            for entry in conditions.faults:
+                if not isinstance(entry, FaultSpec):
+                    raise TypeError(
+                        f"conditions for {where} carry a non-FaultSpec fault "
+                        f"entry: {entry!r} ({type(entry).__name__})"
+                    )
+
+        for address, conditions in self._conditions.items():
+            if conditions.faults:
+                check(address, conditions)
+        for prefix, conditions in self._prefix_conditions:
+            if conditions.faults:
+                check(prefix, conditions)
+        if self._default_conditions.faults:
+            check("default conditions", self._default_conditions)
 
     def _active_faults(
         self, address: Address, conditions: Optional[NetworkConditions] = None
@@ -332,6 +425,14 @@ class Network:
                 self._fault_injected(fault.kind, verdict)
             if data is None:
                 return
+        path = self._active_path(destination[0], conditions)
+        up_delay = 0.0
+        if path is not None:
+            admitted = path.admit(self.now, len(data), "up")
+            if admitted is None:
+                self._path_drop("up", "udp")
+                return
+            up_delay = admitted
         self.stats.datagrams_delivered += 1
         send_time = self.now
 
@@ -344,9 +445,20 @@ class Network:
                     self._fault_injected(fault.kind, verdict)
                 if response is None:
                     return
+            down_delay = 0.0
+            if path is not None:
+                admitted = path.admit(send_time, len(response), "down")
+                if admitted is None:
+                    self._path_drop("down", "udp")
+                    return
+                down_delay = admitted
             client = self._client_sockets.get(source)
             if client is not None:
-                client._enqueue(send_time + conditions.rtt, destination, response)
+                client._enqueue(
+                    send_time + conditions.rtt + up_delay + down_delay,
+                    destination,
+                    response,
+                )
 
         endpoint.datagram_received(self, source, data, reply)
 
@@ -364,6 +476,10 @@ class Network:
             if not fault.tcp_syn(self.now):
                 self._fault_injected(fault.kind, "syn-drop")
                 return False
+        path = self._active_path(destination, conditions)
+        if path is not None and path.admit_segment(self.now, 40, "up") is None:
+            self._path_drop("up", "tcp")
+            return False
         return (destination, port) in self._tcp
 
     def tcp_data_allowed(self, address: Address) -> bool:
@@ -385,6 +501,10 @@ class Network:
             if not fault.tcp_open(self.now):
                 self._fault_injected(fault.kind, "connect-refused")
                 return None
+        path = self._active_path(destination, conditions)
+        if path is not None and path.admit_segment(self.now, 40, "up") is None:
+            self._path_drop("up", "tcp")
+            return None
         session = TcpSession(
             self,
             listener,

@@ -232,6 +232,55 @@ def _bench_longitudinal(seed: int = 0) -> Dict[str, object]:
     }
 
 
+MATRIX_BENCH_SCALE = Scale(addresses=200_000, ases=4_000, domains=200_000)
+
+
+def _bench_matrix(seed: int = 0, bare_seconds: Optional[float] = None) -> Dict[str, object]:
+    """Scenario-matrix throughput and per-cell overhead.
+
+    Runs a 2x2 datarate x latency grid into an in-memory warehouse and
+    reports cells/minute plus the per-cell wall time relative to a
+    bare campaign at the same scale (``bare_seconds``) — the overhead
+    an operator pays for shaping + warehouse loading per cell.
+    """
+    import sqlite3
+
+    from repro.experiments.matrix import MatrixConfig, grid_cells, run_matrix
+
+    if bare_seconds is None:
+        bare = Campaign(CampaignConfig(week=18, scale=MATRIX_BENCH_SCALE, seed=seed))
+        try:
+            _, bare_seconds = _time(bare.run_all_stages)
+        finally:
+            bare.close()
+    matrix = MatrixConfig(
+        cells=tuple(grid_cells(2, 2)),
+        week=18,
+        scale=MATRIX_BENCH_SCALE,
+        seed=seed,
+    )
+    conn = sqlite3.connect(":memory:")
+    try:
+        result, matrix_seconds = _time(lambda: run_matrix(matrix, conn))
+    finally:
+        conn.close()
+    cells = len(matrix.cells)
+    per_cell = matrix_seconds / cells if cells else 0.0
+    return {
+        "cells": cells,
+        "cells_complete": len(result.cells),
+        "matrix_seconds": round(matrix_seconds, 3),
+        "cells_per_minute": round(60 * cells / matrix_seconds, 2)
+        if matrix_seconds
+        else None,
+        "per_cell_seconds": round(per_cell, 3),
+        "bare_campaign_seconds": round(bare_seconds, 3),
+        "per_cell_overhead": round(per_cell / bare_seconds, 2) if bare_seconds else None,
+        "qa_passed": sum(1 for check in result.qa if check.status == "pass"),
+        "qa_failed": len(result.qa_failures),
+    }
+
+
 def _bench_handshake_rate(campaign: Campaign) -> Dict[str, float]:
     """Stateful QScanner handshake throughput over responsive targets."""
     targets = campaign._zmap_compatible(campaign.zmap_v4)
@@ -277,6 +326,7 @@ def run_benchmarks(
     handshake = _bench_handshake_rate(serial)
     warehouse = _bench_warehouse(serial)
     longitudinal = _bench_longitudinal(seed=seed)
+    matrix = _bench_matrix(seed=seed)
 
     # -- parallel cold runs ------------------------------------------------
     # Streaming dataflow (the default for workers > 1) and the barrier
@@ -327,6 +377,7 @@ def run_benchmarks(
         "qscanner_handshake_rate": handshake,
         "warehouse": warehouse,
         "longitudinal": longitudinal,
+        "matrix": matrix,
         "campaign": {
             "stage_record_counts": serial_counts,
             "world_build_seconds": round(world_seconds, 3),
@@ -477,6 +528,10 @@ def check_benchmarks(
       week, merged at least one unchanged target from the previous week
       (delta hit rate > 0), and kept the no-op resume overhead well
       under the series wall time,
+    - the matrix section (when present) must have completed and
+      QA-passed every cell, recorded a cells/minute throughput, and
+      kept the per-cell wall time within 3x a bare campaign at the
+      same scale (shaping + warehouse loading overhead guard),
     - against a ``baseline`` document (the committed
       ``BENCH_scan.json``), the probe and handshake rates and the
       pipeline speedup / overlap ratio must not drop below
@@ -555,6 +610,27 @@ def check_benchmarks(
             failures.append(
                 f"resume overhead: a no-op resume took {resume}s against a"
                 f" {series}s series"
+            )
+    matrix = results.get("matrix")
+    if matrix is not None:
+        if matrix.get("cells_complete") != matrix.get("cells"):
+            failures.append(
+                f"matrix sweep incomplete:"
+                f" {matrix.get('cells_complete')}/{matrix.get('cells')}"
+                " cells completed"
+            )
+        if matrix.get("qa_failed"):
+            failures.append(
+                f"matrix QA: {matrix['qa_failed']} integrity check(s) failed"
+                " during the bench sweep"
+            )
+        if not matrix.get("cells_per_minute"):
+            failures.append("matrix sweep recorded no cells/minute throughput")
+        overhead = matrix.get("per_cell_overhead")
+        if overhead is not None and overhead > 3.0:
+            failures.append(
+                f"matrix per-cell overhead {overhead}x exceeds 3x a bare"
+                " campaign at the same scale"
             )
     movement = results.get("data_movement", {})
     shipped = movement.get("dep_bytes_shipped", 0)

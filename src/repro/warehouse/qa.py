@@ -38,7 +38,13 @@ import sqlite3
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-__all__ = ["QaResult", "WarehouseQaError", "run_qa"]
+__all__ = [
+    "QaResult",
+    "WarehouseQaError",
+    "matrix_outcome_values",
+    "run_matrix_qa",
+    "run_qa",
+]
 
 # stage-counts key (as reported by Campaign.run_all_stages) → staging table
 _STAGE_TABLES: Tuple[Tuple[str, str, str], ...] = (
@@ -319,6 +325,130 @@ def run_qa(
         [
             (
                 campaign_id,
+                result.check,
+                result.stage,
+                result.status,
+                result.expected,
+                result.actual,
+                result.detail,
+            )
+            for result in results
+        ],
+    )
+    failures = [result for result in results if result.status != "pass"]
+    if strict and failures:
+        raise WarehouseQaError(failures)
+    return results
+
+
+# -- scenario matrix -----------------------------------------------------------
+
+# Table-3 outcome classes in mart column order (see mart_matrix_outcomes).
+_MATRIX_OUTCOMES: Tuple[str, ...] = (
+    "success",
+    "timeout",
+    "crypto-error-0x128",
+    "version-mismatch",
+    "other",
+)
+
+
+def matrix_outcome_values(
+    conn: sqlite3.Connection, campaign_id: str
+) -> Tuple[int, Tuple[float, ...], float]:
+    """Recompute a matrix cell's outcome values from its staged marts.
+
+    Returns ``(targets, per-outcome shares, mean certificate parity)``
+    — the exact values a ``mart_matrix_outcomes`` row must hold.  The
+    shares aggregate ``mart_outcome_mix`` record counts across every
+    qscan stage and round in Python (the mart rule: SQL produces
+    integer counts, Python computes percentages); the parity is the
+    mean of the four stage-pair Certificate rows of
+    ``mart_table5_parity``, rounded to two decimals.
+    """
+    counts = dict(
+        conn.execute(
+            "SELECT outcome, COALESCE(SUM(records), 0) FROM mart_outcome_mix"
+            " WHERE campaign_id = ? GROUP BY outcome",
+            (campaign_id,),
+        ).fetchall()
+    )
+    targets = sum(counts.values())
+    rates = tuple(
+        round(100.0 * counts.get(outcome, 0) / targets, 2) if targets else 0.0
+        for outcome in _MATRIX_OUTCOMES
+    )
+    parity = conn.execute(
+        "SELECT v4_nosni, v4_sni, v6_nosni, v6_sni FROM mart_table5_parity"
+        " WHERE campaign_id = ? AND property = 'Certificate'",
+        (campaign_id,),
+    ).fetchone()
+    tcp_parity = round(sum(parity) / 4.0, 2) if parity else 0.0
+    return targets, rates, tcp_parity
+
+
+def run_matrix_qa(
+    conn: sqlite3.Connection, matrix_id: str, strict: bool = True
+) -> List[QaResult]:
+    """QA a scenario-matrix load; record results under the matrix id.
+
+    Two families of checks, mirroring the campaign-level suite:
+
+    - **row counts** — every ``matrix_runs`` cell must have exactly one
+      ``mart_matrix_outcomes`` row (and vice versa),
+    - **mart equivalence** — every cell's outcome row must equal the
+      values recomputed from that cell's staged marts
+      (:func:`matrix_outcome_values`), so a tampered matrix mart fails
+      loudly even without the campaigns in memory.
+
+    Results replace any prior ``qa_results`` rows for ``matrix_id``;
+    with ``strict``, any failure raises :class:`WarehouseQaError`.
+    """
+    results: List[QaResult] = []
+    cells = conn.execute(
+        "SELECT cell_id, campaign_id FROM matrix_runs WHERE matrix_id = ?"
+        " ORDER BY cell_id",
+        (matrix_id,),
+    ).fetchall()
+    mart_cells = conn.execute(
+        "SELECT cell_id, campaign_id, targets, success_rate, timeout_rate,"
+        " crypto_error_rate, version_mismatch_rate, other_rate, tcp_parity"
+        " FROM mart_matrix_outcomes WHERE matrix_id = ? ORDER BY cell_id",
+        (matrix_id,),
+    ).fetchall()
+    expected_cells = [cell_id for cell_id, _ in cells]
+    actual_cells = [row[0] for row in mart_cells]
+    results.append(
+        QaResult(
+            check="row_counts",
+            stage="mart_matrix_outcomes",
+            status="pass" if expected_cells == actual_cells else "fail",
+            expected=len(expected_cells),
+            actual=len(actual_cells),
+            detail="every matrix_runs cell has exactly one outcome row",
+        )
+    )
+    for row in mart_cells:
+        cell_id, campaign_id = row[0], row[1]
+        stored = tuple(row[2:])
+        targets, rates, tcp_parity = matrix_outcome_values(conn, campaign_id)
+        recomputed = (targets, *rates, tcp_parity)
+        results.append(
+            QaResult(
+                check="mart_equivalence",
+                stage=f"mart_matrix_outcomes[{cell_id}]",
+                status="pass" if stored == recomputed else "fail",
+                expected=repr(recomputed),
+                actual=repr(stored),
+                detail="cell outcome row equals recomputation from staged marts",
+            )
+        )
+    conn.execute("DELETE FROM qa_results WHERE campaign_id = ?", (matrix_id,))
+    conn.executemany(
+        "INSERT INTO qa_results VALUES (?, ?, ?, ?, ?, ?, ?)",
+        [
+            (
+                matrix_id,
                 result.check,
                 result.stage,
                 result.status,

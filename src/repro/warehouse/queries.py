@@ -8,8 +8,9 @@ presentation metadata the in-memory experiment runners use, so
 (``versions``, ``outcomes``, ``qa``, ``campaigns``) expose the extra
 marts and the QA ledger; the run-scoped reports (``runs``, ``weeks``,
 ``https-timeline``, ``version-timeline``, ``churn``) read the
-longitudinal ledger and timeline marts; ``--sql`` runs arbitrary
-read-only SQL.
+longitudinal ledger and timeline marts; the matrix-scoped reports
+(``matrix``, ``matrix-cells``) read the scenario-matrix layer keyed
+by matrix id; ``--sql`` runs arbitrary read-only SQL.
 """
 
 from __future__ import annotations
@@ -21,9 +22,11 @@ from repro.experiments.base import ExperimentResult
 from repro.warehouse.marts import MART_FOR_TABLE, mart_rows
 
 __all__ = [
+    "MATRIX_REPORTS",
     "REPORTS",
     "RUN_REPORTS",
     "latest_campaign",
+    "latest_matrix",
     "latest_run",
     "named_report",
     "run_sql",
@@ -47,11 +50,71 @@ REPORTS: Dict[str, str] = {
     "https-timeline": "HTTPS RR adoption per input list per week (paper Fig. 3)",
     "version-timeline": "version/ALPN share per week (paper Figs. 5-7)",
     "churn": "new/gone/changed targets per provider per week",
+    "matrix": "heatmap-ready outcome mix per scenario-matrix cell",
+    "matrix-cells": "cell ledger for a scenario-matrix run",
 }
 
 # Reports keyed by run_id (longitudinal ledger + timeline marts) rather
 # than campaign_id.
 RUN_REPORTS = ("runs", "weeks", "https-timeline", "version-timeline", "churn")
+
+# Reports keyed by matrix_id (the scenario-matrix layer).
+MATRIX_REPORTS = ("matrix", "matrix-cells")
+
+
+def latest_matrix(conn: sqlite3.Connection) -> Optional[str]:
+    """The most recently recorded scenario-matrix id, or None."""
+    row = conn.execute(
+        "SELECT matrix_id FROM matrix_runs ORDER BY rowid DESC LIMIT 1"
+    ).fetchone()
+    return row[0] if row else None
+
+
+def _matrix(conn, matrix_id: str) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="WH",
+        title=f"Scenario matrix {matrix_id}: outcome mix per cell",
+        headers=(
+            "Cell",
+            "Profile",
+            "Rate",
+            "RTT",
+            "Targets",
+            "Success",
+            "Timeout",
+            "Crypto Error",
+            "Version Mismatch",
+            "Other",
+            "TCP Parity",
+        ),
+        rows=[
+            tuple(row)
+            for row in conn.execute(
+                "SELECT cell_id, profile, rate, rtt, targets, success_rate,"
+                " timeout_rate, crypto_error_rate, version_mismatch_rate,"
+                " other_rate, tcp_parity FROM mart_matrix_outcomes"
+                " WHERE matrix_id = ? ORDER BY row_order",
+                (matrix_id,),
+            )
+        ],
+    )
+
+
+def _matrix_cells(conn, matrix_id: str) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="WH",
+        title=f"Scenario matrix {matrix_id}: cell ledger",
+        headers=("Cell", "Row", "Col", "Spec", "Campaign", "Week", "Seed", "Workers"),
+        rows=[
+            tuple(row)
+            for row in conn.execute(
+                "SELECT cell_id, grid_row, grid_col, spec, campaign_id, week,"
+                " seed, workers FROM matrix_runs WHERE matrix_id = ?"
+                " ORDER BY grid_row, grid_col",
+                (matrix_id,),
+            )
+        ],
+    )
 
 
 def latest_run(conn: sqlite3.Connection) -> Optional[str]:
@@ -237,11 +300,20 @@ def named_report(
 ) -> ExperimentResult:
     """Run one named report against a loaded campaign (default: latest).
 
-    Run-scoped reports interpret ``campaign_id`` as a run id instead
-    (default: the most recently recorded run).
+    Run-scoped reports interpret ``campaign_id`` as a run id, and
+    matrix-scoped reports as a matrix id (defaults: the most recently
+    recorded run/matrix).
     """
     if name not in REPORTS:
         raise LookupError(f"unknown report {name!r}; choose from {sorted(REPORTS)}")
+    if name in MATRIX_REPORTS:
+        matrix_id = campaign_id or latest_matrix(conn)
+        if matrix_id is None:
+            raise LookupError(
+                "no matrix runs recorded — run `repro matrix` first"
+            )
+        runner = {"matrix": _matrix, "matrix-cells": _matrix_cells}[name]
+        return runner(conn, matrix_id)
     if name in RUN_REPORTS:
         run_id = campaign_id or latest_run(conn)
         if run_id is None:

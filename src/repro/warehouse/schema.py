@@ -24,7 +24,11 @@ Layering:
 - timeline marts (``mart_https_rr_timeline``, ``mart_version_timeline``,
   ``mart_week_churn``) — run-keyed series marts appended one week at a
   time inside the same transaction (see
-  :mod:`repro.warehouse.timeline`).
+  :mod:`repro.warehouse.timeline`),
+- ``matrix_runs``/``mart_matrix_outcomes`` — the scenario-matrix layer:
+  one cell ledger row and one heatmap-ready outcome row per
+  ``repro matrix`` grid cell, keyed by ``matrix_id`` so per-campaign
+  reloads never disturb them (see :mod:`repro.experiments.matrix`).
 
 Tables are ``STRICT`` so sqlite stores exactly the value types the
 loader inserts; mixed-type mart cells (Table 3 carries percentage
@@ -50,6 +54,7 @@ __all__ = [
     "MART_TABLES",
     "LEDGER_TABLES",
     "TIMELINE_TABLES",
+    "MATRIX_TABLES",
     "CAMPAIGN_SCOPED_KINDS",
     "connect",
     "ensure_schema",
@@ -57,7 +62,7 @@ __all__ = [
 
 # Bumped whenever a table or column changes shape; part of the
 # campaign_id digest, so a schema change never mixes with old rows.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -546,6 +551,57 @@ TABLES: Dict[str, Table] = {
             ],
             primary_key=("run_id", "row_order"),
         ),
+        _table(
+            "matrix_runs",
+            "matrix",
+            "Scenario-matrix cell ledger: one row per (matrix, cell), "
+            "committed in the same transaction as the cell campaign's "
+            "warehouse load, so a recorded cell always has its staging "
+            "rows behind it.",
+            "repro matrix / repro query matrix-cells",
+            [
+                ("matrix_id", "TEXT", "matrix run digest (grid + campaign config)"),
+                ("cell_id", "TEXT", "cell label (profile name or rate x rtt spec)"),
+                ("grid_row", "INTEGER", "row index in the sweep grid"),
+                ("grid_col", "INTEGER", "column index in the sweep grid"),
+                ("spec", "TEXT", "canonical path spec the cell ran under"),
+                ("campaign_id", "TEXT", "warehouse campaign digest of the cell load"),
+                ("week", "INTEGER", "campaign calendar week"),
+                ("seed", "INTEGER", "campaign seed"),
+                ("scale_addresses", "INTEGER", "address scale divisor"),
+                ("workers", "INTEGER", "worker count the cell ran with"),
+                ("stage_counts_json", "TEXT", "stage → record count at load time"),
+                ("schema_version", "INTEGER", "warehouse schema version"),
+            ],
+            primary_key=("matrix_id", "cell_id"),
+        ),
+        _table(
+            "mart_matrix_outcomes",
+            "matrix",
+            "Scenario-matrix outcome mart: per cell, the handshake success "
+            "rate and full Table-3 outcome mix over every qscan stage, "
+            "plus the Table-5 certificate-parity mean — heatmap-ready "
+            "(rate x rtt axes travel with each row).  Recomputed from the "
+            "cell's staged marts by the matrix mart_equivalence QA check.",
+            "repro query matrix",
+            [
+                ("matrix_id", "TEXT", "matrix run digest (grid + campaign config)"),
+                ("row_order", "INTEGER", "cell position in the sweep order"),
+                ("cell_id", "TEXT", "cell label (profile name or rate x rtt spec)"),
+                ("profile", "TEXT", "path profile display name"),
+                ("rate", "TEXT", "link rate axis label (e.g. 2mbps, or '-')"),
+                ("rtt", "TEXT", "RTT axis label (e.g. 600ms, or '-')"),
+                ("campaign_id", "TEXT", "warehouse campaign digest of the cell load"),
+                ("targets", "INTEGER", "stateful scan records across qscan stages"),
+                ("success_rate", "REAL", "Success share (%) across qscan stages"),
+                ("timeout_rate", "REAL", "Timeout share (%)"),
+                ("crypto_error_rate", "REAL", "Crypto Error (0x128) share (%)"),
+                ("version_mismatch_rate", "REAL", "Version Mismatch share (%)"),
+                ("other_rate", "REAL", "Other share (%)"),
+                ("tcp_parity", "REAL", "mean certificate parity vs TCP (%) over the four stage pairs"),
+            ],
+            primary_key=("matrix_id", "row_order"),
+        ),
     )
 }
 
@@ -561,9 +617,13 @@ LEDGER_TABLES: Tuple[str, ...] = tuple(
 TIMELINE_TABLES: Tuple[str, ...] = tuple(
     name for name, table in TABLES.items() if table.kind == "timeline"
 )
+MATRIX_TABLES: Tuple[str, ...] = tuple(
+    name for name, table in TABLES.items() if table.kind == "matrix"
+)
 # Kinds whose rows belong to a single campaign load (and are therefore
 # replaced wholesale when a campaign is reloaded); ledger/timeline rows
-# are keyed by run_id and survive per-campaign reloads.
+# are keyed by run_id — and matrix rows by matrix_id — and survive
+# per-campaign reloads.
 CAMPAIGN_SCOPED_KINDS: Tuple[str, ...] = ("meta", "staging", "dimension", "qa", "mart")
 
 _INDEXES = (

@@ -241,6 +241,7 @@ class TestFuzzer:
             "dns.records",
             "tls.messages",
             "tls.record",
+            "netsim.paths",
         }
 
     def test_no_crashes_tier1(self):

@@ -74,6 +74,7 @@ def test_docs_exist_and_are_linked_from_readme():
         "docs/OBSERVABILITY.md",
         "docs/WAREHOUSE.md",
         "docs/LONGITUDINAL.md",
+        "docs/SCENARIOS.md",
     ):
         assert (REPO_ROOT / name).exists(), f"{name} is missing"
         assert name in readme, f"README.md does not link {name}"
@@ -117,6 +118,32 @@ def test_warehouse_doc_matches_schema():
                 missing_columns.append(f"{name}.{column.name}")
     assert not missing_columns, (
         "staging columns missing from docs/WAREHOUSE.md: " + ", ".join(missing_columns)
+    )
+
+
+def test_scenarios_doc_matches_path_profiles():
+    """docs/SCENARIOS.md and repro.netsim.paths must agree, both ways.
+
+    Every catalogue profile has to appear (backticked) in the
+    profile-catalogue section, and every backticked name that section
+    lists has to exist in ``PATH_PROFILES`` — so a renamed or dropped
+    profile cannot leave the operator-facing catalogue silently stale.
+    """
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.netsim.paths import PATH_PROFILES
+    finally:
+        sys.path.pop(0)
+
+    doc = (REPO_ROOT / "docs" / "SCENARIOS.md").read_text(encoding="utf-8")
+    section = doc.split("## Profile catalogue", 1)[1].split("\n## ", 1)[0]
+    # Catalogue rows lead with the backticked profile name.
+    documented = set(re.findall(r"^\| `([a-z0-9-]+)`", section, flags=re.M))
+    assert documented == set(PATH_PROFILES), (
+        f"profile catalogue drift: doc has {sorted(documented)},"
+        f" PATH_PROFILES has {sorted(PATH_PROFILES)}"
     )
 
 

@@ -72,11 +72,16 @@ def test_load_stages_every_table(loaded):
     conn, result, _campaign = loaded
     # qa_results is accounted for by result.qa, not the row ledger;
     # run-scoped ledger/timeline tables are written per longitudinal
-    # run, not per campaign load (tests/test_longitudinal.py).
-    from repro.warehouse.schema import LEDGER_TABLES, TIMELINE_TABLES
+    # run, not per campaign load (tests/test_longitudinal.py), and
+    # matrix tables per `repro matrix` run (tests/test_paths.py).
+    from repro.warehouse.schema import LEDGER_TABLES, MATRIX_TABLES, TIMELINE_TABLES
 
     assert set(result.rows) == (
-        set(TABLES) - {"qa_results"} - set(LEDGER_TABLES) - set(TIMELINE_TABLES)
+        set(TABLES)
+        - {"qa_results"}
+        - set(LEDGER_TABLES)
+        - set(TIMELINE_TABLES)
+        - set(MATRIX_TABLES)
     )
     for table in STAGING_TABLES:
         assert result.rows[table] > 0, f"{table} staged no rows"
@@ -196,14 +201,15 @@ def test_named_reports_render_like_experiments(loaded):
 
 def test_every_named_report_runs(loaded):
     conn, _result, _campaign = loaded
-    from repro.warehouse.queries import RUN_REPORTS
+    from repro.warehouse.queries import MATRIX_REPORTS, RUN_REPORTS
 
     for name in REPORTS:
-        if name in RUN_REPORTS:
-            # Run-scoped reports need a longitudinal run; on a
+        if name in RUN_REPORTS or name in MATRIX_REPORTS:
+            # Run-scoped reports need a longitudinal run, and
+            # matrix-scoped ones a `repro matrix` run; on a
             # campaign-only warehouse they refuse loudly instead of
-            # rendering empty (tests/test_longitudinal.py covers the
-            # populated path).
+            # rendering empty (tests/test_longitudinal.py and
+            # tests/test_paths.py cover the populated paths).
             with pytest.raises(LookupError):
                 named_report(conn, name)
             continue
