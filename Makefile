@@ -1,20 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-smoke bench-check bench-profile report artefacts interop chaos chaos-smoke conform conform-smoke fuzz-smoke warehouse-smoke longitudinal-smoke matrix-smoke clean
+.PHONY: test docs-check bench bench-smoke bench-check bench-profile report artefacts interop chaos chaos-smoke conform conform-smoke fuzz-smoke warehouse-smoke longitudinal-smoke matrix-smoke fleet-smoke clean
 
 # chaos-smoke keeps the fault-injection/degradation path exercised,
 # fuzz-smoke the wire-format conformance suite, conform-smoke the
 # serial-vs-streaming differential oracle, bench-smoke the
 # pipeline-overlap/backpressure gate, warehouse-smoke the
 # load → QA → query path, longitudinal-smoke the crash/resume
-# ledger path, and matrix-smoke the path-condition scenario grid on
+# ledger path, matrix-smoke the path-condition scenario grid, and
+# fleet-smoke the fleet scheduler's byte-identity contract on
 # every `make test` run (the full suite includes
 # tests/test_resilience.py, tests/test_stream.py,
 # tests/test_conformance.py, tests/test_warehouse.py,
-# tests/test_longitudinal.py and tests/test_paths.py; deep fuzzing
-# runs via `pytest -m slow_fuzz`).
-test: docs-check chaos-smoke fuzz-smoke conform-smoke bench-smoke warehouse-smoke longitudinal-smoke matrix-smoke
+# tests/test_longitudinal.py, tests/test_paths.py and
+# tests/test_fleet.py; deep fuzzing runs via `pytest -m slow_fuzz`).
+test: docs-check chaos-smoke fuzz-smoke conform-smoke bench-smoke warehouse-smoke longitudinal-smoke matrix-smoke fleet-smoke
 	$(PYTHON) -m pytest -x -q
 
 # Validates intra-repo markdown links + module docstring presence.
@@ -90,6 +91,19 @@ matrix-smoke:
 	$(PYTHON) -m repro matrix --grid 2x2 --scale 200000 --seed 23 \
 		--db .cache/matrix-smoke.sqlite
 	$(PYTHON) -m repro query matrix --db .cache/matrix-smoke.sqlite
+
+# Fleet-scheduler smoke: run the same 2x2 grid sequentially and via
+# --fleet-jobs 2 (shared world snapshot, persistent pool, concurrent
+# cells, ordered commits) into separate warehouses, then require the
+# raw database files to be byte-identical — the fleet's determinism
+# contract as a shell one-liner.
+fleet-smoke:
+	rm -f .cache/fleet-smoke-seq.sqlite .cache/fleet-smoke-fleet.sqlite
+	$(PYTHON) -m repro matrix --grid 2x2 --scale 200000 --seed 23 \
+		--db .cache/fleet-smoke-seq.sqlite
+	$(PYTHON) -m repro matrix --grid 2x2 --scale 200000 --seed 23 \
+		--db .cache/fleet-smoke-fleet.sqlite --fleet-jobs 2
+	cmp .cache/fleet-smoke-seq.sqlite .cache/fleet-smoke-fleet.sqlite
 
 # Per-stage cProfile dump (top cumulative functions) for hot-path work.
 bench-profile:

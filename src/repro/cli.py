@@ -292,15 +292,30 @@ def _cmd_conform(args) -> int:
             scale_addresses=args.diff_scale,
             workers=args.diff_workers,
         )
-    print(build_conformance_report(vectors, fuzz, differential, workers=args.workers))
+    fleet = None
+    if args.fleet:
+        from repro.conformance import run_fleet_differential
+
+        fleet = run_fleet_differential(seed=args.seed, jobs=args.fleet_jobs)
+    print(
+        build_conformance_report(
+            vectors, fuzz, differential, workers=args.workers, fleet=fleet
+        )
+    )
     if args.metrics_out:
         path = write_conformance_json(
-            args.metrics_out, vectors, fuzz, differential, registry, workers=args.workers
+            args.metrics_out,
+            vectors,
+            fuzz,
+            differential,
+            registry,
+            workers=args.workers,
+            fleet=fleet,
         )
         print(f"\nwrote {path}")
     from repro.conformance import conformance_ok
 
-    return 0 if conformance_ok(vectors, fuzz, differential) else 1
+    return 0 if conformance_ok(vectors, fuzz, differential, fleet) else 1
 
 
 def _print_data_movement(movement) -> None:
@@ -427,6 +442,16 @@ def _cmd_bench(args) -> int:
             f"  matrix sweep:      {matrix['cells_complete']}/{matrix['cells']} cells"
             f" in {matrix['matrix_seconds']}s ({matrix['cells_per_minute']}"
             f" cells/min, {matrix['per_cell_overhead']}x bare campaign)"
+        )
+    fleet = results.get("fleet")
+    if fleet:
+        print(
+            f"  fleet sweep:       {fleet['cells']} cells in"
+            f" {fleet['fleet_seconds']}s ({fleet['cells_per_minute']}"
+            f" cells/min, {fleet['speedup']}x sequential,"
+            f" {fleet['world_reuse_hits']} world reuse hits,"
+            f" {fleet['pool_respawns']} pool respawns,"
+            f" overlap {fleet['overlap_ratio']}x)"
         )
     _print_streaming(results)
     _print_data_movement(results["data_movement"])
@@ -555,11 +580,21 @@ def _cmd_matrix(args) -> int:
             conn,
             metrics_dir=Path(args.metrics_dir) if args.metrics_dir else None,
             log=print,
+            fleet_jobs=args.fleet_jobs,
         )
         print(
             f"matrix {result.matrix_id}: {len(result.cells)} cells loaded"
             f" into {args.db}"
         )
+        if result.fleet_telemetry:
+            telemetry = result.fleet_telemetry
+            print(
+                f"fleet: {telemetry['cells_executed']} cells,"
+                f" {telemetry['world_reuse_hits']} world reuse hits"
+                f" ({telemetry['world_builds']} builds),"
+                f" {telemetry['pool_respawns']} pool respawns,"
+                f" overlap {telemetry['overlap_ratio']}x"
+            )
         print(named_report(conn, "matrix", campaign_id=result.matrix_id).render())
         return 0
     except WarehouseQaError as error:
@@ -613,6 +648,7 @@ def _cmd_longitudinal(args) -> int:
         watchdog_seconds=args.watchdog,
         workers=args.workers,
         cache_dir=args.cache_dir or ".cache/longitudinal",
+        fleet_jobs=args.fleet_jobs,
     )
     conn = connect(args.db)
     try:
@@ -809,6 +845,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=2,
         help="worker count for the parallel side of the differential (default 2)",
     )
+    conform_parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="also replay a small matrix sequentially and via --fleet-jobs and"
+        " require byte-identical warehouse/metrics artefacts",
+    )
+    conform_parser.add_argument(
+        "--fleet-jobs",
+        type=int,
+        default=2,
+        help="concurrent cells for the fleet side of the --fleet oracle (default 2)",
+    )
     conform_parser.set_defaults(func=_cmd_conform)
 
     load_parser = subparsers.add_parser(
@@ -893,6 +941,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write each cell's deterministic metrics.json into this directory",
     )
+    matrix_parser.add_argument(
+        "--fleet-jobs",
+        type=int,
+        default=None,
+        help="run cells through the fleet scheduler with this many concurrent"
+        " cells (shared world snapshot, persistent pool, ordered commits;"
+        " artefacts stay byte-identical to a sequential run)",
+    )
     matrix_parser.set_defaults(func=_cmd_matrix)
 
     longitudinal_parser = subparsers.add_parser(
@@ -969,6 +1025,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--metrics-out",
         default=None,
         help="write the deterministic series metrics JSON to this path",
+    )
+    longitudinal_parser.add_argument(
+        "--fleet-jobs",
+        type=int,
+        default=None,
+        help="keep one persistent fleet scheduler (worker pool + warm caches)"
+        " alive across the whole series instead of respawning per week",
     )
     longitudinal_parser.set_defaults(func=_cmd_longitudinal)
 

@@ -18,7 +18,12 @@ See ``docs/CONFORMANCE.md`` for vector provenance and the workflow for
 pinning a fuzzer-found regression.
 """
 
-from repro.conformance.differential import DifferentialResult, run_differential
+from repro.conformance.differential import (
+    DifferentialResult,
+    FleetDifferentialResult,
+    run_differential,
+    run_fleet_differential,
+)
 from repro.conformance.fuzzer import (
     FuzzCrash,
     FuzzResult,
@@ -53,7 +58,9 @@ __all__ = [
     "run_fuzz",
     "run_fuzz_sharded",
     "DifferentialResult",
+    "FleetDifferentialResult",
     "run_differential",
+    "run_fleet_differential",
     "CONFORMANCE_FORMAT_VERSION",
     "build_conformance_report",
     "conformance_document",

@@ -16,7 +16,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.analysis.tables import render_table
-from repro.conformance.differential import DifferentialResult
+from repro.conformance.differential import DifferentialResult, FleetDifferentialResult
 from repro.conformance.fuzzer import FuzzResult
 from repro.conformance.vectors import VectorResult
 from repro.observability.metrics import parse_metric_key
@@ -37,6 +37,7 @@ def conformance_ok(
     vectors: List[VectorResult],
     fuzz: FuzzResult,
     differential: Optional[DifferentialResult],
+    fleet: Optional[FleetDifferentialResult] = None,
 ) -> bool:
     """The exit-code predicate: everything green (or skipped)."""
     if any(not result.ok for result in vectors):
@@ -44,6 +45,8 @@ def conformance_ok(
     if not fuzz.ok:
         return False
     if differential is not None and not differential.ok:
+        return False
+    if fleet is not None and not fleet.ok:
         return False
     return True
 
@@ -76,6 +79,7 @@ def build_conformance_report(
     fuzz: FuzzResult,
     differential: Optional[DifferentialResult],
     workers: int = 1,
+    fleet: Optional[FleetDifferentialResult] = None,
 ) -> str:
     """Render the deterministic human-readable conformance report."""
     lines: List[str] = []
@@ -122,7 +126,22 @@ def build_conformance_report(
             lines.append(f"  DIFF {mismatch}")
     lines.append("")
 
-    verdict = "OK" if conformance_ok(vectors, fuzz, differential) else "FAILED"
+    # -- fleet oracle ---------------------------------------------------------
+    if fleet is not None:
+        if fleet.ok:
+            lines.append(
+                f"fleet: sequential == fleet({fleet.jobs} jobs) matrix"
+                f" ({fleet.cells} cells; db and metrics.json byte-identical;"
+                f" {fleet.world_reuse_hits} world reuse hits,"
+                f" {fleet.pool_respawns} pool respawns)"
+            )
+        else:
+            lines.append(f"fleet: FAILED against {fleet.jobs} jobs")
+            for mismatch in fleet.mismatches:
+                lines.append(f"  DIFF {mismatch}")
+        lines.append("")
+
+    verdict = "OK" if conformance_ok(vectors, fuzz, differential, fleet) else "FAILED"
     lines.append(f"verdict: {verdict}")
     return "\n".join(lines)
 
@@ -133,6 +152,7 @@ def conformance_document(
     differential: Optional[DifferentialResult],
     registry,
     workers: int = 1,
+    fleet: Optional[FleetDifferentialResult] = None,
 ) -> Dict:
     """The machine-readable conformance ``metrics.json`` document.
 
@@ -152,8 +172,16 @@ def conformance_document(
                 "workers": differential.workers,
                 "records_compared": differential.records_compared,
             },
+            "fleet": None
+            if fleet is None
+            else {
+                "jobs": fleet.jobs,
+                "cells": fleet.cells,
+                "world_reuse_hits": fleet.world_reuse_hits,
+                "pool_respawns": fleet.pool_respawns,
+            },
         },
-        "ok": conformance_ok(vectors, fuzz, differential),
+        "ok": conformance_ok(vectors, fuzz, differential, fleet),
         "vectors": {
             "total": len(vectors),
             "failed": sorted(result.name for result in vectors if not result.ok),

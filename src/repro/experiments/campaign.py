@@ -183,12 +183,16 @@ class Campaign:
         workers: Optional[int] = None,
         cache_dir: Optional[object] = None,
         tracer: Optional[EventTracer] = None,
+        fleet: Optional[object] = None,
     ):
         self.config = config
         self._world = world
         self._workers = max(1, workers or 1)
         self._engine = None
         self._cache = None
+        # When attached to a fleet scheduler, parallel stages run on the
+        # fleet's shared pool instead of a per-campaign one.
+        self._fleet = fleet
         # Every campaign owns its metrics so concurrent campaigns in
         # one process (tests, benchmarks) never mix telemetry.  The
         # registry is installed as *current* around each stage, so the
@@ -476,9 +480,14 @@ class Campaign:
             self.metrics.counter("engine.inline_stages", volatile=True).inc()
             return records, health
         if self._engine is None:
-            # Passing the built world lets the pool's fork inherit it
-            # copy-on-write instead of each worker rebuilding one.
-            self._engine = ScanEngine(self.config, self._workers, world=self.world)
+            if self._fleet is not None:
+                # Fleet campaigns share one persistent pool; the fleet
+                # hands out an engine facade bound to it.
+                self._engine = self._fleet.scan_engine(self)
+            else:
+                # Passing the built world lets the pool's fork inherit
+                # it copy-on-write instead of each worker rebuilding one.
+                self._engine = ScanEngine(self.config, self._workers, world=self.world)
         deps = {dep: getattr(self, dep) for dep in _STAGE_DEPS[name]}
         records, errors, shards = self._engine.run_stage(
             name,
@@ -607,10 +616,19 @@ class Campaign:
         counts["dns"] = len(self.all_dns_records)
         if streaming is None:
             streaming = _stream_default()
-        if streaming and self._workers > 1:
-            from repro.parallel.stream import run_streaming
+        pending = any(name not in self.__dict__ for name in _STAGE_ORDER)
+        if pending:
+            # The pending gate makes re-invocation (e.g. load_campaign
+            # calling run_all_stages on an already-executed fleet cell)
+            # a pure count pass — no engine dispatch, no re-accounting.
+            if self._fleet is not None:
+                from repro.parallel.stream import run_streaming
 
-            run_streaming(self)
+                run_streaming(self, fleet=self._fleet)
+            elif streaming and self._workers > 1:
+                from repro.parallel.stream import run_streaming
+
+                run_streaming(self)
         for name in _STAGE_ORDER:
             counts[name] = len(getattr(self, name))
         return counts

@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.experiments.campaign import Campaign, CampaignConfig
 from repro.internet.providers import Scale
 from repro.netsim.paths import parse_path_spec
+from repro.observability.report import write_metrics_json
 from repro.warehouse import loader as loader_module
 from repro.warehouse import qa as qa_module
 from repro.warehouse.schema import SCHEMA_VERSION, ensure_schema
@@ -102,6 +103,9 @@ class MatrixResult:
     matrix_id: str
     cells: List[MatrixCellResult]
     qa: List["qa_module.QaResult"]
+    # Fleet scheduler counters (world_reuse_hits, pool_respawns,
+    # overlap_ratio, ...) when the run went through ``fleet_jobs``.
+    fleet_telemetry: Optional[dict] = None
 
     @property
     def qa_failures(self) -> List["qa_module.QaResult"]:
@@ -261,6 +265,7 @@ def run_matrix(
     strict: bool = True,
     metrics_dir: Optional[Path] = None,
     log: Optional[Callable[[str], None]] = None,
+    fleet_jobs: Optional[int] = None,
 ) -> MatrixResult:
     """Run every cell campaign and load it; QA the matrix afterwards.
 
@@ -271,6 +276,13 @@ def run_matrix(
     (default), any cell QA failure or matrix QA failure raises
     :class:`~repro.warehouse.qa.WarehouseQaError` — after the
     offending evidence is committed, never instead of it.
+
+    With ``fleet_jobs`` the cells run through the
+    :class:`~repro.parallel.fleet.FleetScheduler`: one world snapshot
+    shared by every cell, one persistent pool, up to ``fleet_jobs``
+    cells scanning concurrently, and commits applied in cell order so
+    the database and metrics files stay byte-identical to a sequential
+    run.
     """
     seen = {cell.cell_id for cell in matrix.cells}
     if len(seen) != len(matrix.cells):
@@ -283,6 +295,61 @@ def run_matrix(
             "DELETE FROM mart_matrix_outcomes WHERE matrix_id = ?", (mid,)
         )
         conn.execute("DELETE FROM qa_results WHERE campaign_id = ?", (mid,))
+    if metrics_dir is not None:
+        metrics_dir = Path(metrics_dir)
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+    fleet_telemetry = None
+    if fleet_jobs is not None:
+        results, fleet_telemetry = _run_cells_fleet(
+            matrix, conn, mid, strict, metrics_dir, log, fleet_jobs
+        )
+    else:
+        results = _run_cells_sequential(matrix, conn, mid, strict, metrics_dir, log)
+    qa = qa_module.run_matrix_qa(conn, mid, strict=strict)
+    return MatrixResult(
+        matrix_id=mid, cells=results, qa=qa, fleet_telemetry=fleet_telemetry
+    )
+
+
+def _commit_cell(
+    matrix: MatrixConfig,
+    conn: sqlite3.Connection,
+    mid: str,
+    order: int,
+    cell: MatrixCell,
+    campaign,
+    strict: bool,
+    metrics_dir: Optional[Path],
+    log: Optional[Callable[[str], None]],
+) -> MatrixCellResult:
+    """Load one cell's campaign and write its ledger/metrics artefacts."""
+    campaign_id = loader_module.campaign_warehouse_id(campaign.config)
+
+    def on_commit(conn, stage_counts):
+        _record_cell(conn, mid, order, matrix, cell, campaign_id, stage_counts)
+
+    load = loader_module.load_campaign(
+        campaign, conn, strict=strict, on_commit=on_commit
+    )
+    if metrics_dir is not None:
+        safe = cell.cell_id.replace("/", "_")
+        write_metrics_json(campaign, metrics_dir / f"{safe}.metrics.json")
+    if log is not None:
+        log(
+            f"cell {order + 1}/{len(matrix.cells)} {cell.cell_id}:"
+            f" {load.total_rows} rows, {len(load.qa_failures)} QA failures"
+        )
+    return MatrixCellResult(cell=cell, campaign_id=load.campaign_id, load=load)
+
+
+def _run_cells_sequential(
+    matrix: MatrixConfig,
+    conn: sqlite3.Connection,
+    mid: str,
+    strict: bool,
+    metrics_dir: Optional[Path],
+    log: Optional[Callable[[str], None]],
+) -> List[MatrixCellResult]:
     results: List[MatrixCellResult] = []
     for order, cell in enumerate(matrix.cells):
         campaign = Campaign(
@@ -291,30 +358,58 @@ def run_matrix(
             cache_dir=matrix.cache_dir,
         )
         try:
-            campaign_id = loader_module.campaign_warehouse_id(campaign.config)
-
-            def on_commit(conn, stage_counts, order=order, cell=cell, campaign_id=campaign_id):
-                _record_cell(conn, mid, order, matrix, cell, campaign_id, stage_counts)
-
-            load = loader_module.load_campaign(
-                campaign, conn, strict=strict, on_commit=on_commit
-            )
-            if metrics_dir is not None:
-                from repro.observability.report import write_metrics_json
-
-                metrics_dir = Path(metrics_dir)
-                metrics_dir.mkdir(parents=True, exist_ok=True)
-                safe = cell.cell_id.replace("/", "_")
-                write_metrics_json(campaign, metrics_dir / f"{safe}.metrics.json")
-            if log is not None:
-                log(
-                    f"cell {order + 1}/{len(matrix.cells)} {cell.cell_id}:"
-                    f" {load.total_rows} rows, {len(load.qa_failures)} QA failures"
-                )
             results.append(
-                MatrixCellResult(cell=cell, campaign_id=load.campaign_id, load=load)
+                _commit_cell(
+                    matrix, conn, mid, order, cell, campaign, strict, metrics_dir, log
+                )
             )
         finally:
             campaign.close()
-    qa = qa_module.run_matrix_qa(conn, mid, strict=strict)
-    return MatrixResult(matrix_id=mid, cells=results, qa=qa)
+    return results
+
+
+def _run_cells_fleet(
+    matrix: MatrixConfig,
+    conn: sqlite3.Connection,
+    mid: str,
+    strict: bool,
+    metrics_dir: Optional[Path],
+    log: Optional[Callable[[str], None]],
+    fleet_jobs: int,
+) -> Tuple[List[MatrixCellResult], dict]:
+    """Run the cells on a fleet scheduler; commits stay in cell order.
+
+    All cell campaigns are created up front so the shared world is
+    built (once) before the fleet's pool forks — that is what lets the
+    workers inherit it copy-on-write instead of rebuilding.
+    """
+    from repro.parallel.fleet import FleetScheduler
+
+    fleet = FleetScheduler(
+        jobs=fleet_jobs,
+        campaign_workers=matrix.workers if matrix.workers is not None else 1,
+    )
+    campaigns = [
+        fleet.cell_campaign(_cell_config(matrix, cell), cache_dir=matrix.cache_dir)
+        for cell in matrix.cells
+    ]
+    try:
+
+        def commit(order, campaign):
+            return _commit_cell(
+                matrix,
+                conn,
+                mid,
+                order,
+                matrix.cells[order],
+                campaign,
+                strict,
+                metrics_dir,
+                log,
+            )
+
+        return fleet.execute(campaigns, commit), fleet.telemetry()
+    finally:
+        for campaign in campaigns:
+            campaign.close()
+        fleet.close()

@@ -132,17 +132,23 @@ def build_week_campaign(
     cache_dir,
     previous_config: Optional[CampaignConfig] = None,
     workers: int = 1,
+    fleet=None,
 ) -> Campaign:
     """One week's campaign: delta against the previous week when given one.
 
     Used by both the scheduler and the watchdog child so the two sides
     construct byte-identical campaigns over the shared stage cache.
+
+    ``fleet`` (a :class:`~repro.parallel.fleet.FleetScheduler` in
+    pooled mode) attaches only to full-week campaigns: delta campaigns
+    are hard-serial by design — engine replicas would bypass their
+    merge overrides — so they never touch a pool, shared or otherwise.
     """
     if previous_config is not None:
         return DeltaCampaign(
             config, PreviousWeek(previous_config, cache_dir), cache_dir=cache_dir
         )
-    return Campaign(config, workers=workers, cache_dir=cache_dir)
+    return Campaign(config, workers=workers, cache_dir=cache_dir, fleet=fleet)
 
 
 class DeltaCampaign(Campaign):

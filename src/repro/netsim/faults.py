@@ -59,6 +59,7 @@ __all__ = [
     "PROFILES",
     "get_profile",
     "apply_profile",
+    "profile_counts",
     "profile_selected",
     "ServiceFault",
     "ServiceFaultError",
@@ -494,6 +495,29 @@ def apply_profile(
                 address,
                 dataclasses.replace(base, faults=base.faults + tuple(specs)),
             )
+    return counts
+
+
+def profile_counts(
+    addresses: Iterable[Address],
+    profile: FaultProfile,
+    seed: int,
+) -> Dict[str, int]:
+    """Per-fault-kind host counts of :func:`apply_profile`, without applying.
+
+    Recomputes the exact selection hashes, so the result equals what
+    :func:`apply_profile` would return for the same arguments.  The
+    fleet scheduler uses it to set a cell's ``faults.hosts`` gauges
+    without touching the shared pristine world (workers apply the
+    profile to their own replicas instead).
+    """
+    counts: Dict[str, int] = {}
+    for entry in profile.entries:
+        counts.setdefault(entry.spec.kind, 0)
+    for address in addresses:
+        for index, entry in enumerate(profile.entries):
+            if _selected(seed, profile, index, address):
+                counts[entry.spec.kind] += 1
     return counts
 
 

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -282,19 +283,23 @@ class MetricsRegistry:
 # -- current-registry context -------------------------------------------------
 
 _DEFAULT_REGISTRY = MetricsRegistry()
-_CURRENT: MetricsRegistry = _DEFAULT_REGISTRY
+# A ContextVar, not a module global: the fleet scheduler runs several
+# campaigns' parent-side stages on concurrent threads, and each thread
+# must see only its own campaign's registry.
+_CURRENT: "ContextVar[MetricsRegistry]" = ContextVar(
+    "repro_metrics", default=_DEFAULT_REGISTRY
+)
 
 
 def get_metrics() -> MetricsRegistry:
     """The registry instrumented code records into right now."""
-    return _CURRENT
+    return _CURRENT.get()
 
 
 def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
     """Install ``registry`` as current; returns the previous one."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = registry
+    previous = _CURRENT.get()
+    _CURRENT.set(registry)
     return previous
 
 

@@ -28,6 +28,7 @@ import json
 import time
 import zlib
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Dict, List, Optional
 
 __all__ = ["EventTracer", "get_tracer", "set_tracer", "use_tracer"]
@@ -163,19 +164,22 @@ class EventTracer:
 # -- current-tracer context ----------------------------------------------------
 
 _DEFAULT_TRACER = EventTracer(0.0)
-_CURRENT: EventTracer = _DEFAULT_TRACER
+# A ContextVar for the same reason as the metrics registry: concurrent
+# fleet campaign threads each need their own current tracer.
+_CURRENT: "ContextVar[EventTracer]" = ContextVar(
+    "repro_tracer", default=_DEFAULT_TRACER
+)
 
 
 def get_tracer() -> EventTracer:
     """The tracer instrumented code records into right now."""
-    return _CURRENT
+    return _CURRENT.get()
 
 
 def set_tracer(tracer: EventTracer) -> EventTracer:
     """Install ``tracer`` as current; returns the previous one."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = tracer
+    previous = _CURRENT.get()
+    _CURRENT.set(tracer)
     return previous
 
 

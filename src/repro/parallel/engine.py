@@ -45,6 +45,8 @@ merged campaign metrics are identical to a serial run's.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import multiprocessing
 import os
 import pickle
@@ -60,6 +62,8 @@ from repro.observability.tracing import EventTracer, use_tracer
 __all__ = [
     "ScanEngine",
     "default_worker_count",
+    "world_digest",
+    "world_key",
     "INLINE_COST_THRESHOLD",
     "OVERSHARD_FACTOR",
 ]
@@ -102,11 +106,39 @@ _WORKER_CONFIG = None
 _WORKER_CAMPAIGN = None
 _WORKER_BARRIER = None
 
-# Parent-side fork snapshot: (config, world) published just before the
-# pool forks so children inherit the built world copy-on-write.  Spawn
-# children re-import this module and see None, falling back to a
-# rebuild from the configuration.
-_FORK_SHARED: Optional[Tuple[object, object]] = None
+# Parent-side fork registry: world snapshots published just before a
+# pool forks so children inherit the built worlds copy-on-write,
+# keyed by :func:`world_digest`.  Each entry is ``(tag, world)`` where
+# ``tag`` is either the exact campaign configuration the world was
+# built (and profiled) for, or the fleet's pristine sentinel
+# (:data:`repro.parallel.fleet.PRISTINE`) marking a profile-free world
+# that any configuration sharing the digest may adopt after applying
+# its own fault/path profiles.  Spawn children re-import this module
+# and see an empty registry, falling back to a rebuild from the
+# configuration.
+_FORK_SHARED: Dict[str, Tuple[object, object]] = {}
+
+
+def world_key(config) -> Tuple:
+    """The world-shaping subset of a campaign configuration.
+
+    Two configurations with equal world keys build byte-identical
+    simulated Internets: fault and path profiles are applied *after*
+    the build and deliberately stay out of the key — that is what lets
+    a fleet share one world snapshot across a whole scenario matrix.
+    """
+    return (
+        "world",
+        config.week,
+        dataclasses.astuple(config.scale),
+        config.seed,
+        config.fast_crypto,
+    )
+
+
+def world_digest(config) -> str:
+    """Deterministic digest naming a world snapshot in ``_FORK_SHARED``."""
+    return hashlib.sha256(repr(world_key(config)).encode()).hexdigest()[:16]
 
 
 def default_worker_count() -> int:
@@ -144,16 +176,16 @@ def _replica():
     if _WORKER_CAMPAIGN is None:
         from repro.experiments.campaign import Campaign
 
-        shared = _FORK_SHARED
+        entry = _FORK_SHARED.get(world_digest(_WORKER_CONFIG))
         world = None
-        if shared is not None and shared[0] == _WORKER_CONFIG:
-            world = shared[1]
+        if entry is not None and entry[0] == _WORKER_CONFIG:
+            world = entry[1]
         _WORKER_CAMPAIGN = Campaign(_WORKER_CONFIG, world=world)
     return _WORKER_CAMPAIGN
 
 
-def _recv_deps(payload: bytes) -> int:
-    """Broadcast task: adopt a batch of pickled stage dependencies.
+def _recv_deps_on(campaign, payload: bytes, barrier) -> int:
+    """Adopt a batch of pickled stage dependencies on ``campaign``.
 
     The payload maps dependency names to their individually pickled
     values; each is injected into the replica's lazy-stage slot
@@ -161,12 +193,11 @@ def _recv_deps(payload: bytes) -> int:
     where it stays resident for the pool's lifetime.  The barrier makes
     every worker block until all ``workers`` broadcast tasks have been
     claimed, which is what guarantees one task — and therefore one copy
-    of the payload — per worker.
+    of the payload — per worker.  Shared with the fleet's config-routed
+    broadcast task (:func:`repro.parallel.fleet._fleet_recv_deps`).
     """
-    campaign = _replica()
     for name, blob in pickle.loads(zlib.decompress(payload)).items():
         campaign.__dict__[name] = pickle.loads(blob)
-    barrier = _WORKER_BARRIER
     if barrier is not None:
         try:
             barrier.wait(timeout=_BARRIER_TIMEOUT)
@@ -175,8 +206,13 @@ def _recv_deps(payload: bytes) -> int:
     return os.getpid()
 
 
-def _run_shard(task) -> Tuple[int, List, Dict, List[Dict], Optional[str]]:
-    """Pool task: compute one shard of one stage on the local replica.
+def _recv_deps(payload: bytes) -> int:
+    """Broadcast task: adopt a batch of deps on the local replica."""
+    return _recv_deps_on(_replica(), payload, _WORKER_BARRIER)
+
+
+def _run_shard_on(campaign, task) -> Tuple[int, List, Dict, List[Dict], Optional[str]]:
+    """Compute one shard of one stage on ``campaign`` (shared task body).
 
     Returns the shard index (tasks come back unordered) and the shard's
     ``(position, record)`` pairs plus its metric snapshot and trace
@@ -192,7 +228,6 @@ def _run_shard(task) -> Tuple[int, List, Dict, List[Dict], Optional[str]]:
     and counted as ``engine.dep_cache_misses``.
     """
     stage, shard, of, dep_names, trace_rate = task
-    campaign = _replica()
     registry = MetricsRegistry()
     tracer = EventTracer(sample_rate=trace_rate)
     missing = [name for name in dep_names if name not in campaign.__dict__]
@@ -211,6 +246,11 @@ def _run_shard(task) -> Tuple[int, List, Dict, List[Dict], Optional[str]]:
             pairs = []
             error = f"shard {shard}/{of}: {type(exc).__name__}: {exc}"
     return shard, pairs, registry.snapshot(), tracer.drain(), error
+
+
+def _run_shard(task) -> Tuple[int, List, Dict, List[Dict], Optional[str]]:
+    """Pool task: compute one shard of one stage on the local replica."""
+    return _run_shard_on(_replica(), task)
 
 
 class ScanEngine:
@@ -236,10 +276,11 @@ class ScanEngine:
             barrier = context.Barrier(self.workers)
             # Publish the parent's built world for the fork to inherit;
             # Pool() spawns its workers synchronously, so the window is
-            # closed again right after.
-            global _FORK_SHARED
+            # closed again right after (children keep their fork-time
+            # copy of the registry).
+            digest = world_digest(self._config)
             if self._world is not None:
-                _FORK_SHARED = (self._config, self._world)
+                _FORK_SHARED[digest] = (self._config, self._world)
             try:
                 self._pool = context.Pool(
                     processes=self.workers,
@@ -247,7 +288,7 @@ class ScanEngine:
                     initargs=(self._config, barrier),
                 )
             finally:
-                _FORK_SHARED = None
+                _FORK_SHARED.pop(digest, None)
             self._sent_deps = set()
         return self._pool
 
@@ -316,7 +357,7 @@ class ScanEngine:
             payload = zlib.compress(
                 pickle.dumps(blobs, protocol=pickle.HIGHEST_PROTOCOL), level=6
             )
-            receivers = pool.map(_recv_deps, [payload] * self.workers, chunksize=1)
+            receivers = self._broadcast_payload(pool, payload)
             self._sent_deps.update(fresh)
             if metrics is not None:
                 metrics.counter("engine.dep_broadcasts", volatile=True).inc()
@@ -337,7 +378,19 @@ class ScanEngine:
             naive = sum(self._dep_sizes.get(name, 0) for name in deps)
             metrics.counter("engine.dep_bytes_naive", volatile=True).inc(naive * tasks)
 
+    def _broadcast_payload(self, pool, payload: bytes) -> List[int]:
+        """One barrier-synchronised broadcast round (subclass hook).
+
+        Fleet engines override this to wrap the task so a shared pool
+        serving many campaigns routes the payload to the right replica.
+        """
+        return pool.map(_recv_deps, [payload] * self.workers, chunksize=1)
+
     # -- execution ---------------------------------------------------------------
+    def _submit_shards(self, pool, tasks):
+        """Submit shard tasks and yield unordered results (subclass hook)."""
+        return pool.imap_unordered(_run_shard, tasks, chunksize=1)
+
     def task_count(self, size_hint: Optional[int] = None) -> int:
         """How many shard tasks a stage of ``size_hint`` items gets."""
         tasks = self.workers * max(1, OVERSHARD_FACTOR)
@@ -388,7 +441,7 @@ class ScanEngine:
         # so the stage degrades to "failed" instead.
         try:
             results = sorted(
-                pool.imap_unordered(_run_shard, tasks, chunksize=1),
+                self._submit_shards(pool, tasks),
                 key=lambda item: item[0],
             )
         except Exception as exc:

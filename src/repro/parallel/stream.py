@@ -119,16 +119,16 @@ _DEPTH: Dict[str, int] = {
 }
 
 
-def _stream_chunk(task):
-    """Pool task: compute one streaming chunk on the local replica.
+def _compute_chunk_on(campaign, task):
+    """Compute one streaming chunk on ``campaign`` (shared task body).
 
     Mirrors the barrier engine's ``_run_shard`` observability contract:
     a fresh registry/tracer per task, exceptions captured as the final
     element so one bad chunk degrades its stage instead of crashing the
-    pool.
+    pool.  Shared with the fleet's config-routed task wrapper
+    (:func:`repro.parallel.fleet._fleet_stream_chunk`).
     """
     kind, stage, seq, lo, payload, trace_rate = task
-    campaign = _replica()
     registry = MetricsRegistry()
     tracer = EventTracer(sample_rate=trace_rate)
     error: Optional[str] = None
@@ -144,6 +144,11 @@ def _stream_chunk(task):
             pairs = []
             error = f"chunk {seq} @{lo}: {type(exc).__name__}: {exc}"
     return stage, seq, pairs, registry.snapshot(), tracer.drain(), error
+
+
+def _stream_chunk(task):
+    """Pool task: compute one streaming chunk on the local replica."""
+    return _compute_chunk_on(_replica(), task)
 
 
 def _derive_items(campaign, consumer: str, records: List) -> List:
@@ -200,9 +205,10 @@ class _StageNode:
 class StreamEngine:
     """Schedules a campaign's stages as a streaming chunk dataflow."""
 
-    def __init__(self, campaign, workers: Optional[int] = None):
+    def __init__(self, campaign, workers: Optional[int] = None, fleet=None):
         self.campaign = campaign
         self.workers = max(1, workers if workers is not None else campaign._workers)
+        self._fleet = fleet
         self._pool = None
         self._nodes: Dict[str, _StageNode] = {}
         self._ready: Dict[int, deque] = {0: deque(), 1: deque(), 2: deque()}
@@ -252,20 +258,31 @@ class StreamEngine:
                 depth=_DEPTH[name],
                 cache_state="off" if cache is None else "miss",
             )
-        # Probe the cache for every stage *before* feeding anything:
-        # a consumer that is itself a hit must never receive chunks.
-        hits: List[_StageNode] = []
-        if cache is not None:
-            for name in _STAGE_ORDER:
+        # Adopt stages in one pass, in stage order, *before* feeding
+        # anything: a consumer that is itself settled must never receive
+        # chunks.  Two settled kinds: stages already materialized on the
+        # campaign (an earlier run computed them — their stage_records
+        # counters were recorded then, so re-accounting here would
+        # double them) and cache hits (accounted via ``_complete``).
+        preset: List[_StageNode] = []
+        for name in _STAGE_ORDER:
+            node = self._nodes[name]
+            if name in campaign.__dict__:
+                node.finalized = True
+                node.started = node.finished = time.perf_counter()
+                node.total = 0
+                node.records = campaign.__dict__[name]
+                preset.append(node)
+                continue
+            if cache is not None:
                 cached = cache.load(name)
                 if cached is not None:
-                    node = self._nodes[name]
                     node.cache_state = "hit"
                     node.started = time.perf_counter()
                     node.total = 0
                     self._complete(node, cached, StageHealth(stage=name))
-                    hits.append(node)
-        for node in hits:
+                    preset.append(node)
+        for node in preset:
             self._feed_records(node.name, node.records)
             self._upstream_finished(node)
         for name in ("zmap_v4", "syn_v4"):
@@ -415,8 +432,12 @@ class StreamEngine:
         def on_error(exc, stage=stage, seq=seq):
             self._completions.put(("err", (stage, seq, exc)))
 
+        if self._fleet is not None:
+            func, args = self._fleet.stream_task(self.campaign.config, full)
+        else:
+            func, args = _stream_chunk, (full,)
         self._pool.apply_async(
-            _stream_chunk, (full,), callback=on_done, error_callback=on_error
+            func, args, callback=on_done, error_callback=on_error
         )
 
     def _consumer_backlog(self) -> int:
@@ -587,6 +608,11 @@ class StreamEngine:
     # -- pool lifecycle ----------------------------------------------------
     def _ensure_pool(self):
         if self._pool is None:
+            if self._fleet is not None:
+                # Borrow the fleet's persistent shared pool; the fleet
+                # owns its lifecycle, _close_pool only detaches.
+                self._pool = self._fleet.acquire_pool(self.campaign)
+                return self._pool
             try:
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -594,7 +620,11 @@ class StreamEngine:
             # Publish the built world for the fork to inherit (same
             # copy-on-write scheme as the barrier engine); no broadcast
             # barrier — streaming workers never receive deps.
-            engine_module._FORK_SHARED = (self.campaign.config, self.campaign.world)
+            digest = engine_module.world_digest(self.campaign.config)
+            engine_module._FORK_SHARED[digest] = (
+                self.campaign.config,
+                self.campaign.world,
+            )
             try:
                 self._pool = context.Pool(
                     processes=self.workers,
@@ -602,7 +632,7 @@ class StreamEngine:
                     initargs=(self.campaign.config, None),
                 )
             finally:
-                engine_module._FORK_SHARED = None
+                engine_module._FORK_SHARED.pop(digest, None)
         return self._pool
 
     def _close_pool(self, timeout: float = 10.0) -> None:
@@ -610,6 +640,8 @@ class StreamEngine:
         if pool is None:
             return
         self._pool = None
+        if self._fleet is not None:
+            return
         pool.close()
         workers = list(getattr(pool, "_pool", ()))
         deadline = time.monotonic() + timeout
@@ -641,6 +673,6 @@ class StreamEngine:
         metrics.gauge("stream.overlap_ratio", volatile=True).set(round(overlap, 4))
 
 
-def run_streaming(campaign, workers: Optional[int] = None) -> None:
+def run_streaming(campaign, workers: Optional[int] = None, fleet=None) -> None:
     """Run every campaign stage through the streaming dataflow engine."""
-    StreamEngine(campaign, workers).run()
+    StreamEngine(campaign, workers, fleet=fleet).run()

@@ -16,7 +16,12 @@ and the end-to-end campaign wall-clock under each acceleration:
   scheduler: weeks/hour, the delta-scan hit rate (fraction of stateful
   targets merged from the previous week instead of rescanned), and the
   pure resume overhead (re-invoking ``--resume`` over an
-  already-complete ledger).
+  already-complete ledger),
+- **fleet sweep** — the sequential matrix grid replayed through the
+  fleet scheduler (one shared world snapshot, one persistent pool,
+  concurrent cells with ordered commits): cells/minute, the speedup
+  over the sequential sweep, and the world-reuse / pool-respawn
+  counters :func:`check_benchmarks` gates on.
 
 Beyond the headline rates, the result document carries per-stage wall
 times (serial and parallel) and the parallel engine's data-movement
@@ -148,18 +153,30 @@ def _bench_warehouse(campaign: Campaign) -> Dict[str, object]:
 
     Loads the (already-run) campaign into an in-memory sqlite
     warehouse — staging, QA and mart materialisation included — then
-    times one pass over every named mart report.
+    times one pass over every campaign-scoped mart report (run- and
+    matrix-scoped reports need a longitudinal/matrix load and are
+    benched by their own sections).
     """
     import sqlite3
 
     from repro.warehouse import load_campaign
-    from repro.warehouse.queries import REPORTS, named_report
+    from repro.warehouse.queries import (
+        MATRIX_REPORTS,
+        REPORTS,
+        RUN_REPORTS,
+        named_report,
+    )
 
+    campaign_reports = [
+        name
+        for name in REPORTS
+        if name not in RUN_REPORTS and name not in MATRIX_REPORTS
+    ]
     conn = sqlite3.connect(":memory:")
     try:
         result, load_seconds = _time(lambda: load_campaign(campaign, conn))
         _, query_seconds = _time(
-            lambda: [named_report(conn, name) for name in REPORTS]
+            lambda: [named_report(conn, name) for name in campaign_reports]
         )
     finally:
         conn.close()
@@ -281,6 +298,67 @@ def _bench_matrix(seed: int = 0, bare_seconds: Optional[float] = None) -> Dict[s
     }
 
 
+# Concurrent cells for the fleet bench: matches the 2x2 grid so every
+# cell can be in flight at once on a big enough machine.
+FLEET_BENCH_JOBS = 4
+
+
+def _bench_fleet(
+    seed: int = 0, sequential_seconds: Optional[float] = None
+) -> Dict[str, object]:
+    """Fleet-scheduler throughput against the sequential matrix sweep.
+
+    Re-runs the same 2x2 grid as :func:`_bench_matrix` through
+    ``fleet_jobs`` — one shared world snapshot, one persistent pool,
+    concurrent cells with ordered commits — and reports the speedup
+    over the sequential sweep plus the scheduler's reuse counters.
+    The artefacts are byte-identical either way (the ``repro conform
+    --fleet`` oracle proves that); this section measures only what the
+    reuse buys in wall-clock.
+    """
+    import sqlite3
+
+    from repro.experiments.matrix import MatrixConfig, grid_cells, run_matrix
+
+    matrix = MatrixConfig(
+        cells=tuple(grid_cells(2, 2)),
+        week=18,
+        scale=MATRIX_BENCH_SCALE,
+        seed=seed,
+    )
+    conn = sqlite3.connect(":memory:")
+    try:
+        result, fleet_seconds = _time(
+            lambda: run_matrix(matrix, conn, fleet_jobs=FLEET_BENCH_JOBS)
+        )
+    finally:
+        conn.close()
+    telemetry = result.fleet_telemetry or {}
+    cells = len(matrix.cells)
+    return {
+        "cells": cells,
+        "cells_complete": len(result.cells),
+        "jobs": FLEET_BENCH_JOBS,
+        "pool_size": telemetry.get("pool_size"),
+        "fleet_seconds": round(fleet_seconds, 3),
+        "sequential_seconds": round(sequential_seconds, 3)
+        if sequential_seconds
+        else None,
+        "cells_per_minute": round(60 * cells / fleet_seconds, 2)
+        if fleet_seconds
+        else None,
+        "speedup": round(sequential_seconds / fleet_seconds, 2)
+        if sequential_seconds and fleet_seconds
+        else None,
+        "world_builds": telemetry.get("world_builds"),
+        "world_reuse_hits": telemetry.get("world_reuse_hits"),
+        "pool_respawns": telemetry.get("pool_respawns"),
+        "overlap_ratio": telemetry.get("overlap_ratio"),
+        "qa_passed": sum(1 for check in result.qa if check.status == "pass"),
+        "qa_failed": len(result.qa_failures),
+    }
+
+
 def _bench_handshake_rate(campaign: Campaign) -> Dict[str, float]:
     """Stateful QScanner handshake throughput over responsive targets."""
     targets = campaign._zmap_compatible(campaign.zmap_v4)
@@ -327,6 +405,7 @@ def run_benchmarks(
     warehouse = _bench_warehouse(serial)
     longitudinal = _bench_longitudinal(seed=seed)
     matrix = _bench_matrix(seed=seed)
+    fleet = _bench_fleet(seed=seed, sequential_seconds=matrix["matrix_seconds"])
 
     # -- parallel cold runs ------------------------------------------------
     # Streaming dataflow (the default for workers > 1) and the barrier
@@ -378,6 +457,7 @@ def run_benchmarks(
         "warehouse": warehouse,
         "longitudinal": longitudinal,
         "matrix": matrix,
+        "fleet": fleet,
         "campaign": {
             "stage_record_counts": serial_counts,
             "world_build_seconds": round(world_seconds, 3),
@@ -532,6 +612,11 @@ def check_benchmarks(
       QA-passed every cell, recorded a cells/minute throughput, and
       kept the per-cell wall time within 3x a bare campaign at the
       same scale (shaping + warehouse loading overhead guard),
+    - the fleet section (when present) must have built the world once
+      and shared it (``world_reuse_hits == cells - 1``), never
+      respawned its pool, and beaten the sequential sweep — by >= 3x
+      when there is a core per concurrent cell, by the amortisation
+      floor (1.1x) on a starved runner,
     - against a ``baseline`` document (the committed
       ``BENCH_scan.json``), the probe and handshake rates and the
       pipeline speedup / overlap ratio must not drop below
@@ -631,6 +716,46 @@ def check_benchmarks(
             failures.append(
                 f"matrix per-cell overhead {overhead}x exceeds 3x a bare"
                 " campaign at the same scale"
+            )
+    fleet = results.get("fleet")
+    if fleet is not None:
+        if fleet.get("cells_complete") != fleet.get("cells"):
+            failures.append(
+                f"fleet sweep incomplete:"
+                f" {fleet.get('cells_complete')}/{fleet.get('cells')}"
+                " cells completed"
+            )
+        if fleet.get("qa_failed"):
+            failures.append(
+                f"fleet QA: {fleet['qa_failed']} integrity check(s) failed"
+                " during the fleet sweep"
+            )
+        cells = fleet.get("cells") or 0
+        reuse = fleet.get("world_reuse_hits")
+        if reuse is not None and cells and reuse != cells - 1:
+            failures.append(
+                f"fleet world reuse collapse: {reuse} reuse hits for"
+                f" {cells} cells (expected {cells - 1}: one build, every"
+                " other cell shares the snapshot)"
+            )
+        respawns = fleet.get("pool_respawns")
+        if respawns:
+            failures.append(
+                f"fleet pool respawned {respawns} time(s); the pool must"
+                " stay alive across every cell"
+            )
+        speedup = fleet.get("speedup")
+        # With a core per concurrent cell the fleet must deliver the
+        # real concurrency win; on a starved runner (fewer cores than
+        # jobs) only the world-reuse/overlap amortisation is physically
+        # available, so the gate degrades to a collapse guard.
+        slots = min(fleet.get("jobs") or 1, cores) if cores else (fleet.get("jobs") or 1)
+        speedup_floor = 3.0 if slots >= 3 else 1.1
+        if speedup is not None and speedup < speedup_floor:
+            failures.append(
+                f"fleet speedup {speedup}x over the sequential sweep is"
+                f" below {speedup_floor}x ({slots} effective slot(s) on"
+                f" {cores} cores)"
             )
     movement = results.get("data_movement", {})
     shipped = movement.get("dep_bytes_shipped", 0)

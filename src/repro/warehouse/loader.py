@@ -331,6 +331,13 @@ def load_campaign(
     longitudinal scheduler uses it to write the run-ledger checkpoint
     and timeline-mart rows atomically with the week's staging load, so
     a crash can never record a week the warehouse does not hold.
+
+    Fleet note: when the campaign's stages are already materialised
+    (the fleet scheduler runs scans *before* handing the campaign to
+    the ordered committer), the internal ``run_all_stages()`` call is a
+    pure count pass — no engine dispatch, no re-accounting — so this
+    function degenerates to the sqlite load that the fleet overlaps
+    with the next cell's scans.
     """
     ensure_schema(conn)
     campaign_id = campaign_warehouse_id(campaign.config)
